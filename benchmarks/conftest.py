@@ -1,0 +1,51 @@
+"""Benchmark fixtures.
+
+By default benchmarks run on a reduced size grid so that
+``pytest benchmarks/ --benchmark-only`` completes in minutes; set
+``REPRO_BENCH_FULL=1`` for the paper's full 1..33 grid (this is what
+``benchmarks/generate_experiments.py`` uses to produce EXPERIMENTS.md).
+
+Every benchmark saves its rendered series under ``benchmarks/results/``
+so the regenerated paper tables are inspectable artifacts, not just
+timings.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.bench.harness import (PAPER_BATCH, PAPER_SIZES, QUICK_SIZES,
+                                 BenchHarness)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def harness() -> BenchHarness:
+    full = os.environ.get("REPRO_BENCH_FULL")
+    sizes = PAPER_SIZES if full else QUICK_SIZES
+    batch = PAPER_BATCH
+    return BenchHarness(sizes=sizes, batch=batch)
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str, csv: str | None = None) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        if csv is not None:
+            (RESULTS_DIR / f"{name}.csv").write_text(csv + "\n")
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer.
+
+    The cycle model is deterministic, so repeated rounds only measure
+    the harness's memo cache; one round is the honest measurement.
+    """
+    return benchmark.pedantic(fn, iterations=1, rounds=1, warmup_rounds=0)

@@ -1,0 +1,38 @@
+"""Ablations of the design choices DESIGN.md calls out."""
+
+from conftest import run_once
+
+from repro.bench import experiments
+
+
+def test_ablation_scheduling(benchmark, save_result):
+    result = run_once(
+        benchmark,
+        lambda: experiments.ablation_scheduling(sizes=(4, 8, 16, 32)))
+    save_result("ablation_scheduling", result["render"])
+    for n, on, off, gain in result["rows"]:
+        assert gain >= 1.0, n
+
+
+def test_ablation_nopack(benchmark, save_result):
+    result = run_once(
+        benchmark, lambda: experiments.ablation_nopack(sizes=(1, 2, 3, 4)))
+    save_result("ablation_nopack", result["render"])
+    for n, on, off, gain in result["rows"]:
+        assert gain > 1.0, n
+
+
+def test_ablation_batch_counter(benchmark, save_result):
+    result = run_once(
+        benchmark,
+        lambda: experiments.ablation_batch_counter(sizes=(2, 4, 8, 16)))
+    save_result("ablation_batch_counter", result["render"])
+    for n, on, off, gain in result["rows"]:
+        assert gain >= 0.99, n     # never a loss; small wins at tiny sizes
+
+
+def test_ablation_autotune(benchmark, save_result):
+    result = run_once(benchmark, lambda: experiments.ablation_autotune())
+    save_result("ablation_autotune", result["render"])
+    for n, analytic, tuned, main in result["rows"]:
+        assert tuned >= analytic - 1e-9, n

@@ -1,0 +1,19 @@
+"""Figure 10: compact TRSM under LNLN / LNUN / LTLN / LTUN modes."""
+
+import pytest
+from conftest import run_once
+
+from repro.bench.reporting import ratio_summary, series_table
+
+
+@pytest.mark.parametrize("dtype", ["s", "d", "c", "z"])
+@pytest.mark.parametrize("mode", ["LNLN", "LNUN", "LTLN", "LTUN"])
+def test_fig10_trsm_modes(harness, benchmark, save_result, dtype, mode):
+    series = run_once(benchmark, lambda: harness.trsm_series(dtype, mode))
+    text = (series_table(series, f"Figure 10 — {dtype}trsm {mode} (GFLOPS)")
+            + "\n" + ratio_summary(series))
+    save_result(f"fig10_{dtype}trsm_{mode.lower()}", text)
+    # "nearly consistent high performance with the left side mode"
+    for (sz, vi), (_, vo) in zip(series["IATF"].points,
+                                 series["OpenBLAS (loop)"].points):
+        assert vi > vo, (dtype, mode, sz)

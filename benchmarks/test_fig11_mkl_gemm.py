@@ -1,0 +1,35 @@
+"""Figure 11: IATF vs Intel MKL compact GEMM, percent of machine peak."""
+
+import pytest
+from conftest import run_once
+
+from repro.bench.reporting import series_table
+
+
+@pytest.mark.parametrize("dtype", ["s", "d", "c", "z"])
+def test_fig11_mkl_gemm(harness, benchmark, save_result, dtype):
+    series = run_once(benchmark, lambda: harness.gemm_percent_peak(dtype))
+    text = series_table(series, f"Figure 11 — {dtype}gemm NN, % of peak",
+                        fmt="{:6.1f}%")
+    save_result(f"fig11_{dtype}gemm_pct_peak", text)
+    for s in series.values():
+        for _, v in s.points:
+            assert 0 < v < 100
+
+
+def test_fig11_double_precision_advantage(harness, benchmark):
+    """Paper: 'We achieve significant advantages on double-precision
+    floating-point numbers, both for real and complex.'"""
+    def check():
+        wins_by_dtype = {}
+        for dtype in ("d", "z"):
+            series = harness.gemm_percent_peak(dtype)
+            iatf = series["IATF (Kunpeng 920)"]
+            mkl = series["MKL compact (Xeon 6240)"]
+            wins_by_dtype[dtype] = (
+                sum(iatf.value_at(s) > mkl.value_at(s) for s in iatf.sizes),
+                len(iatf.sizes))
+        return wins_by_dtype
+    wins = run_once(benchmark, check)
+    for dtype, (won, total) in wins.items():
+        assert won > total / 2, dtype

@@ -1,0 +1,12 @@
+"""Figure 4: tiling of 15x15 GEMM — traditional vs compact."""
+
+from conftest import run_once
+
+from repro.bench import experiments
+
+
+def test_fig4_tiling(benchmark, save_result):
+    result = run_once(benchmark, experiments.fig4_tiling)
+    save_result("fig4_tiling", result["render"])
+    assert result["compact"][0] == [4, 4, 4, 3]
+    assert result["wasted_lanes"] > 0

@@ -1,0 +1,12 @@
+"""Figure 5: the kernel optimizer's instruction-placement stages."""
+
+from conftest import run_once
+
+from repro.bench import experiments
+
+
+def test_fig5_scheduling(benchmark, save_result):
+    result = run_once(benchmark, experiments.fig5_scheduling)
+    save_result("fig5_scheduling", result["render"])
+    c = {k: v["cycles"] for k, v in result["results"].items()}
+    assert c["original"] >= c["reordered"] >= c["optimized"]

@@ -1,0 +1,22 @@
+"""Figure 7: compact GEMM vs ARMPL/LIBXSMM/OpenBLAS under NN mode."""
+
+import pytest
+from conftest import run_once
+
+from repro.bench.reporting import (ratio_summary, series_csv,
+                                   series_table)
+
+
+@pytest.mark.parametrize("dtype", ["s", "d", "c", "z"])
+def test_fig7_gemm_nn(harness, benchmark, save_result, dtype):
+    series = run_once(benchmark, lambda: harness.gemm_series(dtype, "NN"))
+    text = (series_table(series, f"Figure 7 — {dtype}gemm NN (GFLOPS), "
+                                 f"batch={harness.batch}")
+            + "\n" + ratio_summary(series))
+    save_result(f"fig7_{dtype}gemm_nn", text,
+                csv=series_csv(series))
+    # shape check: IATF wins at the smallest size against every library
+    smallest = series["IATF"].sizes[0]
+    for lib, s in series.items():
+        if lib != "IATF":
+            assert series["IATF"].value_at(smallest) > s.value_at(smallest)

@@ -1,0 +1,19 @@
+"""Figure 8: compact GEMM under NN / NT / TN / TT modes."""
+
+import pytest
+from conftest import run_once
+
+from repro.bench.reporting import ratio_summary, series_table
+
+
+@pytest.mark.parametrize("dtype", ["s", "d", "c", "z"])
+@pytest.mark.parametrize("mode", ["NN", "NT", "TN", "TT"])
+def test_fig8_gemm_modes(harness, benchmark, save_result, dtype, mode):
+    series = run_once(benchmark, lambda: harness.gemm_series(dtype, mode))
+    text = (series_table(series, f"Figure 8 — {dtype}gemm {mode} (GFLOPS)")
+            + "\n" + ratio_summary(series))
+    save_result(f"fig8_{dtype}gemm_{mode.lower()}", text)
+    # the paper: "excellent and stable performances in every mode"
+    smallest = series["IATF"].sizes[0]
+    assert series["IATF"].value_at(smallest) > \
+        series["OpenBLAS (loop)"].value_at(smallest)

@@ -1,0 +1,21 @@
+"""Figure 9: compact TRSM vs loop-ARMPL / loop-OpenBLAS under LNLN."""
+
+import pytest
+from conftest import run_once
+
+from repro.bench.reporting import (ratio_summary, series_csv,
+                                   series_table)
+
+
+@pytest.mark.parametrize("dtype", ["s", "d", "c", "z"])
+def test_fig9_trsm_lnln(harness, benchmark, save_result, dtype):
+    series = run_once(benchmark, lambda: harness.trsm_series(dtype, "LNLN"))
+    text = (series_table(series, f"Figure 9 — {dtype}trsm LNLN (GFLOPS), "
+                                 f"batch={harness.batch}")
+            + "\n" + ratio_summary(series))
+    save_result(f"fig9_{dtype}trsm_lnln", text,
+                csv=series_csv(series))
+    # "IATF achieves extremely large improvements for all sizes"
+    for (sz, vi), (_, vo) in zip(series["IATF"].points,
+                                 series["OpenBLAS (loop)"].points):
+        assert vi > vo, (dtype, sz)

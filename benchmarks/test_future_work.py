@@ -1,0 +1,56 @@
+"""Future-work extensions (paper Section 7): multicore scaling and TRMM."""
+
+from conftest import run_once
+
+from repro.extensions import CompactTrmm
+from repro.machine.machines import KUNPENG_920
+from repro.runtime.multicore import MulticoreModel
+from repro.types import GemmProblem, TrmmProblem
+
+
+def test_multicore_scaling(benchmark, save_result):
+    def sweep():
+        lines = ["Future work — multicore scaling model (dgemm NN, "
+                 "batch=16384)",
+                 f"{'cores':>6} {'n=2':>8} {'n=8':>8} {'n=24':>8}   "
+                 "(speedup over one core)"]
+        rows = []
+        for cores in (1, 2, 4, 8, 16, 32, 64):
+            cells = []
+            for n in (2, 8, 24):
+                p = GemmProblem(n, n, n, "d", batch=16384)
+                t = MulticoreModel(KUNPENG_920, cores).time_gemm(p)
+                cells.append(t.speedup)
+            rows.append((cores, cells))
+            lines.append(f"{cores:>6} " + " ".join(f"{c:8.1f}"
+                                                   for c in cells))
+        return rows, "\n".join(lines)
+    rows, text = run_once(benchmark, sweep)
+    save_result("future_multicore", text)
+    # compute-bound sizes scale further than pack-bound ones at 64 cores
+    last = dict(rows)[64]
+    assert last[2] > last[0]
+
+
+def test_trmm_extension(benchmark, save_result):
+    def sweep():
+        trmm = CompactTrmm(KUNPENG_920)
+        from repro import IATF
+        iatf = IATF(KUNPENG_920)
+        lines = ["Future work — compact TRMM vs dense compact GEMM "
+                 "(batch=16384)",
+                 f"{'n':>4} {'TRMM GFLOPS':>12} {'GEMM cycles/TRMM cycles':>24}"]
+        rows = []
+        for n in (4, 8, 16, 24, 32):
+            tp = TrmmProblem(n, n, "d", batch=16384)
+            t = trmm.time(tp)
+            g = iatf.time_gemm(GemmProblem(n, n, n, "d", batch=16384,
+                                           beta=0.0))
+            ratio = g.total_cycles / t.total_cycles
+            rows.append((n, t.gflops, ratio))
+            lines.append(f"{n:>4} {t.gflops:>12.2f} {ratio:>24.2f}")
+        return rows, "\n".join(lines)
+    rows, text = run_once(benchmark, sweep)
+    save_result("future_trmm", text)
+    # structure exploitation must win at the larger sizes
+    assert rows[-1][2] > 1.0

@@ -1,0 +1,15 @@
+"""The paper's headline 'up to Nx' speedup claims, measured."""
+
+from conftest import run_once
+
+from repro.bench import experiments
+
+
+def test_headline_speedups(harness, benchmark, save_result):
+    result = run_once(benchmark,
+                      lambda: experiments.headline_speedups(harness))
+    save_result("headline_speedups", result["render"])
+    # every headline must at least be a win; the magnitudes are recorded
+    # in EXPERIMENTS.md against the paper's numbers
+    for key, (best, at, paper) in result["measured"].items():
+        assert best > 1.0, key

@@ -1,0 +1,23 @@
+"""Table 1: regenerate the kernel inventory and install the kernels."""
+
+from conftest import run_once
+
+from repro.bench import experiments
+from repro.codegen.registry import KernelRegistry
+from repro.machine.machines import KUNPENG_920
+
+
+def test_table1_inventory(benchmark, save_result):
+    result = run_once(benchmark, experiments.table1_kernels)
+    save_result("table1_kernels", result["render"])
+    assert result["real_opt"] == (4, 4)
+    assert result["cplx_opt"] == (3, 2)
+
+
+def test_install_time_stage(benchmark):
+    """Time the install-time stage generating the full Table 1 family."""
+    def install():
+        reg = KernelRegistry(KUNPENG_920)
+        return reg.install()
+    count = run_once(benchmark, install)
+    assert count > 100

@@ -1,0 +1,16 @@
+"""Table 2: machine models and their derived peaks."""
+
+import pytest
+from conftest import run_once
+
+from repro.bench import experiments
+
+
+def test_table2_machines(benchmark, save_result):
+    result = run_once(benchmark, experiments.table2_machines)
+    save_result("table2_machines", result["render"])
+    by_name = {r["name"]: r for r in result["rows"]}
+    assert by_name["Kunpeng 920"]["peak_fp64"] == pytest.approx(10.4)
+    assert by_name["Kunpeng 920"]["peak_fp32"] == pytest.approx(41.6)
+    assert by_name["Intel Xeon Gold 6240"]["peak_fp64"] == pytest.approx(83.2)
+    assert by_name["Intel Xeon Gold 6240"]["peak_fp32"] == pytest.approx(166.4)

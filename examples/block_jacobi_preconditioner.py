@@ -1,0 +1,75 @@
+"""Block-Jacobi preconditioning: the paper's batched-TRSM workload.
+
+PDE-based simulations (the paper's intro) precondition Krylov solvers
+with block-Jacobi: the system's diagonal blocks are factored once
+(Cholesky, L L^T), and every iteration applies the preconditioner by
+solving two triangular systems per block — a large group of fixed-size
+TRSMs.
+
+This example factors a batch of diagonal blocks *inside the framework*
+— the compact batched LU extension (`repro.extensions.CompactGetrf`,
+built from the in-register LU kernel plus compact TRSM/GEMM blocks) —
+applies the preconditioner with compact triangular solves, verifies
+against a direct solve, and reports simulated speedups over looped
+library calls.
+
+Run:  python examples/block_jacobi_preconditioner.py
+"""
+
+import numpy as np
+
+from repro import IATF, KUNPENG_920
+from repro.api import compact_from_batch, compact_to_batch
+from repro.baselines import ArmplBatch, OpenBlasLoop
+from repro.extensions import CompactGetrf
+from repro.types import TrsmProblem
+
+
+def make_spd_blocks(rng, n_blocks: int, size: int) -> np.ndarray:
+    a = rng.standard_normal((n_blocks, size, size))
+    return a @ a.transpose(0, 2, 1) + size * np.eye(size)
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    iatf = IATF(KUNPENG_920)
+    openblas = OpenBlasLoop(KUNPENG_920)
+    armpl = ArmplBatch(KUNPENG_920)
+
+    n_blocks, size, nrhs = 4096, 12, 1
+    blocks = make_spd_blocks(rng, n_blocks, size)
+    residual = rng.standard_normal((n_blocks, size, nrhs))
+
+    # factor once with the framework's own batched LU (blocked
+    # right-looking: in-register kernel + compact TRSM/GEMM updates)
+    getrf = CompactGetrf(KUNPENG_920, iatf)
+    lu = compact_from_batch(blocks)
+    getrf.factor(lu)
+
+    # apply: z = (L U)^{-1} r  ==  two compact TRSMs per application
+    rhs = compact_from_batch(residual)
+    getrf.solve(lu, rhs)
+    z = compact_to_batch(rhs)
+
+    direct = np.linalg.solve(blocks, residual)
+    err = np.abs(z - direct).max() / np.abs(direct).max()
+    print(f"block-Jacobi apply: relative error vs direct solve = {err:.2e}")
+    assert err < 1e-8
+
+    # simulated cost of one preconditioner application at scale
+    print(f"\nsimulated preconditioner apply "
+          f"({n_blocks} blocks of {size}x{size}, two solves each):")
+    prob = TrsmProblem(size, nrhs, "d", "L", "L", "N", "N", n_blocks)
+    prob_t = TrsmProblem(size, nrhs, "d", "L", "L", "T", "N", n_blocks)
+    for label, timer in [
+        ("IATF", lambda p: iatf.time_trsm(p)),
+        ("OpenBLAS (loop)", lambda p: openblas.trsm.time(p)),
+        ("ARMPL (loop)", lambda p: armpl.trsm.time(p)),
+    ]:
+        cycles = timer(prob).total_cycles + timer(prob_t).total_cycles
+        ms = KUNPENG_920.cycles_to_seconds(cycles) * 1e3
+        print(f"  {label:<18} {ms:8.3f} ms per application")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""repro — reproduction of IATF (ICPP'22): an input-aware tuning
+framework for compact BLAS, on a simulated ARMv8 machine.
+
+Quick start::
+
+    import numpy as np
+    from repro import IATF
+
+    iatf = IATF()                               # Kunpeng 920 model
+    A = np.random.rand(1000, 8, 8)
+    B = np.random.rand(1000, 8, 8)
+    C = np.zeros((1000, 8, 8))
+    C = iatf.gemm(A, B, C)                      # batched C = A @ B
+
+    from repro.types import GemmProblem
+    t = iatf.time_gemm(GemmProblem(8, 8, 8, "d", batch=16384))
+    print(t.gflops, "simulated GFLOPS")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-figure reproductions.
+"""
+
+from . import (machine, layout, codegen, packing, runtime, reference,
+               api, baselines, bench, extensions)
+from .errors import ReproError
+from .layout.compact import CompactBatch
+from .machine.machines import KUNPENG_920, XEON_GOLD_6240, MachineConfig
+from .runtime.iatf import IATF
+from .types import (BlasDType, Diag, GemmProblem, Side, Trans, TrmmProblem,
+                    TrsmProblem, UpLo, gemm_flops, trmm_flops, trsm_flops)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IATF", "CompactBatch", "MachineConfig", "KUNPENG_920", "XEON_GOLD_6240",
+    "BlasDType", "Trans", "Side", "UpLo", "Diag",
+    "GemmProblem", "TrsmProblem", "TrmmProblem",
+    "gemm_flops", "trsm_flops", "trmm_flops",
+    "ReproError", "__version__",
+]

@@ -1,0 +1,7 @@
+"""Functional convenience API (MKL-compact-style free functions)."""
+
+from .compact_blas import (compact_from_batch, compact_gemm, compact_to_batch,
+                           compact_trsm, default_framework)
+
+__all__ = ["compact_gemm", "compact_trsm", "compact_from_batch",
+           "compact_to_batch", "default_framework"]

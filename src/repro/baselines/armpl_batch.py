@@ -1,0 +1,55 @@
+"""ARM Performance Libraries modeled as a batched interface.
+
+The paper: ARMPL's batch GEMM "parallelized between matrices and do not
+use SIMD-friendly data layout".  Model parameters:
+
+* **per-matrix overhead 40 cycles** — one library call for the whole
+  batch; the inner batch loop still pays pointer setup and dispatch per
+  matrix, but no interface re-entry;
+* **no per-call packing** — small-size paths compute from the user's
+  buffers (transposed operands still pay a transpose copy);
+* **TRSM is a loop around the single-matrix interface** (the paper
+  compares against "the loop around ARMPL TRSM calls") with a
+  reciprocal-precompute diagonal — better than the in-loop-division
+  path, still scalar in the triangular part.
+"""
+
+from __future__ import annotations
+
+from ..machine.machines import MachineConfig
+from .common import BaselinePolicy, TraditionalGemm
+from .trsm_scalar import TraditionalTrsm
+
+__all__ = ["ArmplBatch", "ARMPL_POLICY", "ARMPL_TRSM_POLICY"]
+
+ARMPL_POLICY = BaselinePolicy(
+    name="ARMPL (batch)",
+    per_call_overhead_cycles=0.0,
+    per_matrix_overhead_cycles=40.0,
+    packs_operands=False,
+    scheduled=True,
+    supports_complex=True,
+)
+
+ARMPL_TRSM_POLICY = BaselinePolicy(
+    name="ARMPL (loop)",
+    per_call_overhead_cycles=60.0,
+    per_matrix_overhead_cycles=0.0,
+    packs_operands=False,
+    scheduled=True,
+    supports_complex=True,
+)
+
+
+class ArmplBatch:
+    """ARMPL comparator: batched GEMM, looped TRSM."""
+
+    def __init__(self, machine: MachineConfig) -> None:
+        self.machine = machine
+        self.gemm = TraditionalGemm(machine, ARMPL_POLICY)
+        self.trsm = TraditionalTrsm(machine, ARMPL_TRSM_POLICY,
+                                    in_loop_division=False)
+
+    @property
+    def name(self) -> str:
+        return ARMPL_POLICY.name

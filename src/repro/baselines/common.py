@@ -1,0 +1,462 @@
+"""Traditional (standard-layout, per-matrix) GEMM machinery for baselines.
+
+A traditional kernel vectorizes along M *inside one matrix* (GOTO-style:
+an A-column chunk of ``mv`` vectors times ``nr`` broadcast B scalars),
+which is precisely what the paper says is inadequate for small sizes:
+
+* an M that does not fill the vector wastes lanes (partial ``nlanes``
+  accesses still occupy full issue slots);
+* edge tiles in M and N multiply, and their cost does not shrink;
+* per-call overhead and (for OpenBLAS-style paths) per-call packing are
+  amortized over a single small matrix instead of a 16384-batch.
+
+Kernels are emitted with the same ISA and scheduled with the same
+optimizer as the compact kernels, so the only differences measured are
+the layout and the dispatch policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..codegen import regs
+from ..codegen.optimizer import schedule_program
+from ..errors import CodegenError, InvalidProblemError
+from ..machine.executor import VectorExecutor
+from ..machine.isa import (Instr, fmai, fmla, fmls, fmul, fmuli, ld1r, ld2v,
+                           ldrv, st2v, strv, vzero)
+from ..machine.machines import MachineConfig
+from ..machine.memory import MemorySpace
+from ..machine.pipeline import AddressSpace, TimingResult
+from ..machine.program import Program
+from ..types import BlasDType, GemmProblem, Trans
+
+__all__ = ["BaselinePolicy", "BaselineTiming", "TraditionalGemm",
+           "generate_traditional_gemm_kernel", "decompose_vectors",
+           "std_colmajor_buffer", "std_from_colmajor"]
+
+
+@dataclass(frozen=True)
+class BaselinePolicy:
+    """What distinguishes one baseline library from another."""
+
+    name: str
+    per_call_overhead_cycles: float      # fixed cost per library call
+    per_matrix_overhead_cycles: float    # batch-loop cost per matrix
+    packs_operands: bool                 # copies A (and B) before computing
+    scheduled: bool                      # kernel code is well-scheduled
+    supports_complex: bool = True
+
+
+@dataclass
+class BaselineTiming:
+    """Whole-batch cycle breakdown for a baseline library."""
+
+    name: str
+    machine: MachineConfig
+    flops: int
+    kernel_cycles_per_matrix: int
+    pack_cycles_per_matrix: float
+    overhead_cycles_per_matrix: float
+    batch: int
+    detail: TimingResult | None = None
+
+    @property
+    def cycles_per_matrix(self) -> float:
+        """Kernel + packing + dispatch cycles for one matrix."""
+        return (self.kernel_cycles_per_matrix + self.pack_cycles_per_matrix
+                + self.overhead_cycles_per_matrix)
+
+    @property
+    def total_cycles(self) -> float:
+        """Whole-batch cycles."""
+        return self.cycles_per_matrix * self.batch
+
+    @property
+    def gflops(self) -> float:
+        """Simulated GFLOPS over the whole batch."""
+        return self.machine.gflops(self.flops, self.total_cycles)
+
+    @property
+    def percent_of_peak(self) -> float:
+        """Placeholder (callers that know the dtype compute this)."""
+        return 0.0  # overridden by callers that know the dtype
+
+
+# ---------------------------------------------------------------------------
+# tile decomposition in units of vectors
+# ---------------------------------------------------------------------------
+
+def decompose_vectors(m: int, lanes: int,
+                      max_chunk: int = 4) -> list[tuple[int, int]]:
+    """Split M rows into (vector_count, lanes_in_last_vector) chunks.
+
+    Chunk heights follow the traditional kernel family {4, 2, 1} vectors
+    (capped at ``max_chunk`` — complex kernels top out at 2 for register
+    budget); a final partial vector carries ``m % lanes`` live lanes.
+    """
+    full, tail = divmod(m, lanes)
+    chunks: list[tuple[int, int]] = []
+    rem = full
+    for size in (4, 2, 1):
+        if size > max_chunk:
+            continue
+        while rem >= size:
+            chunks.append((size, lanes))
+            rem -= size
+    if tail:
+        chunks.append((1, tail))
+    return chunks
+
+
+def decompose_cols(n: int, max_cols: int = 4) -> list[int]:
+    """Column-tile sizes of the traditional kernels ({4, 2, 1})."""
+    out = []
+    rem = n
+    for size in (4, 2, 1):
+        if size > max_cols:
+            continue
+        while rem >= size:
+            out.append(size)
+            rem -= size
+    return out
+
+
+# ---------------------------------------------------------------------------
+# kernel generation
+# ---------------------------------------------------------------------------
+
+class _TradRegMap:
+    """Registers of a traditional (mv vectors x nr columns) kernel."""
+
+    def __init__(self, mv: int, nr: int, dtype: BlasDType,
+                 machine: MachineConfig) -> None:
+        self.mv, self.nr = mv, nr
+        self.dtype = dtype
+        self.ew = dtype.real_itemsize
+        self.ncomp = 2 if dtype.is_complex else 1
+        # one M-chunk covers `lanes` rows for real AND complex data: a
+        # complex chunk is an ld2 of two vectors (re-plane + im-plane),
+        # so it also spans vector_bytes/ew rows
+        self.lanes = machine.vector_bytes // self.ew
+        need = self.ncomp * (2 * mv + 2 * nr + mv * nr)
+        if need > machine.num_vregs:
+            raise CodegenError(
+                f"traditional kernel {mv}vx{nr} {dtype.value} needs {need} regs")
+
+    def a_reg(self, bank: int, v: int, comp: int = 0) -> int:
+        return self.ncomp * (bank * self.mv + v) + comp
+
+    def b_reg(self, bank: int, j: int, comp: int = 0) -> int:
+        return self.ncomp * (2 * self.mv + bank * self.nr + j) + comp
+
+    def c_reg(self, v: int, j: int, comp: int = 0) -> int:
+        return self.ncomp * (2 * self.mv + 2 * self.nr + j * self.mv + v) + comp
+
+
+def generate_traditional_gemm_kernel(
+        mv: int, nr: int, k: int, dtype: "BlasDType | str",
+        machine: MachineConfig, a_col_stride: int, b_col_stride: int,
+        tail_lanes: int | None = None, alpha: complex = 1.0,
+        beta: complex = 1.0) -> Program:
+    """One (mv vectors x nr columns x K) traditional GEMM tile kernel.
+
+    Operands are effective-NN and column-major: A's k-column lives at
+    ``PA + l*a_col_stride``; B element (l, j) at
+    ``PB + j*b_col_stride + l*esz``; C tile column j behind ``PC(j)``.
+    ``tail_lanes`` marks the last A vector (and C rows) as partial.
+    """
+    dt = BlasDType.from_any(dtype)
+    ctx = _TradRegMap(mv, nr, dt, machine)
+    ew = ctx.ew
+    is_c = dt.is_complex
+    lanes = ctx.lanes
+    vbytes = lanes * ew * ctx.ncomp          # bytes per M-chunk of rows
+    tail = tail_lanes if tail_lanes is not None else lanes
+    instrs: list[Instr] = []
+
+    def a_loads(bank: int, l: int, tag: str) -> None:
+        for v in range(mv):
+            off = l * a_col_stride + v * vbytes
+            nl = tail if v == mv - 1 and tail != lanes else None
+            if is_c:
+                instrs.append(ld2v(ctx.a_reg(bank, v, 0), ctx.a_reg(bank, v, 1),
+                                   regs.PA, off, ew=ew, nlanes=nl, tag=tag))
+            else:
+                instrs.append(ldrv(ctx.a_reg(bank, v), regs.PA, off, ew=ew,
+                                   nlanes=nl, tag=tag))
+
+    def b_loads(bank: int, l: int, tag: str) -> None:
+        for j in range(nr):
+            off = j * b_col_stride + l * ew * ctx.ncomp
+            instrs.append(ld1r(ctx.b_reg(bank, j, 0), regs.PB, off, ew=ew,
+                               tag=tag))
+            if is_c:
+                instrs.append(ld1r(ctx.b_reg(bank, j, 1), regs.PB, off + ew,
+                                   ew=ew, tag=tag))
+
+    def compute(bank: int, first: bool, tag: str) -> None:
+        for j in range(nr):
+            for v in range(mv):
+                if not is_c:
+                    a, b = ctx.a_reg(bank, v), ctx.b_reg(bank, j)
+                    c = ctx.c_reg(v, j)
+                    instrs.append((fmul if first else fmla)(c, a, b, ew=ew,
+                                                            tag=tag))
+                else:
+                    ar, ai = ctx.a_reg(bank, v, 0), ctx.a_reg(bank, v, 1)
+                    br, bi = ctx.b_reg(bank, j, 0), ctx.b_reg(bank, j, 1)
+                    cr, ci = ctx.c_reg(v, j, 0), ctx.c_reg(v, j, 1)
+                    if first:
+                        instrs.append(fmul(cr, ar, br, ew=ew, tag=tag))
+                        instrs.append(fmul(ci, ar, bi, ew=ew, tag=tag))
+                    else:
+                        instrs.append(fmla(cr, ar, br, ew=ew, tag=tag))
+                        instrs.append(fmla(ci, ar, bi, ew=ew, tag=tag))
+                    instrs.append(fmls(cr, ai, bi, ew=ew, tag=tag))
+                    instrs.append(fmla(ci, ai, br, ew=ew, tag=tag))
+
+    # k loop with ping-pong banks (bank = l % 2); first step uses FMUL
+    for l in range(k):
+        bank = l % 2
+        a_loads(bank, l, f"K{l}")
+        b_loads(bank, l, f"K{l}")
+        compute(bank, first=(l == 0), tag=f"K{l}")
+
+    # SAVE: C tile column j, rows contiguous; scratch from the A region
+    ar_, ai_ = complex(alpha).real, complex(alpha).imag
+    br_, bi_ = complex(beta).real, complex(beta).imag
+    for j in range(nr):
+        for v in range(mv):
+            nl = tail if v == mv - 1 and tail != lanes else None
+            off = v * vbytes
+            if not is_c:
+                acc = ctx.c_reg(v, j)
+                s = ctx.a_reg(j % 2, v)
+                if beta == 0 and alpha == 1:
+                    instrs.append(strv(acc, regs.pc(j), off, ew=ew, nlanes=nl,
+                                       tag="SAVE"))
+                    continue
+                if beta == 0:
+                    instrs.append(fmuli(s, acc, ar_, ew=ew, tag="SAVE"))
+                else:
+                    instrs.append(ldrv(s, regs.pc(j), off, ew=ew, nlanes=nl,
+                                       tag="SAVE"))
+                    if beta != 1:
+                        instrs.append(fmuli(s, s, br_, ew=ew, tag="SAVE"))
+                    instrs.append(fmai(s, acc, ar_, ew=ew, tag="SAVE"))
+                instrs.append(strv(s, regs.pc(j), off, ew=ew, nlanes=nl,
+                                   tag="SAVE"))
+            else:
+                xr, xi = ctx.c_reg(v, j, 0), ctx.c_reg(v, j, 1)
+                sr = ctx.a_reg(j % 2, v, 0)
+                si = ctx.a_reg(j % 2, v, 1)
+                if beta == 0 and alpha == 1:
+                    instrs.append(st2v(xr, xi, regs.pc(j), off, ew=ew,
+                                       nlanes=nl, tag="SAVE"))
+                    continue
+                if beta == 0:
+                    instrs.append(fmuli(sr, xr, ar_, ew=ew, tag="SAVE"))
+                    instrs.append(fmuli(si, xi, ar_, ew=ew, tag="SAVE"))
+                    if ai_:
+                        instrs.append(fmai(sr, xi, -ai_, ew=ew, tag="SAVE"))
+                        instrs.append(fmai(si, xr, ai_, ew=ew, tag="SAVE"))
+                else:
+                    instrs.append(ld2v(sr, si, regs.pc(j), off, ew=ew,
+                                       nlanes=nl, tag="SAVE"))
+                    if beta != 1:
+                        # (sr, si) *= beta, needing no extra temp when bi == 0
+                        if bi_ == 0:
+                            instrs.append(fmuli(sr, sr, br_, ew=ew, tag="SAVE"))
+                            instrs.append(fmuli(si, si, br_, ew=ew, tag="SAVE"))
+                        else:
+                            tr = ctx.b_reg(0, j % ctx.nr, 0)
+                            instrs.append(fmuli(tr, sr, br_, ew=ew, tag="SAVE"))
+                            instrs.append(fmai(tr, si, -bi_, ew=ew, tag="SAVE"))
+                            instrs.append(fmuli(si, si, br_, ew=ew, tag="SAVE"))
+                            instrs.append(fmai(si, sr, bi_, ew=ew, tag="SAVE"))
+                            instrs.append(fmuli(sr, tr, 1.0, ew=ew, tag="SAVE"))
+                    instrs.append(fmai(sr, xr, ar_, ew=ew, tag="SAVE"))
+                    instrs.append(fmai(si, xi, ar_, ew=ew, tag="SAVE"))
+                    if ai_:
+                        instrs.append(fmai(sr, xi, -ai_, ew=ew, tag="SAVE"))
+                        instrs.append(fmai(si, xr, ai_, ew=ew, tag="SAVE"))
+                instrs.append(st2v(sr, si, regs.pc(j), off, ew=ew, nlanes=nl,
+                                   tag="SAVE"))
+
+    name = (f"trad_{dt.value}gemm_{mv}vx{nr}_k{k}"
+            + (f"_t{tail}" if tail != lanes else ""))
+    # functional lanes of the executor = real elements per vector
+    return Program(name, instrs, ew=ew, lanes=ctx.lanes, meta={
+        "routine": "trad_gemm", "mv": mv, "nr": nr, "k": k,
+        "dtype": dt.value, "tail": tail,
+        "rows": (mv - 1) * lanes + tail,
+    })
+
+
+# ---------------------------------------------------------------------------
+# standard-layout buffers (column-major per matrix, interleaved complex)
+# ---------------------------------------------------------------------------
+
+def std_colmajor_buffer(arr: np.ndarray, dtype: BlasDType) -> np.ndarray:
+    """Flatten (batch, rows, cols) to per-matrix column-major real storage."""
+    arr = np.ascontiguousarray(arr.transpose(0, 2, 1),
+                               dtype=dtype.np_dtype)
+    if dtype.is_complex:
+        return arr.view(dtype.real_dtype).reshape(-1)
+    return arr.reshape(-1)
+
+
+def std_from_colmajor(buf: np.ndarray, batch: int, rows: int, cols: int,
+                      dtype: BlasDType) -> np.ndarray:
+    """Inverse of :func:`std_colmajor_buffer`."""
+    if dtype.is_complex:
+        cm = buf.view(dtype.np_dtype).reshape(batch, cols, rows)
+    else:
+        cm = buf.reshape(batch, cols, rows)
+    return np.ascontiguousarray(cm.transpose(0, 2, 1))
+
+
+# ---------------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------------
+
+class TraditionalGemm:
+    """Per-matrix traditional GEMM under a given baseline policy."""
+
+    def __init__(self, machine: MachineConfig, policy: BaselinePolicy) -> None:
+        self.machine = machine
+        self.policy = policy
+        self._kcache: dict[tuple, Program] = {}
+
+    def _kernel(self, mv: int, nr: int, k: int, dt: BlasDType,
+                a_cs: int, b_cs: int, tail: int,
+                alpha: complex, beta: complex) -> Program:
+        key = (mv, nr, k, dt.value, a_cs, b_cs, tail, alpha, beta)
+        prog = self._kcache.get(key)
+        if prog is None:
+            prog = generate_traditional_gemm_kernel(
+                mv, nr, k, dt, self.machine, a_cs, b_cs,
+                tail_lanes=tail, alpha=alpha, beta=beta)
+            if self.policy.scheduled:
+                prog = schedule_program(prog, self.machine)
+            self._kcache[key] = prog
+        return prog
+
+    def _calls(self, p: GemmProblem):
+        """Per-matrix command queue: (program, a_off, b_off, c_offsets)."""
+        dt = p.dtype
+        if dt.is_complex and not self.policy.supports_complex:
+            raise InvalidProblemError(
+                f"{self.policy.name} has no complex interface")
+        esz = dt.itemsize                     # full element bytes
+        lanes = self.machine.vector_bytes // dt.real_itemsize
+        a_cs = p.m * esz                      # effective-NN A column stride
+        b_cs = p.k * esz
+        max_chunk = 2 if dt.is_complex else 4
+        max_cols = 2 if dt.is_complex else 4
+        chunks = decompose_vectors(p.m, lanes, max_chunk)
+        cols = decompose_cols(p.n, max_cols)
+        calls = []
+        ns = 0
+        for nt in cols:
+            rs = 0
+            for mv, tail in chunks:
+                rows = (mv - 1) * lanes + tail
+                prog = self._kernel(mv, nt, p.k, dt, a_cs, b_cs, tail,
+                                    p.alpha, p.beta)
+                c_offs = tuple((ns + j) * p.m * esz + rs * esz
+                               for j in range(nt))
+                calls.append((prog, rs * esz, ns * b_cs, c_offs))
+                rs += rows
+            ns += nt
+        return calls
+
+    # -- functional execution -------------------------------------------
+
+    def execute(self, p: GemmProblem, a: np.ndarray, b: np.ndarray,
+                c: np.ndarray) -> np.ndarray:
+        """Run the baseline on standard (batch, rows, cols) arrays."""
+        dt = p.dtype
+        opa = a if p.transa is Trans.N else a.transpose(0, 2, 1)
+        opb = b if p.transb is Trans.N else b.transpose(0, 2, 1)
+        buf_a = std_colmajor_buffer(opa, dt)
+        buf_b = std_colmajor_buffer(opb, dt)
+        buf_c = std_colmajor_buffer(c, dt)
+        mem = MemorySpace()
+        mem.bind("A", buf_a)
+        mem.bind("B", buf_b)
+        mem.bind("C", buf_c)
+        esz = dt.itemsize
+        strides = {"A": p.m * p.k * esz, "B": p.k * p.n * esz,
+                   "C": p.m * p.n * esz}
+        ex = VectorExecutor(mem, groups=p.batch)
+        garange = np.arange(p.batch, dtype=np.int64)
+        from ..codegen import regs as _r
+        for prog, a_off, b_off, c_offs in self._calls(p):
+            ex.set_pointer(_r.PA, "A", garange * strides["A"] + a_off)
+            ex.set_pointer(_r.PB, "B", garange * strides["B"] + b_off)
+            for j, off in enumerate(c_offs):
+                ex.set_pointer(_r.pc(j), "C", garange * strides["C"] + off)
+            ex.run(prog)
+        return std_from_colmajor(buf_c, p.batch, p.m, p.n, dt)
+
+    # -- timing ----------------------------------------------------------
+
+    def time(self, p: GemmProblem) -> BaselineTiming:
+        """Steady-state per-matrix simulation, scaled to the batch.
+
+        Two consecutive matrices are simulated at their real adjacent
+        addresses; the second — whose operand walks hit the stream
+        prefetcher the way every matrix after the first does — is the
+        one measured.
+        """
+        dt = p.dtype
+        esz = dt.itemsize
+        sA = max(p.m * p.k * esz, 64)
+        sB = max(p.k * p.n * esz, 64)
+        sC = max(p.m * p.n * esz, 64)
+        caches = self.machine.make_caches()
+        pipe = self.machine.make_pipeline(caches)
+        asp = AddressSpace()
+        aA = asp.place("A", 2 * sA)
+        aB = asp.place("B", 2 * sB)
+        aC = asp.place("C", 2 * sC)
+        from ..codegen import regs as _r
+        calls = self._calls(p)
+        total: TimingResult | None = None
+        for mat in (0, 1):
+            mat_total: TimingResult | None = None
+            for prog, a_off, b_off, c_offs in calls:
+                init = {_r.PA: aA + mat * sA + a_off,
+                        _r.PB: aB + mat * sB + b_off}
+                for j, off in enumerate(c_offs):
+                    init[_r.pc(j)] = aC + mat * sC + off
+                r = pipe.simulate(prog, init)
+                mat_total = r if mat_total is None else mat_total + r
+            total = mat_total
+        assert total is not None
+
+        pack_cycles = 0.0
+        moved = 0
+        if self.policy.packs_operands:
+            moved += (p.m * p.k + p.k * p.n) * esz
+        else:
+            # transpose-copy of any transposed operand
+            if p.transa is Trans.T:
+                moved += p.m * p.k * esz
+            if p.transb is Trans.T:
+                moved += p.k * p.n * esz
+        if moved:
+            pack_cycles = 2 * moved / self.machine.copy_bytes_per_cycle + 24
+
+        return BaselineTiming(
+            name=self.policy.name, machine=self.machine, flops=p.flops,
+            kernel_cycles_per_matrix=total.cycles,
+            pack_cycles_per_matrix=pack_cycles,
+            overhead_cycles_per_matrix=(self.policy.per_call_overhead_cycles
+                                        + self.policy.per_matrix_overhead_cycles),
+            batch=p.batch, detail=total,
+        )

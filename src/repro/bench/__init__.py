@@ -1,0 +1,13 @@
+"""Benchmark harness: regenerates every table and figure of the paper.
+
+:mod:`repro.bench.harness` sweeps problem sizes across libraries and
+returns structured series; :mod:`repro.bench.experiments` packages one
+function per paper artifact (Figure 4, 5, 7-12, Table 1-2, the headline
+speedups, and our ablations); :mod:`repro.bench.reporting` renders them
+as the text tables recorded in EXPERIMENTS.md.
+"""
+
+from .harness import BenchHarness, Series
+from . import experiments, reporting
+
+__all__ = ["BenchHarness", "Series", "experiments", "reporting"]

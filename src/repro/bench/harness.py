@@ -1,0 +1,210 @@
+"""Sweep driver: time every library over the paper's size grid.
+
+The paper's protocol: square sizes 1..33, batch 16384, random uniform
+(0, 1) data, per-mode and per-dtype sweeps.  Timing here is the
+deterministic cycle model, so the paper's 100-run geometric mean
+collapses to a single exact evaluation per point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..baselines.armpl_batch import ArmplBatch
+from ..baselines.libxsmm_batch import LibxsmmBatch
+from ..baselines.mkl_compact import MklCompact
+from ..baselines.openblas_loop import OpenBlasLoop
+from ..machine.machines import KUNPENG_920, XEON_GOLD_6240, MachineConfig
+from ..runtime.iatf import IATF
+from ..types import BlasDType, Diag, GemmProblem, Side, Trans, TrsmProblem, UpLo
+
+__all__ = ["Series", "BenchHarness", "PAPER_SIZES", "PAPER_BATCH",
+           "QUICK_SIZES"]
+
+PAPER_SIZES = tuple(range(1, 34))
+QUICK_SIZES = (1, 2, 3, 4, 6, 8, 12, 16, 20, 24, 28, 32)
+PAPER_BATCH = 16384
+
+GEMM_LIBS = ("IATF", "OpenBLAS (loop)", "ARMPL (batch)", "LIBXSMM (batch)")
+TRSM_LIBS = ("IATF", "OpenBLAS (loop)", "ARMPL (loop)")
+
+
+@dataclass
+class Series:
+    """One performance curve: (size, value) pairs plus identity."""
+
+    label: str
+    dtype: str
+    metric: str                      # "gflops" | "percent_peak"
+    points: list[tuple[int, float]] = field(default_factory=list)
+
+    def value_at(self, size: int) -> float:
+        """Value at one size (KeyError if the sweep skipped it)."""
+        for s, v in self.points:
+            if s == size:
+                return v
+        raise KeyError(f"size {size} not in series {self.label}")
+
+    @property
+    def sizes(self) -> list[int]:
+        """The sweep's size grid."""
+        return [s for s, _ in self.points]
+
+    @property
+    def max_value(self) -> float:
+        """Peak of the curve."""
+        return max(v for _, v in self.points)
+
+
+class BenchHarness:
+    """Times IATF and every baseline over a size grid, with caching."""
+
+    def __init__(self, machine: MachineConfig = KUNPENG_920,
+                 batch: int = PAPER_BATCH,
+                 sizes: tuple[int, ...] = PAPER_SIZES) -> None:
+        self.machine = machine
+        self.batch = batch
+        self.sizes = tuple(sizes)
+        self.iatf = IATF(machine)
+        self.openblas = OpenBlasLoop(machine)
+        self.armpl = ArmplBatch(machine)
+        self.libxsmm = LibxsmmBatch(machine)
+        self.mkl = MklCompact(XEON_GOLD_6240)
+        self._cache: dict[tuple, float] = {}
+
+    # -- point measurement ----------------------------------------------
+
+    def _cached(self, key: tuple, fn) -> float:
+        val = self._cache.get(key)
+        if val is None:
+            val = fn()
+            self._cache[key] = val
+        return val
+
+    def gemm_gflops(self, lib: str, size: int, dtype: str,
+                    mode: str = "NN") -> float:
+        """One cached GEMM measurement (simulated GFLOPS)."""
+        prob = GemmProblem(size, size, size, dtype, mode[0], mode[1],
+                           self.batch)
+        key = ("gemm", lib, size, dtype, mode, self.batch)
+
+        def run() -> float:
+            if lib == "IATF":
+                return self.iatf.time_gemm(prob).gflops
+            if lib == "OpenBLAS (loop)":
+                return self.openblas.gemm.time(prob).gflops
+            if lib == "ARMPL (batch)":
+                return self.armpl.gemm.time(prob).gflops
+            if lib == "LIBXSMM (batch)":
+                return self.libxsmm.gemm.time(prob).gflops
+            if lib == "MKL compact":
+                return self.mkl.time_gemm(
+                    prob.with_batch(self.batch)).gflops
+            raise KeyError(lib)
+        return self._cached(key, run)
+
+    def trsm_gflops(self, lib: str, size: int, dtype: str,
+                    mode: str = "LNLN") -> float:
+        """One cached TRSM measurement (simulated GFLOPS)."""
+        side, trans, uplo, diag = mode
+        prob = TrsmProblem(size, size, dtype, side, uplo, trans, diag,
+                           self.batch)
+        key = ("trsm", lib, size, dtype, mode, self.batch)
+
+        def run() -> float:
+            if lib == "IATF":
+                return self.iatf.time_trsm(prob).gflops
+            if lib == "OpenBLAS (loop)":
+                return self.openblas.trsm.time(prob).gflops
+            if lib == "ARMPL (loop)":
+                return self.armpl.trsm.time(prob).gflops
+            if lib == "MKL compact":
+                return self.mkl.time_trsm(prob).gflops
+            raise KeyError(lib)
+        return self._cached(key, run)
+
+    # -- sweeps -----------------------------------------------------------
+
+    def gemm_series(self, dtype: str, mode: str = "NN",
+                    libs: tuple[str, ...] | None = None) -> dict[str, Series]:
+        """GEMM curves for one dtype/mode across the library set."""
+        dt = BlasDType.from_any(dtype)
+        if libs is None:
+            libs = GEMM_LIBS if not dt.is_complex else tuple(
+                l for l in GEMM_LIBS if l != "LIBXSMM (batch)")
+        out: dict[str, Series] = {}
+        for lib in libs:
+            s = Series(lib, dt.value, "gflops")
+            for size in self.sizes:
+                s.points.append((size, self.gemm_gflops(lib, size, dt.value,
+                                                        mode)))
+            out[lib] = s
+        return out
+
+    def trsm_series(self, dtype: str, mode: str = "LNLN",
+                    libs: tuple[str, ...] = TRSM_LIBS) -> dict[str, Series]:
+        """TRSM curves for one dtype/mode across the library set."""
+        dt = BlasDType.from_any(dtype)
+        out: dict[str, Series] = {}
+        for lib in libs:
+            s = Series(lib, dt.value, "gflops")
+            for size in self.sizes:
+                s.points.append((size, self.trsm_gflops(lib, size, dt.value,
+                                                        mode)))
+            out[lib] = s
+        return out
+
+    # -- percent-of-peak comparisons (Figures 11-12) -----------------------
+
+    def gemm_percent_peak(self, dtype: str) -> dict[str, Series]:
+        """Figure 11 series: IATF vs MKL compact, % of each machine's peak."""
+        dt = BlasDType.from_any(dtype)
+        iatf_peak = self.machine.peak_gflops(dt)
+        mkl_peak = self.mkl.machine.peak_gflops(dt)
+        out = {
+            "IATF (Kunpeng 920)": Series("IATF (Kunpeng 920)", dt.value,
+                                         "percent_peak"),
+            "MKL compact (Xeon 6240)": Series("MKL compact (Xeon 6240)",
+                                              dt.value, "percent_peak"),
+        }
+        for size in self.sizes:
+            g = self.gemm_gflops("IATF", size, dt.value)
+            out["IATF (Kunpeng 920)"].points.append(
+                (size, 100.0 * g / iatf_peak))
+            g = self.gemm_gflops("MKL compact", size, dt.value)
+            out["MKL compact (Xeon 6240)"].points.append(
+                (size, 100.0 * g / mkl_peak))
+        return out
+
+    def trsm_percent_peak(self, dtype: str) -> dict[str, Series]:
+        """Figure 12 series: IATF vs MKL compact, % of each machine's peak."""
+        dt = BlasDType.from_any(dtype)
+        iatf_peak = self.machine.peak_gflops(dt)
+        mkl_peak = self.mkl.machine.peak_gflops(dt)
+        out = {
+            "IATF (Kunpeng 920)": Series("IATF (Kunpeng 920)", dt.value,
+                                         "percent_peak"),
+            "MKL compact (Xeon 6240)": Series("MKL compact (Xeon 6240)",
+                                              dt.value, "percent_peak"),
+        }
+        for size in self.sizes:
+            g = self.trsm_gflops("IATF", size, dt.value)
+            out["IATF (Kunpeng 920)"].points.append(
+                (size, 100.0 * g / iatf_peak))
+            g = self.trsm_gflops("MKL compact", size, dt.value)
+            out["MKL compact (Xeon 6240)"].points.append(
+                (size, 100.0 * g / mkl_peak))
+        return out
+
+    # -- speedup summaries -------------------------------------------------
+
+    def max_speedup(self, series: dict[str, Series], over: str,
+                    of: str = "IATF") -> tuple[float, int]:
+        """(max ratio, size where it happens) of one curve over another."""
+        best, best_size = 0.0, 0
+        for (s1, v1), (s2, v2) in zip(series[of].points,
+                                      series[over].points):
+            assert s1 == s2
+            if v2 > 0 and v1 / v2 > best:
+                best, best_size = v1 / v2, s1
+        return best, best_size

@@ -1,0 +1,23 @@
+"""Install-time stage: kernel templates, generation, and optimization.
+
+Mirrors the paper's Section 4: a computing-kernel designer instantiates
+the six GEMM templates (Algorithm 2) and the TRSM triangular/rectangular
+templates (Algorithm 4 / Eq. 4) for every kernel size in Table 1, a CMAR
+analysis picks main kernel sizes (Eqs. 2-3), and a kernel optimizer
+re-schedules instruction placement (Figure 5).
+"""
+
+from .cmar import (cmar_real, cmar_complex, optimal_gemm_kernel,
+                   max_triangular_order)
+from .tiling import decompose_dim, tile_starts
+from .generator_gemm import generate_gemm_kernel
+from .generator_trsm import generate_trsm_triangular, generate_trsm_rect
+from .optimizer import schedule_program
+from .registry import KernelRegistry, table1_inventory
+
+__all__ = [
+    "cmar_real", "cmar_complex", "optimal_gemm_kernel", "max_triangular_order",
+    "decompose_dim", "tile_starts",
+    "generate_gemm_kernel", "generate_trsm_triangular", "generate_trsm_rect",
+    "schedule_program", "KernelRegistry", "table1_inventory",
+]

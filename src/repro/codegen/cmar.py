@@ -1,0 +1,85 @@
+"""Compute-to-memory-access-ratio analysis (paper Eqs. 2 and 3).
+
+The optimal kernel size maximizes CMAR subject to the vector-register
+budget, with registers reserved for the ping-pong double-buffering:
+
+* real types:    ``2*mc`` regs for A, ``2*nc`` for B, ``mc*nc`` for C,
+  budget ``2mc + 2nc + mc*nc <= 32``;  CMAR = ``mc*nc / (mc + nc)``.
+* complex types: ``4*mc`` for A, ``4*nc`` for B, ``2*mc*nc`` for C,
+  budget ``4mc + 4nc + 2mc*nc <= 32``; CMAR = ``4*mc*nc / (2*(mc+nc))``.
+
+The paper's results — 4x4 for SGEMM/DGEMM, 3x2 (or 2x3) for CGEMM/ZGEMM —
+fall out of the brute-force search below; tests assert both the closed
+forms and the search agree.
+"""
+
+from __future__ import annotations
+
+from ..types import BlasDType
+
+__all__ = ["cmar_real", "cmar_complex", "register_cost", "fits_registers",
+           "optimal_gemm_kernel", "max_triangular_order"]
+
+
+def cmar_real(mc: int, nc: int) -> float:
+    """Eq. 2: average compute-to-memory-access ratio of a real kernel."""
+    return (mc * nc) / (mc + nc)
+
+
+def cmar_complex(mc: int, nc: int) -> float:
+    """Eq. 3: CMAR of a complex kernel (4 real FP ops per complex FMA,
+    2 vector loads per complex element)."""
+    return (4 * mc * nc) / (2 * (mc + nc))
+
+
+def register_cost(mc: int, nc: int, dtype: "BlasDType | str") -> int:
+    """Vector registers a ping-ponged GEMM kernel of this size needs."""
+    dt = BlasDType.from_any(dtype)
+    if dt.is_complex:
+        return 4 * mc + 4 * nc + 2 * mc * nc
+    return 2 * mc + 2 * nc + mc * nc
+
+
+def fits_registers(mc: int, nc: int, dtype: "BlasDType | str",
+                   num_vregs: int = 32) -> bool:
+    """Whether a ping-ponged kernel of this size fits the register file."""
+    return register_cost(mc, nc, dtype) <= num_vregs
+
+
+def optimal_gemm_kernel(dtype: "BlasDType | str",
+                        num_vregs: int = 32) -> tuple[int, int]:
+    """Brute-force the CMAR-optimal kernel size under the register budget.
+
+    Ties break toward larger ``mc`` (the paper picks 3x2 over 2x3: a
+    taller kernel keeps the store pattern column-contiguous).
+    """
+    dt = BlasDType.from_any(dtype)
+    metric = cmar_complex if dt.is_complex else cmar_real
+    best: tuple[float, int, int] | None = None
+    for mc in range(1, num_vregs + 1):
+        for nc in range(1, num_vregs + 1):
+            if not fits_registers(mc, nc, dt, num_vregs):
+                continue
+            key = (metric(mc, nc), mc, nc)
+            if best is None or key > best:
+                best = key
+    assert best is not None
+    return best[1], best[2]
+
+
+def max_triangular_order(dtype: "BlasDType | str",
+                         num_vregs: int = 32) -> int:
+    """Largest TRSM order whose whole A triangle fits in registers.
+
+    Real case (paper Section 4.2.2): A needs ``M(M+1)/2`` registers and
+    the ping-ponged B columns need ``2M``, so ``2M + M(M+1)/2 <= 32``
+    gives M = 5.  Complex doubles both terms (split re/im), giving M = 3.
+    """
+    dt = BlasDType.from_any(dtype)
+    scale = 2 if dt.is_complex else 1
+    m = 0
+    while True:
+        need = scale * (2 * (m + 1) + (m + 1) * (m + 2) // 2)
+        if need > num_vregs:
+            return m
+        m += 1

@@ -1,0 +1,76 @@
+"""Compact-GEMM computing-kernel generator (paper Algorithm 3).
+
+Assembles the six templates into a fully unrolled kernel for a given
+(mc, nc, K, dtype).  The generated kernel updates one ``P x mc x nc``
+C tile from packed ``P x mc x K`` A and ``P x K x nc`` B panels:
+
+* ``x0`` (PA) walks the packed A panel (mc vectors per k-step),
+* ``x1`` (PB) walks the packed B panel (nc vectors per k-step),
+* ``x2 + j`` points at column ``j`` of the C tile in the compact C
+  buffer (column elements are contiguous there, so SAVE uses ldp/stp).
+
+The kernel embeds alpha and beta as immediates — the install-time stage
+generates kernels per problem configuration, exactly as the paper's
+framework does, and the registry caches them.
+"""
+
+from __future__ import annotations
+
+from ..errors import CodegenError
+from ..machine.machines import MachineConfig
+from ..machine.program import Program
+from ..types import BlasDType
+from .templates_gemm import (GemmRegMap, t_e, t_i, t_m, t_prologue, t_save,
+                             t_sub, t_zero_c)
+
+__all__ = ["generate_gemm_kernel"]
+
+
+def generate_gemm_kernel(mc: int, nc: int, k: int, dtype: "BlasDType | str",
+                         machine: MachineConfig, alpha: complex = 1.0,
+                         beta: complex = 1.0,
+                         prefetch_c: bool = True) -> Program:
+    """Generate the raw (pre-optimizer) kernel program.
+
+    Raises :class:`CodegenError` for sizes outside the register budget.
+    """
+    dt = BlasDType.from_any(dtype)
+    if mc < 1 or nc < 1 or k < 1:
+        raise CodegenError(f"invalid kernel size {mc}x{nc}, K={k}")
+    lanes = machine.lanes(dt)
+    ctx = GemmRegMap(mc, nc, dt, lanes, machine.num_vregs)
+
+    instrs = t_prologue(ctx) if prefetch_c else []
+    if k < 4:
+        if k == 3:
+            instrs += t_i(ctx) + t_e(ctx, bank=1) + t_sub(ctx)
+        elif k == 2:
+            instrs += t_i(ctx) + t_e(ctx, bank=1)
+        else:
+            instrs += t_zero_c(ctx) + t_sub(ctx)
+    else:
+        instrs += t_i(ctx) + t_m(ctx, 2)
+        kk = k - 2
+        while kk > 2:
+            instrs += t_m(ctx, 1) + t_m(ctx, 2)
+            kk -= 2
+        if kk == 2:
+            instrs += t_m(ctx, 1) + t_e(ctx, bank=1)
+        else:
+            # Algorithm 3 writes SUB here, but the preceding M2 already
+            # streamed the final k-step into bank 0; the correct tail is
+            # a compute-only step on that bank (see templates_gemm.t_e).
+            instrs += t_e(ctx, bank=0)
+    instrs += t_save(ctx, complex(alpha), complex(beta))
+
+    name = (f"{dt.value}gemm_{mc}x{nc}_k{k}"
+            f"_a{alpha!r}_b{beta!r}".replace(" ", ""))
+    return Program(name, instrs, ew=dt.real_itemsize, lanes=lanes, meta={
+        "routine": "gemm",
+        "mc": mc, "nc": nc, "k": k,
+        "dtype": dt.value,
+        "alpha": complex(alpha), "beta": complex(beta),
+        "a_panel_bytes": mc * k * ctx.vb * ctx.ncomp,
+        "b_panel_bytes": nc * k * ctx.vb * ctx.ncomp,
+        "madds": mc * nc * k,
+    })

@@ -1,0 +1,183 @@
+"""Compact-TRSM kernel generators.
+
+``generate_trsm_triangular`` builds the in-register solve kernel of
+Algorithm 4 for M up to the register bound (5 real / 3 complex); it
+serves both the whole-problem case (small M) and the diagonal blocks of
+the blocked decomposition (Eq. 1).
+
+``generate_trsm_rect`` builds the rectangular update kernel of Eq. 4
+(``B_d -= L_de @ X_e``) as a ping-ponged FMLS kernel whose accumulators
+are loaded from, and stored back to, the B panel in place.
+
+Pointer-register contract (set by the engine per invocation):
+
+=============== ====================================================
+triangular      PA = packed reciprocal triangle; PB = B panel base;
+                PX (= x6) = same base, used for the in-place stores
+rectangular     PA = packed L block (streamed, GEMM-A panel layout);
+                PB = solved X_e panel base (offset-addressed, strided
+                by ``x_col_stride``); PC(j) = B_d tile column j
+=============== ====================================================
+"""
+
+from __future__ import annotations
+
+from ..errors import CodegenError
+from ..machine.isa import Instr, fmla, fmls, ldpv, ldrv
+from ..machine.machines import MachineConfig
+from ..machine.program import Program
+from ..types import BlasDType
+from . import regs
+from .cmar import max_triangular_order
+from .templates_gemm import GemmRegMap, _load_run, _store_run, _stream_loads
+from .templates_trsm import (TrsmTriRegMap, tri_load_a, tri_load_b_column,
+                             tri_solve_column, tri_store_x_column)
+
+__all__ = ["generate_trsm_triangular", "generate_trsm_rect"]
+
+
+def generate_trsm_triangular(m: int, n: int, dtype: "BlasDType | str",
+                             machine: MachineConfig, unit_diag: bool = False,
+                             col_stride_bytes: int | None = None) -> Program:
+    """In-register triangular solve over an ``m x n`` panel.
+
+    ``col_stride_bytes`` is the byte distance between consecutive panel
+    columns; it defaults to the packed-panel value ``m * ncomp * vb``
+    (which equals the compact-layout stride when the panel *is* the
+    whole B matrix — the no-packing fast path).
+    """
+    dt = BlasDType.from_any(dtype)
+    bound = max_triangular_order(dt, machine.num_vregs)
+    if not 1 <= m <= bound:
+        raise CodegenError(
+            f"triangular kernel order {m} outside register bound "
+            f"1..{bound} for {dt.value}")
+    if n < 1:
+        raise CodegenError(f"panel width must be >= 1, got {n}")
+    lanes = machine.lanes(dt)
+    ctx = TrsmTriRegMap(m, dt, lanes, machine.num_vregs)
+    col_stride = (col_stride_bytes if col_stride_bytes is not None
+                  else m * ctx.ncomp * ctx.vb)
+
+    instrs: list[Instr] = tri_load_a(ctx)
+    for l in range(n):
+        bank = l % 2
+        instrs += tri_load_b_column(ctx, l, bank, col_stride)
+        instrs += tri_solve_column(ctx, l, bank, unit_diag)
+        instrs += tri_store_x_column(ctx, l, bank, col_stride)
+
+    name = f"{dt.value}trsm_tri_{m}x{n}_cs{col_stride}" + ("_u" if unit_diag else "")
+    return Program(name, instrs, ew=dt.real_itemsize, lanes=lanes, meta={
+        "routine": "trsm_tri",
+        "m": m, "n": n, "dtype": dt.value,
+        "unit_diag": unit_diag,
+        "col_stride_bytes": col_stride,
+        "a_panel_bytes": ctx.ncomp * m * (m + 1) // 2 * ctx.vb,
+    })
+
+
+def _rect_x_loads(ctx: GemmRegMap, bank: int, kstep: int,
+                  x_col_stride: int, tag: str) -> list[Instr]:
+    """Load X_e row ``kstep`` across the nc panel columns (strided)."""
+    out: list[Instr] = []
+    for j in range(ctx.nc):
+        off = j * x_col_stride + kstep * ctx.ncomp * ctx.vb
+        if ctx.ncomp == 1:
+            out.append(ldrv(ctx.b_reg(bank, j), regs.PB, off, ew=ctx.ew,
+                            tag=tag))
+        else:
+            out.append(ldpv(ctx.b_reg(bank, j, 0), ctx.b_reg(bank, j, 1),
+                            regs.PB, off, ew=ctx.ew, tag=tag))
+    return out
+
+
+def _rect_compute(ctx: GemmRegMap, bank: int, tag: str) -> list[Instr]:
+    """One k-step of ``acc -= A_bank * X_bank`` (Eq. 4's FMLS form)."""
+    out: list[Instr] = []
+    ew = ctx.ew
+    for j in range(ctx.nc):
+        for i in range(ctx.mc):
+            if ctx.ncomp == 1:
+                out.append(fmls(ctx.c_reg(i, j), ctx.a_reg(bank, i),
+                                ctx.b_reg(bank, j), ew=ew, tag=tag))
+            else:
+                ar, ai = ctx.a_reg(bank, i, 0), ctx.a_reg(bank, i, 1)
+                xr, xi = ctx.b_reg(bank, j, 0), ctx.b_reg(bank, j, 1)
+                cr, ci = ctx.c_reg(i, j, 0), ctx.c_reg(i, j, 1)
+                out.append(fmls(cr, ar, xr, ew=ew, tag=tag))
+                out.append(fmla(cr, ai, xi, ew=ew, tag=tag))
+                out.append(fmls(ci, ar, xi, ew=ew, tag=tag))
+                out.append(fmls(ci, ai, xr, ew=ew, tag=tag))
+    return out
+
+
+def generate_trsm_rect(mc: int, nc: int, k: int, dtype: "BlasDType | str",
+                       machine: MachineConfig,
+                       x_col_stride_bytes: int) -> Program:
+    """Rectangular TRSM update kernel: ``B_tile -= L_block @ X_panel``.
+
+    Mirrors the GEMM generator's Algorithm-3 structure (I/M1/M2/E
+    ping-pong over the k dimension) with three differences: the
+    accumulators are preloaded from the B tile, every multiply-add is an
+    FMLS, and the store is a plain store (no alpha/beta — scaling
+    happened when B was packed).
+    """
+    dt = BlasDType.from_any(dtype)
+    if mc < 1 or nc < 1 or k < 1:
+        raise CodegenError(f"invalid rect kernel size {mc}x{nc}, k={k}")
+    lanes = machine.lanes(dt)
+    ctx = GemmRegMap(mc, nc, dt, lanes, machine.num_vregs)
+    xcs = int(x_col_stride_bytes)
+
+    instrs: list[Instr] = []
+    # preload the B_d tile into the accumulator registers
+    for j in range(ctx.nc):
+        col = [ctx.c_reg(i, j, c) for i in range(ctx.mc)
+               for c in range(ctx.ncomp)]
+        instrs += _load_run(ctx, regs.pc(j), col, "RECT_LOAD")
+
+    def a_loads(bank: int, tag: str) -> list[Instr]:
+        return _stream_loads(ctx, regs.PA, ctx.a_bank_regs(bank), tag)
+
+    if k < 4:
+        if k == 1:
+            instrs += a_loads(0, "SUB") + _rect_x_loads(ctx, 0, 0, xcs, "SUB")
+            instrs += _rect_compute(ctx, 0, "SUB")
+        else:
+            instrs += a_loads(0, "I") + a_loads(1, "I")
+            instrs += _rect_x_loads(ctx, 0, 0, xcs, "I")
+            instrs += _rect_x_loads(ctx, 1, 1, xcs, "I")
+            instrs += _rect_compute(ctx, 0, "I")
+            instrs += _rect_compute(ctx, 1, "E")
+            if k == 3:
+                instrs += a_loads(0, "SUB") + _rect_x_loads(ctx, 0, 2, xcs, "SUB")
+                instrs += _rect_compute(ctx, 0, "SUB")
+    else:
+        instrs += a_loads(0, "I") + a_loads(1, "I")
+        instrs += _rect_x_loads(ctx, 0, 0, xcs, "I")
+        instrs += _rect_x_loads(ctx, 1, 1, xcs, "I")
+        instrs += _rect_compute(ctx, 0, "I")
+        step = 2
+        while step < k:
+            bank = step % 2
+            compute_bank = 1 - bank
+            tag = "M1" if bank == 1 else "M2"
+            instrs += a_loads(bank, tag)
+            instrs += _rect_x_loads(ctx, bank, step, xcs, tag)
+            instrs += _rect_compute(ctx, compute_bank, tag)
+            step += 1
+        instrs += _rect_compute(ctx, (k - 1) % 2, "E")
+
+    for j in range(ctx.nc):
+        col = [ctx.c_reg(i, j, c) for i in range(ctx.mc)
+               for c in range(ctx.ncomp)]
+        instrs += _store_run(ctx, regs.pc(j), col, "RECT_SAVE")
+
+    name = f"{dt.value}trsm_rect_{mc}x{nc}_k{k}_xs{xcs}"
+    return Program(name, instrs, ew=dt.real_itemsize, lanes=lanes, meta={
+        "routine": "trsm_rect",
+        "mc": mc, "nc": nc, "k": k, "dtype": dt.value,
+        "x_col_stride_bytes": xcs,
+        "a_panel_bytes": mc * k * ctx.ncomp * ctx.vb,
+        "madds": mc * nc * k,
+    })

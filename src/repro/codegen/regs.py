@@ -1,0 +1,26 @@
+"""Register conventions shared by all generated kernels.
+
+Scalar (pointer) registers:
+
+========= =====================================================
+``PA``    packed A panel pointer (advanced by post-increment ADDs)
+``PB``    packed B panel pointer
+``PC(j)`` pointer to column ``j`` of the current C/B output tile
+          (the engine materializes one pointer per tile column so
+          kernels stay independent of the matrix's column stride)
+========= =====================================================
+
+TRSM kernels reuse the same slots: ``PA`` for the packed triangle /
+L block, ``PB`` for the B/X panel, and ``PC(j)`` for output columns.
+"""
+
+from __future__ import annotations
+
+PA = 0
+PB = 1
+PC_BASE = 2
+
+
+def pc(j: int) -> int:
+    """Pointer register for output-tile column ``j``."""
+    return PC_BASE + j

@@ -1,0 +1,334 @@
+"""The six compact-GEMM kernel templates (paper Algorithm 2).
+
+Register layout follows the paper exactly.  For real types::
+
+    A bank b, element i   -> V[b*mc + i]                  (2*mc regs)
+    B bank b, element j   -> V[2*mc + b*nc + j]           (2*nc regs)
+    C element (i, j)      -> V[2*(mc+nc) + j*mc + i]      (mc*nc regs)
+
+and for complex types (split re/im, ``comp`` is 0=re, 1=im)::
+
+    A bank b, elem i      -> V[2*(b*mc + i) + comp]       (4*mc regs)
+    B bank b, elem j      -> V[4*mc + 2*(b*nc + j) + comp](4*nc regs)
+    C element (i, j)      -> V[4*(mc+nc) + 2*(j*mc+i) + comp]
+
+Two banks implement the "ping-pong": while one bank feeds the FMAs of
+the current k-step, the other is being filled for the next, so a
+template never computes on registers it just loaded.
+
+The emitted instruction order is deliberately naive — all loads first,
+then all FMAs, with a pointer ``add`` after every ``ldp`` — matching the
+left column of the paper's Figure 5.  The kernel optimizer
+(:mod:`repro.codegen.optimizer`) is what turns this into the interleaved
+placement of the right column; keeping the raw order here makes the
+Figure 5 ablation measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import RegisterAllocationError
+from ..machine.isa import (Instr, addi, fmai, fmla, fmls, fmul, fmuli, ldpv,
+                           ldrv, prfm, stpv, strv, vzero)
+from ..types import BlasDType
+from . import regs
+
+__all__ = ["GemmRegMap", "t_prologue", "t_i", "t_m", "t_e", "t_sub", "t_save"]
+
+
+@dataclass
+class GemmRegMap:
+    """Kernel-size-specific register assignments and geometry."""
+
+    mc: int
+    nc: int
+    dtype: BlasDType
+    lanes: int
+    num_vregs: int = 32
+
+    def __post_init__(self) -> None:
+        self.dtype = BlasDType.from_any(self.dtype)
+        self.ew = self.dtype.real_itemsize
+        self.vb = self.lanes * self.ew            # bytes per vector register
+        self.ncomp = 2 if self.dtype.is_complex else 1
+        need = self.c_base + self.ncomp * self.mc * self.nc
+        if need > self.num_vregs:
+            raise RegisterAllocationError(
+                f"{self.mc}x{self.nc} {self.dtype.value} kernel needs {need} "
+                f"vector registers (> {self.num_vregs})")
+
+    # -- register numbering -------------------------------------------
+
+    @property
+    def b_base(self) -> int:
+        return 2 * self.ncomp * self.mc
+
+    @property
+    def c_base(self) -> int:
+        return 2 * self.ncomp * (self.mc + self.nc)
+
+    def a_reg(self, bank: int, i: int, comp: int = 0) -> int:
+        return self.ncomp * (bank * self.mc + i) + comp
+
+    def b_reg(self, bank: int, j: int, comp: int = 0) -> int:
+        return self.b_base + self.ncomp * (bank * self.nc + j) + comp
+
+    def c_reg(self, i: int, j: int, comp: int = 0) -> int:
+        return self.c_base + self.ncomp * (j * self.mc + i) + comp
+
+    def a_bank_regs(self, bank: int) -> list[int]:
+        return [self.a_reg(bank, i, c)
+                for i in range(self.mc) for c in range(self.ncomp)]
+
+    def b_bank_regs(self, bank: int) -> list[int]:
+        return [self.b_reg(bank, j, c)
+                for j in range(self.nc) for c in range(self.ncomp)]
+
+    def c_regs(self) -> list[int]:
+        return [self.c_reg(i, j, c) for j in range(self.nc)
+                for i in range(self.mc) for c in range(self.ncomp)]
+
+
+def _stream_loads(ctx: GemmRegMap, base: int, vregs: list[int],
+                  tag: str) -> list[Instr]:
+    """Sequential loads with a post-increment ``add`` after each access.
+
+    This is the paper's generated style (Figure 5 left column): ``ldp``
+    pairs walking a packed panel, odd counts finished with ``ldr``.
+    """
+    out: list[Instr] = []
+    i = 0
+    while i < len(vregs):
+        if i + 1 < len(vregs):
+            out.append(ldpv(vregs[i], vregs[i + 1], base, 0, ew=ctx.ew, tag=tag))
+            out.append(addi(base, base, 2 * ctx.vb, tag=tag))
+            i += 2
+        else:
+            out.append(ldrv(vregs[i], base, 0, ew=ctx.ew, tag=tag))
+            out.append(addi(base, base, ctx.vb, tag=tag))
+            i += 1
+    return out
+
+
+def _compute(ctx: GemmRegMap, bank: int, first: bool, tag: str) -> list[Instr]:
+    """The mc*nc (complex: 4*mc*nc) FP ops of one k-step.
+
+    ``first`` selects FMUL (fresh accumulators, TEMPLATE_I) vs FMA.
+    Emission order is column-major over C, matching Figure 5's
+    v16 = v0*v8, v17 = v1*v8, ... sequence.
+    """
+    out: list[Instr] = []
+    ew = ctx.ew
+    for j in range(ctx.nc):
+        for i in range(ctx.mc):
+            if ctx.ncomp == 1:
+                a, b, c = ctx.a_reg(bank, i), ctx.b_reg(bank, j), ctx.c_reg(i, j)
+                out.append((fmul if first else fmla)(c, a, b, ew=ew, tag=tag))
+            else:
+                ar, ai = ctx.a_reg(bank, i, 0), ctx.a_reg(bank, i, 1)
+                br, bi = ctx.b_reg(bank, j, 0), ctx.b_reg(bank, j, 1)
+                cr, ci = ctx.c_reg(i, j, 0), ctx.c_reg(i, j, 1)
+                if first:
+                    out.append(fmul(cr, ar, br, ew=ew, tag=tag))
+                    out.append(fmul(ci, ar, bi, ew=ew, tag=tag))
+                else:
+                    out.append(fmla(cr, ar, br, ew=ew, tag=tag))
+                    out.append(fmla(ci, ar, bi, ew=ew, tag=tag))
+                out.append(fmls(cr, ai, bi, ew=ew, tag=tag))
+                out.append(fmla(ci, ai, br, ew=ew, tag=tag))
+    return out
+
+
+def t_prologue(ctx: GemmRegMap) -> list[Instr]:
+    """Prefetch the C tile columns (paper Section 4.3: A and B are in L1
+    after packing; C still lives further out, so PRFM it up front)."""
+    return [prfm(regs.pc(j), 0, tag="PROLOGUE") for j in range(ctx.nc)]
+
+
+def t_i(ctx: GemmRegMap) -> list[Instr]:
+    """TEMPLATE_I: kernel entry.  Loads both banks of A and B (its own
+    k-step plus M2's), computes the first k-step with FMUL."""
+    out = _stream_loads(ctx, regs.PA,
+                        ctx.a_bank_regs(0) + ctx.a_bank_regs(1), "I")
+    out += _stream_loads(ctx, regs.PB,
+                         ctx.b_bank_regs(0) + ctx.b_bank_regs(1), "I")
+    out += _compute(ctx, bank=0, first=True, tag="I")
+    return out
+
+
+def t_m(ctx: GemmRegMap, which: int) -> list[Instr]:
+    """TEMPLATE_M1 (``which=1``) / TEMPLATE_M2 (``which=2``).
+
+    M1 computes on bank 0 while loading bank 1; M2 the reverse.
+    """
+    load_bank = 1 if which == 1 else 0
+    compute_bank = 0 if which == 1 else 1
+    tag = f"M{which}"
+    out = _stream_loads(ctx, regs.PA, ctx.a_bank_regs(load_bank), tag)
+    out += _stream_loads(ctx, regs.PB, ctx.b_bank_regs(load_bank), tag)
+    out += _compute(ctx, bank=compute_bank, first=False, tag=tag)
+    return out
+
+
+def t_e(ctx: GemmRegMap, bank: int = 1) -> list[Instr]:
+    """TEMPLATE_E: kernel exit, compute-only, on the preloaded bank.
+
+    The paper's Algorithm 3 writes the odd-K tail as SUB, but the
+    preceding M2 has already streamed the final k-step into bank 0, so
+    the semantically correct tail is E on bank 0; we emit that and keep
+    SUB (load + compute) for the K < 4 entry paths where nothing was
+    preloaded.
+    """
+    return _compute(ctx, bank=bank, first=False, tag="E")
+
+
+def t_sub(ctx: GemmRegMap) -> list[Instr]:
+    """TEMPLATE_SUB: single-k-step load + FMA, no ping-pong."""
+    out = _stream_loads(ctx, regs.PA, ctx.a_bank_regs(0), "SUB")
+    out += _stream_loads(ctx, regs.PB, ctx.b_bank_regs(0), "SUB")
+    out += _compute(ctx, bank=0, first=False, tag="SUB")
+    return out
+
+
+def t_zero_c(ctx: GemmRegMap) -> list[Instr]:
+    """Zero the C accumulators (K == 1 entry path of Algorithm 3)."""
+    return [vzero(r, ew=ctx.ew, tag="ZERO") for r in ctx.c_regs()]
+
+
+# ---------------------------------------------------------------------------
+# TEMPLATE_SAVE
+# ---------------------------------------------------------------------------
+
+def _save_column_real(ctx: GemmRegMap, j: int, alpha: float,
+                      beta: float) -> list[Instr]:
+    out: list[Instr] = []
+    ew, vb, mc = ctx.ew, ctx.vb, ctx.mc
+    base = regs.pc(j)
+    acc = [ctx.c_reg(i, j) for i in range(mc)]
+    if beta == 0.0 and alpha == 1.0:
+        return _store_run(ctx, base, acc, "SAVE")
+    scratch = [(j % 2) * mc + i for i in range(mc)]   # an A-region bank
+    if beta == 0.0:
+        for s, c in zip(scratch, acc):
+            out.append(fmuli(s, c, alpha, ew=ew, tag="SAVE"))
+        out += _store_run(ctx, base, scratch, "SAVE")
+        return out
+    out += _load_run(ctx, base, scratch, "SAVE")
+    if beta != 1.0:
+        for s in scratch:
+            out.append(fmuli(s, s, beta, ew=ew, tag="SAVE"))
+    for s, c in zip(scratch, acc):
+        out.append(fmai(s, c, alpha, ew=ew, tag="SAVE"))
+    out += _store_run(ctx, base, scratch, "SAVE")
+    return out
+
+
+def _save_column_complex(ctx: GemmRegMap, j: int, alpha: complex,
+                         beta: complex) -> list[Instr]:
+    out: list[Instr] = []
+    ew, mc = ctx.ew, ctx.mc
+    base = regs.pc(j)
+    ar, ai = alpha.real, alpha.imag
+    br, bi = beta.real, beta.imag
+
+    def acc(i: int) -> tuple[int, int]:
+        return ctx.c_reg(i, j, 0), ctx.c_reg(i, j, 1)
+
+    if beta == 0 and alpha == 1:
+        pairs = [r for i in range(mc) for r in acc(i)]
+        return _store_run(ctx, base, pairs, "SAVE")
+
+    if beta == 0:
+        # T = alpha * acc; scratch from the A region, rotated per column
+        bank = (j % 2) * 2 * mc
+        for i in range(mc):
+            xr, xi = acc(i)
+            tr, ti = bank + 2 * i, bank + 2 * i + 1
+            out.append(fmuli(tr, xr, ar, ew=ew, tag="SAVE"))
+            out.append(fmuli(ti, xi, ar, ew=ew, tag="SAVE"))
+            if ai:
+                out.append(fmai(tr, xi, -ai, ew=ew, tag="SAVE"))
+                out.append(fmai(ti, xr, ai, ew=ew, tag="SAVE"))
+            out.append(stpv(tr, ti, base, 2 * i * ctx.vb, ew=ew, tag="SAVE"))
+        return out
+
+    if beta == 1:
+        # S = origC; S += alpha*acc in place
+        bank = (j % 2) * 2 * mc
+        scratch = [bank + t for t in range(2 * mc)]
+        out += _load_run(ctx, base, scratch, "SAVE")
+        for i in range(mc):
+            xr, xi = acc(i)
+            sr, si = scratch[2 * i], scratch[2 * i + 1]
+            out.append(fmai(sr, xr, ar, ew=ew, tag="SAVE"))
+            out.append(fmai(si, xi, ar, ew=ew, tag="SAVE"))
+            if ai:
+                out.append(fmai(sr, xi, -ai, ew=ew, tag="SAVE"))
+                out.append(fmai(si, xr, ai, ew=ew, tag="SAVE"))
+        out += _store_run(ctx, base, scratch, "SAVE")
+        return out
+
+    # general complex beta: serialized through four fixed scratch regs
+    sr_, si_, tr_, ti_ = 0, 1, 2, 3
+    for i in range(mc):
+        xr, xi = acc(i)
+        out.append(ldpv(sr_, si_, base, 2 * i * ctx.vb, ew=ew, tag="SAVE"))
+        out.append(fmuli(tr_, sr_, br, ew=ew, tag="SAVE"))
+        out.append(fmuli(ti_, si_, br, ew=ew, tag="SAVE"))
+        if bi:
+            out.append(fmai(tr_, si_, -bi, ew=ew, tag="SAVE"))
+            out.append(fmai(ti_, sr_, bi, ew=ew, tag="SAVE"))
+        out.append(fmai(tr_, xr, ar, ew=ew, tag="SAVE"))
+        out.append(fmai(ti_, xi, ar, ew=ew, tag="SAVE"))
+        if ai:
+            out.append(fmai(tr_, xi, -ai, ew=ew, tag="SAVE"))
+            out.append(fmai(ti_, xr, ai, ew=ew, tag="SAVE"))
+        out.append(stpv(tr_, ti_, base, 2 * i * ctx.vb, ew=ew, tag="SAVE"))
+    return out
+
+
+def _load_run(ctx: GemmRegMap, base: int, vregs: list[int],
+              tag: str) -> list[Instr]:
+    """Offset-addressed loads of a contiguous run (no pointer bumps)."""
+    out, i = [], 0
+    while i < len(vregs):
+        if i + 1 < len(vregs):
+            out.append(ldpv(vregs[i], vregs[i + 1], base, i * ctx.vb,
+                            ew=ctx.ew, tag=tag))
+            i += 2
+        else:
+            out.append(ldrv(vregs[i], base, i * ctx.vb, ew=ctx.ew, tag=tag))
+            i += 1
+    return out
+
+
+def _store_run(ctx: GemmRegMap, base: int, vregs: list[int],
+               tag: str) -> list[Instr]:
+    out, i = [], 0
+    while i < len(vregs):
+        if i + 1 < len(vregs):
+            out.append(stpv(vregs[i], vregs[i + 1], base, i * ctx.vb,
+                            ew=ctx.ew, tag=tag))
+            i += 2
+        else:
+            out.append(strv(vregs[i], base, i * ctx.vb, ew=ctx.ew, tag=tag))
+            i += 1
+    return out
+
+
+def t_save(ctx: GemmRegMap, alpha: complex, beta: complex) -> list[Instr]:
+    """TEMPLATE_SAVE: ``originC = beta*originC + alpha*acc``, per column.
+
+    Columns are processed in chunks through the (now free) A-region
+    scratch registers — the whole-tile load of Algorithm 2 line 22 only
+    fits registers at 4x4, so the generated kernels chunk by column,
+    which is also what lets consecutive columns overlap after scheduling.
+    """
+    out: list[Instr] = []
+    for j in range(ctx.nc):
+        if ctx.ncomp == 1:
+            out += _save_column_real(ctx, j, float(alpha.real), float(beta.real))
+        else:
+            out += _save_column_complex(ctx, j, complex(alpha), complex(beta))
+    return out

@@ -1,0 +1,181 @@
+"""Compact-TRSM kernel templates (paper Algorithm 4 and Eq. 4).
+
+Two kernel families, both operating on the *canonical* orientation
+(left side, lower triangle, no transpose) — the packing stage maps all
+sixteen LLT/RUT/... mode combinations onto this orientation by
+gathering/flipping operands, so one kernel family serves every mode,
+exactly as the paper's pack selector arranges.
+
+Triangular kernel (``generate_trsm_triangular`` builds on these):
+    The whole M x M triangle of A sits in registers (reciprocal
+    diagonal, so the kernel is division-free), and the B panel is
+    processed column by column with ping-ponged register banks:
+
+        real:     B bank b, elem i -> V[b*M + i]            (2M regs)
+                  A elem (i,j)     -> V[2M + i(i+1)/2 + j]  (M(M+1)/2)
+        complex:  B bank b, elem i -> V[2(b*M+i) + comp]    (4M regs)
+                  A elem (i,j)     -> V[4M + 2 tri + comp]  (M(M+1))
+                  one temp for the complex diagonal multiply
+
+    The register budget bounds M at 5 (real) / 3 (complex) — the
+    paper's Section 4.2.2 derivation, verified in tests against
+    :func:`repro.codegen.cmar.max_triangular_order`.
+
+Rectangular kernel:
+    ``B_d -= L_de @ X_e`` over an (mc x nc) tile of B with k-depth equal
+    to the source block size.  Structurally a GEMM kernel whose
+    accumulators are *loaded from B* and whose multiply-adds are FMLS —
+    the paper's Eq. 4 trick that saves the M*N explicit subtraction a
+    plain GEMM call would need.  Registers follow
+    :class:`~repro.codegen.templates_gemm.GemmRegMap`.
+"""
+
+from __future__ import annotations
+
+from ..errors import RegisterAllocationError
+from ..machine.isa import (Instr, fmla, fmls, fmul, ldpv, ldrv, stpv, strv,
+                           vmov)
+from ..types import BlasDType
+from . import regs
+
+__all__ = ["TrsmTriRegMap", "tri_load_a", "tri_solve_column",
+           "tri_load_b_column", "tri_store_x_column", "PX"]
+
+PX = 6  # store pointer of the triangular kernel (same value as PB; kept
+        # separate so the scheduler may overlap next-column loads with
+        # the previous column's store)
+
+
+def tri_index(i: int, j: int) -> int:
+    """Row-major index into the packed lower triangle (j <= i)."""
+    return i * (i + 1) // 2 + j
+
+
+class TrsmTriRegMap:
+    """Register numbering and geometry of the triangular kernel."""
+
+    def __init__(self, m: int, dtype: BlasDType, lanes: int,
+                 num_vregs: int = 32) -> None:
+        self.m = m
+        self.dtype = BlasDType.from_any(dtype)
+        self.lanes = lanes
+        self.ew = self.dtype.real_itemsize
+        self.vb = lanes * self.ew
+        self.ncomp = 2 if self.dtype.is_complex else 1
+        need = (2 * self.ncomp * m                      # two B banks
+                + self.ncomp * m * (m + 1) // 2        # the A triangle
+                + (1 if self.ncomp == 2 else 0))       # complex-diag temp
+        if need > num_vregs:
+            raise RegisterAllocationError(
+                f"TRSM triangular kernel M={m} {self.dtype.value} needs "
+                f"{need} vector registers (> {num_vregs})")
+
+    @property
+    def a_base(self) -> int:
+        return 2 * self.ncomp * self.m
+
+    def b_reg(self, bank: int, i: int, comp: int = 0) -> int:
+        return self.ncomp * (bank * self.m + i) + comp
+
+    def a_reg(self, i: int, j: int, comp: int = 0) -> int:
+        return self.a_base + self.ncomp * tri_index(i, j) + comp
+
+    @property
+    def temp_reg(self) -> int:
+        """Scratch register for the complex diagonal multiply."""
+        return self.a_base + self.ncomp * self.m * (self.m + 1) // 2
+
+
+def tri_load_a(ctx: TrsmTriRegMap) -> list[Instr]:
+    """Load the whole packed triangle into registers (offset-addressed)."""
+    out: list[Instr] = []
+    nvec = ctx.ncomp * ctx.m * (ctx.m + 1) // 2
+    t = 0
+    while t < nvec:
+        if t + 1 < nvec:
+            out.append(ldpv(ctx.a_base + t, ctx.a_base + t + 1, regs.PA,
+                            t * ctx.vb, ew=ctx.ew, tag="TRI_A"))
+            t += 2
+        else:
+            out.append(ldrv(ctx.a_base + t, regs.PA, t * ctx.vb,
+                            ew=ctx.ew, tag="TRI_A"))
+            t += 1
+    return out
+
+
+def tri_load_b_column(ctx: TrsmTriRegMap, l: int, bank: int,
+                      col_stride: int) -> list[Instr]:
+    """Load B column ``l`` into bank ``bank`` (contiguous down the column)."""
+    out: list[Instr] = []
+    base_off = l * col_stride
+    nvec = ctx.ncomp * ctx.m
+    first = ctx.b_reg(bank, 0)
+    t = 0
+    while t < nvec:
+        if t + 1 < nvec:
+            out.append(ldpv(first + t, first + t + 1, regs.PB,
+                            base_off + t * ctx.vb, ew=ctx.ew, tag=f"TRI_B{l}"))
+            t += 2
+        else:
+            out.append(ldrv(first + t, regs.PB, base_off + t * ctx.vb,
+                            ew=ctx.ew, tag=f"TRI_B{l}"))
+            t += 1
+    return out
+
+
+def tri_store_x_column(ctx: TrsmTriRegMap, l: int, bank: int,
+                       col_stride: int) -> list[Instr]:
+    """Store the solved column back (in place, via the PX alias pointer)."""
+    out: list[Instr] = []
+    base_off = l * col_stride
+    nvec = ctx.ncomp * ctx.m
+    first = ctx.b_reg(bank, 0)
+    t = 0
+    while t < nvec:
+        if t + 1 < nvec:
+            out.append(stpv(first + t, first + t + 1, PX,
+                            base_off + t * ctx.vb, ew=ctx.ew, tag=f"TRI_X{l}"))
+            t += 2
+        else:
+            out.append(strv(first + t, PX, base_off + t * ctx.vb,
+                            ew=ctx.ew, tag=f"TRI_X{l}"))
+            t += 1
+    return out
+
+
+def tri_solve_column(ctx: TrsmTriRegMap, l: int, bank: int,
+                     unit_diag: bool) -> list[Instr]:
+    """Forward substitution on one in-register column (Algorithm 4 lines 6-9).
+
+    The diagonal was reciprocated at pack time, so the diagonal step is a
+    multiply (complex: a full complex multiply through one temp register).
+    """
+    out: list[Instr] = []
+    ew = ctx.ew
+    tag = f"TRI_S{l}"
+    for i in range(ctx.m):
+        if ctx.ncomp == 1:
+            bi = ctx.b_reg(bank, i)
+            for j in range(i):
+                out.append(fmls(bi, ctx.b_reg(bank, j), ctx.a_reg(i, j),
+                                ew=ew, tag=tag))
+            if not unit_diag:
+                out.append(fmul(bi, bi, ctx.a_reg(i, i), ew=ew, tag=tag))
+        else:
+            br, bim = ctx.b_reg(bank, i, 0), ctx.b_reg(bank, i, 1)
+            for j in range(i):
+                xr, xi = ctx.b_reg(bank, j, 0), ctx.b_reg(bank, j, 1)
+                ar, ai = ctx.a_reg(i, j, 0), ctx.a_reg(i, j, 1)
+                out.append(fmls(br, ar, xr, ew=ew, tag=tag))
+                out.append(fmla(br, ai, xi, ew=ew, tag=tag))
+                out.append(fmls(bim, ar, xi, ew=ew, tag=tag))
+                out.append(fmls(bim, ai, xr, ew=ew, tag=tag))
+            if not unit_diag:
+                dr, di = ctx.a_reg(i, i, 0), ctx.a_reg(i, i, 1)
+                t = ctx.temp_reg
+                out.append(fmul(t, bim, dr, ew=ew, tag=tag))
+                out.append(fmla(t, br, di, ew=ew, tag=tag))      # t = Xim
+                out.append(fmul(br, br, dr, ew=ew, tag=tag))
+                out.append(fmls(br, bim, di, ew=ew, tag=tag))    # br = Xre
+                out.append(vmov(bim, t, ew=ew, tag=tag))
+    return out

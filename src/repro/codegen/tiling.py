@@ -1,0 +1,68 @@
+"""Tile decomposition: cover a dimension with generated kernel sizes.
+
+The paper's Figure 4(b) point: under the compact layout the main kernel
+is small (4x4), and edge tiles come from the full kernel family of
+Table 1, so a 15-wide dimension becomes 4+4+4+3 — no degenerate 1-wide
+strips unless the dimension itself forces them.
+
+``decompose_dim(d, main)`` returns tile sizes, largest first, using only
+sizes ``main..1`` and avoiding tiles smaller than ``main - 1`` whenever
+arithmetic allows:
+
+* main=4 (real GEMM m/n, real TRSM panel rows): sizes {4, 3}, with
+  {2, 1} only for d in {1, 2, 5}.
+* main=3 (complex GEMM m): sizes {3, 2}, with 1 only for d == 1.
+* main=2 (complex GEMM n, complex TRSM blocks): sizes {2}, 1 for odd d.
+"""
+
+from __future__ import annotations
+
+__all__ = ["decompose_dim", "tile_starts"]
+
+
+def decompose_dim(d: int, main: int) -> list[int]:
+    """Split ``d`` into kernel-supported tile sizes, biggest first."""
+    if d < 1:
+        raise ValueError(f"dimension must be >= 1, got {d}")
+    if main not in (2, 3, 4):
+        raise ValueError(f"main kernel size must be 2, 3 or 4, got {main}")
+    tiles: list[int] = []
+    rem = d
+    if main == 4:
+        while rem >= 8 or rem == 4:
+            tiles.append(4)
+            rem -= 4
+        if rem == 7:
+            tiles += [4, 3]
+        elif rem == 6:
+            tiles += [3, 3]
+        elif rem == 5:
+            tiles += [3, 2]
+        elif rem > 0:
+            tiles.append(rem)       # 3, 2 or 1
+    elif main == 3:
+        while rem >= 6 or rem == 3:
+            tiles.append(3)
+            rem -= 3
+        if rem == 5:
+            tiles += [3, 2]
+        elif rem == 4:
+            tiles += [2, 2]
+        elif rem > 0:
+            tiles.append(rem)       # 2 or 1
+    else:  # main == 2
+        tiles += [2] * (rem // 2)
+        if rem % 2:
+            tiles.append(1)
+    assert sum(tiles) == d
+    return tiles
+
+
+def tile_starts(tiles: list[int]) -> list[int]:
+    """Start offset of each tile (prefix sums)."""
+    starts = []
+    pos = 0
+    for t in tiles:
+        starts.append(pos)
+        pos += t
+    return starts

@@ -1,0 +1,74 @@
+"""Static kernel validation: catch codegen bugs before execution.
+
+Generated kernels are straight-line and self-contained, which makes
+strong static checks cheap.  The registry runs these on every kernel it
+caches, so a template bug surfaces as a loud `CodegenError` naming the
+kernel and the defect rather than as garbage numerics three layers up.
+
+Checks:
+
+* **def-before-use** — every vector register read (including FMA
+  accumulators) must have been written earlier in the program;
+* **register budget** — no register index at or above the machine's
+  file size;
+* **pointer discipline** — memory ops only through pointer registers
+  the engine initializes (PA, PB, the PC(j) family, and the TRSM store
+  alias PX), and ADDI only rewrites a register it read;
+* **dead stores of uninitialized data** never occur (implied by
+  def-before-use on store sources);
+* **immediate sanity** — FMAI/FMULI immediates are finite.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import CodegenError
+from ..machine.isa import Op, OpClass
+from ..machine.machines import MachineConfig
+from ..machine.program import Program
+from . import regs
+from .templates_trsm import PX
+
+__all__ = ["validate_kernel", "KNOWN_POINTERS"]
+
+KNOWN_POINTERS = frozenset(
+    {regs.PA, regs.PB, PX} | {regs.pc(j) for j in range(8)})
+
+
+def validate_kernel(program: Program, machine: MachineConfig) -> list[str]:
+    """Return a list of defect descriptions (empty = kernel is valid)."""
+    issues: list[str] = []
+    written: set[int] = set()
+    xinit: set[int] = set(KNOWN_POINTERS)
+    for pc, ins in enumerate(program.instrs):
+        where = f"@{pc} ({ins.asm()})"
+        for r in ins.dst + ins.srcs:
+            if r >= machine.num_vregs:
+                issues.append(f"{where}: v{r} exceeds the machine's "
+                              f"{machine.num_vregs}-register file")
+        for r in ins.reads:
+            if r not in written:
+                issues.append(f"{where}: v{r} read before any write")
+        if ins.base is not None and ins.base not in xinit:
+            issues.append(f"{where}: memory access through unknown "
+                          f"pointer x{ins.base}")
+        if ins.op is Op.ADDI:
+            if ins.xsrc not in xinit:
+                issues.append(f"{where}: ADDI reads unknown x{ins.xsrc}")
+            else:
+                xinit.add(ins.xdst)
+        if ins.op in (Op.FMAI, Op.FMULI) and not math.isfinite(ins.imm):
+            issues.append(f"{where}: non-finite immediate {ins.imm}")
+        written.update(ins.writes)
+    return issues
+
+
+def assert_valid(program: Program, machine: MachineConfig) -> Program:
+    """Raise :class:`CodegenError` on the first validation failure."""
+    issues = validate_kernel(program, machine)
+    if issues:
+        raise CodegenError(
+            f"kernel {program.name} failed validation:\n  "
+            + "\n  ".join(issues[:10]))
+    return program

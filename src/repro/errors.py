@@ -1,0 +1,44 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the public API derives from :class:`ReproError`, so
+downstream users can catch one type.  Subsystems raise the more specific
+subclasses below; internal invariant violations use plain ``AssertionError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidProblemError(ReproError, ValueError):
+    """A BLAS problem descriptor is malformed (bad sizes, dtype, flags)."""
+
+
+class LayoutError(ReproError, ValueError):
+    """A compact-layout buffer does not match the expected shape/padding."""
+
+
+class CodegenError(ReproError):
+    """Kernel generation failed (unsupported size, register overflow...)."""
+
+
+class RegisterAllocationError(CodegenError):
+    """A kernel template requires more vector registers than the machine has."""
+
+
+class MachineError(ReproError):
+    """The simulated machine was misused (bad register, unmapped address...)."""
+
+
+class ExecutionError(MachineError):
+    """Functional execution of a program failed."""
+
+
+class PlanError(ReproError):
+    """The run-time stage could not build an execution plan."""
+
+
+class UnsupportedModeError(PlanError, NotImplementedError):
+    """The requested mode combination has no kernel in the registry."""

@@ -1,0 +1,17 @@
+"""Extension routines beyond the paper's GEMM/TRSM (its stated future
+work: "the kernel design and optimization of other BLAS functions under
+the SIMD-friendly data layout").
+
+* :mod:`repro.extensions.trmm` — compact batched TRMM built from the
+  Table 1 GEMM kernel family with variable-K row panels.
+* :mod:`repro.extensions.getrf` — compact batched unpivoted LU: an
+  in-register factorization kernel for small orders plus a blocked
+  right-looking algorithm whose building blocks are the framework's own
+  compact TRSM and GEMM — a complete batched linear solver.
+"""
+
+from .getrf import CompactGetrf, generate_lu_kernel, max_lu_order
+from .trmm import CompactTrmm
+
+__all__ = ["CompactTrmm", "CompactGetrf", "generate_lu_kernel",
+           "max_lu_order"]

@@ -1,0 +1,31 @@
+"""Padding helpers shared by the layout and packing subsystems."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["padded_count", "pad_to_multiple"]
+
+
+def padded_count(count: int, multiple: int) -> int:
+    """Smallest multiple of ``multiple`` that is >= ``count``."""
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if multiple < 1:
+        raise ValueError(f"multiple must be >= 1, got {multiple}")
+    return -(-count // multiple) * multiple
+
+
+def pad_to_multiple(array: np.ndarray, axis: int, multiple: int,
+                    value: float = 0.0) -> np.ndarray:
+    """Zero-pad ``array`` along ``axis`` up to a multiple of ``multiple``.
+
+    Returns the input unchanged (no copy) when already aligned.
+    """
+    size = array.shape[axis]
+    target = padded_count(size, multiple)
+    if target == size:
+        return array
+    pad_width = [(0, 0)] * array.ndim
+    pad_width[axis] = (0, target - size)
+    return np.pad(array, pad_width, constant_values=value)

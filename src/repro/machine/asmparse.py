@@ -1,0 +1,124 @@
+"""Assembly text parser: the inverse of :meth:`Instr.asm`.
+
+Lets kernels be written, inspected, and round-tripped as text — useful
+for tooling, for regression-pinning generated code in tests, and for
+hand-writing small programs in examples:
+
+    prog = parse_program('''
+        ldp   q0, q1, [x0, #0]
+        fmul  v2.2d, v0.2d, v1.2d
+        str   q2, [x1, #0]
+    ''', name="handwritten", lanes=2)
+
+The grammar is exactly what the disassembler emits (one instruction per
+line, ``//`` comments, blank lines ignored); ``parse_instr`` raises
+:class:`MachineError` with the offending line on any mismatch.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import MachineError
+from .isa import (Instr, Op, addi, fadd, fdiv, fmai, fmla, fmls, fmul,
+                  fmuli, fsub, ld1r, ld2v, ldpv, ldrv, nop, prfm, st2v,
+                  stpv, strv, vmov, vzero)
+from .program import Program
+
+__all__ = ["parse_instr", "parse_program"]
+
+_EW = {"4s": 4, "2d": 8, "2s": 4, "1d": 8, "8h": 4, "16b": 8}
+
+_MEM = r"\[x(?P<base>\d+), #(?P<off>-?\d+)\]"
+_V = r"v(?P<{}>\d+)\.(?P<{}ew>[0-9]+[sd])"
+
+_PATTERNS: list[tuple[re.Pattern, str]] = [
+    (re.compile(rf"ldrv\s+v(?P<d>\d+)\.(?P<ew>\d[sd]), {_MEM}$"), "ldrv"),
+    (re.compile(rf"ld1r\s+v(?P<d>\d+)\.(?P<ew>\d[sd]), {_MEM}$"), "ld1r"),
+    (re.compile(rf"ldp\s+q(?P<d1>\d+), q(?P<d2>\d+), {_MEM}$"), "ldp"),
+    (re.compile(rf"ld2\s+\{{v(?P<d1>\d+)\.(?P<ew>\d[sd]), "
+                rf"v(?P<d2>\d+)\.\d[sd]\}}, {_MEM}$"), "ld2"),
+    (re.compile(rf"st2\s+\{{v(?P<s1>\d+)\.(?P<ew>\d[sd]), "
+                rf"v(?P<s2>\d+)\.\d[sd]\}}, {_MEM}$"), "st2"),
+    (re.compile(rf"str\s+q(?P<s>\d+), {_MEM}$"), "str"),
+    (re.compile(rf"stp\s+q(?P<s1>\d+), q(?P<s2>\d+), {_MEM}$"), "stp"),
+    (re.compile(r"add\s+x(?P<xd>\d+), x(?P<xs>\d+), #(?P<imm>-?\d+)$"),
+     "add"),
+    (re.compile(r"(?P<op>fmla|fmls|fmul|fadd|fsub|fdiv)\s+"
+                r"v(?P<d>\d+)\.(?P<ew>\d[sd]), "
+                r"v(?P<a>\d+)\.\d[sd], v(?P<b>\d+)\.\d[sd]$"), "fp3"),
+    (re.compile(r"(?P<op>fmai|fmuli)\s+v(?P<d>\d+)\.(?P<ew>\d[sd]), "
+                r"v(?P<a>\d+)\.\d[sd], #(?P<imm>[^\s]+)$"), "fpimm"),
+    (re.compile(r"movi\s+v(?P<d>\d+)\.16b, #0$"), "vzero"),
+    (re.compile(r"mov\s+v(?P<d>\d+)\.16b, v(?P<s>\d+)\.16b$"), "vmov"),
+    (re.compile(rf"prfm\s+pldl1keep, {_MEM}$"), "prfm"),
+    (re.compile(r"nop$"), "nop"),
+]
+
+_FP3 = {"fmla": fmla, "fmls": fmls, "fmul": fmul, "fadd": fadd,
+        "fsub": fsub, "fdiv": fdiv}
+
+
+def parse_instr(line: str, default_ew: int = 8) -> Instr:
+    """Parse one disassembly line back into an :class:`Instr`."""
+    text = line.split("//")[0].strip()
+    text = re.sub(r"\s+", " ", text)
+    if not text:
+        raise MachineError("empty instruction line")
+    for pattern, kind in _PATTERNS:
+        m = pattern.match(text)
+        if not m:
+            continue
+        g = m.groupdict()
+        ew = _EW.get(g.get("ew", ""), default_ew)
+        if kind == "ldrv":
+            return ldrv(int(g["d"]), int(g["base"]), int(g["off"]), ew=ew)
+        if kind == "ld1r":
+            return ld1r(int(g["d"]), int(g["base"]), int(g["off"]), ew=ew)
+        if kind == "ldp":
+            return ldpv(int(g["d1"]), int(g["d2"]), int(g["base"]),
+                        int(g["off"]), ew=default_ew)
+        if kind == "ld2":
+            return ld2v(int(g["d1"]), int(g["d2"]), int(g["base"]),
+                        int(g["off"]), ew=ew)
+        if kind == "st2":
+            return st2v(int(g["s1"]), int(g["s2"]), int(g["base"]),
+                        int(g["off"]), ew=ew)
+        if kind == "str":
+            return strv(int(g["s"]), int(g["base"]), int(g["off"]),
+                        ew=default_ew)
+        if kind == "stp":
+            return stpv(int(g["s1"]), int(g["s2"]), int(g["base"]),
+                        int(g["off"]), ew=default_ew)
+        if kind == "add":
+            return addi(int(g["xd"]), int(g["xs"]), int(g["imm"]))
+        if kind == "fp3":
+            return _FP3[g["op"]](int(g["d"]), int(g["a"]), int(g["b"]),
+                                 ew=ew)
+        if kind == "fpimm":
+            ctor = fmai if g["op"] == "fmai" else fmuli
+            return ctor(int(g["d"]), int(g["a"]), float(g["imm"]), ew=ew)
+        if kind == "vzero":
+            return vzero(int(g["d"]), ew=default_ew)
+        if kind == "vmov":
+            return vmov(int(g["d"]), int(g["s"]), ew=default_ew)
+        if kind == "prfm":
+            return prfm(int(g["base"]), int(g["off"]))
+        if kind == "nop":
+            return nop()
+    raise MachineError(f"cannot parse instruction: {line.strip()!r}")
+
+
+def parse_program(text: str, name: str = "parsed", ew: int = 8,
+                  lanes: int = 2) -> Program:
+    """Parse a multi-line listing (``//`` comments and blanks ignored)."""
+    instrs = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        stripped = line.split("//")[0].strip()
+        if not stripped:
+            continue
+        try:
+            instrs.append(parse_instr(stripped, default_ew=ew))
+        except MachineError as exc:
+            raise MachineError(f"line {lineno}: {exc}") from None
+    return Program(name, instrs, ew=ew, lanes=lanes)

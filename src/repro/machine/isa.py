@@ -1,0 +1,353 @@
+"""Instruction set of the simulated machine.
+
+This is the minimal AArch64/NEON-flavoured subset the paper's kernels
+need.  Instructions are straight-line (no branches): the paper's kernel
+generator emits fully unrolled micro-kernels, and all looping happens in
+the host-level execution engine.
+
+Vector registers are named ``v0..v31`` and hold ``vector_bytes`` bytes
+(one *lane* per interleaved matrix in the compact layout).  Scalar
+(general-purpose) registers ``x0..x30`` hold pointers; memory operands
+are always ``[xN, #imm]`` with a byte offset, as in real AArch64 LDP/LDR
+addressing.
+
+Opcodes
+-------
+
+======== =========================================================
+LDRV     load one vector register from ``[base + off]``
+LDPV     load a register pair (models AArch64 ``ldp q,q``)
+LD1R     load one scalar and replicate to all lanes (``ld1r``)
+LD2V     deinterleaving pair load (``ld2``): even elements to the
+         first register, odd to the second — complex re/im split
+ST2V     interleaving pair store (``st2``)
+STRV     store one vector register
+STPV     store a register pair
+ADDI     scalar add-immediate (pointer bump)
+FMLA     ``vd += vn * vm`` elementwise
+FMLS     ``vd -= vn * vm`` elementwise
+FMUL     ``vd  = vn * vm`` elementwise
+FMAI     ``vd += vn * imm`` (models indexed FMLA with a preloaded
+         scalar lane, used for alpha/beta scaling)
+FMULI    ``vd  = vn * imm``
+FADD     ``vd  = vn + vm`` elementwise
+FSUB     ``vd  = vn - vm`` elementwise
+FDIV     ``vd  = vn / vm`` elementwise (long latency, partially
+         pipelined — used by baselines that do not pre-reciprocate)
+VZERO    ``vd = 0`` (models ``movi v.16b, #0``)
+VMOV     ``vd = vn`` (register move)
+FIMM     ``vd = imm`` broadcast to all lanes (``fmov v, #imm``)
+PRFM     prefetch the cache line at ``[base + off]``
+NOP      timing filler (used in scheduler tests)
+======== =========================================================
+
+``nlanes`` on memory ops allows partial-vector accesses: baselines use
+them for scalar edge processing (1 lane) and the compact path uses full
+vectors.  Timing does not distinguish partial from full accesses (a load
+is a load); functional execution reads/writes only the named lanes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["Op", "OpClass", "Instr", "iclass_of", "NUM_VREGS", "NUM_XREGS"]
+
+NUM_VREGS = 32
+NUM_XREGS = 31
+
+
+class Op(enum.Enum):
+    LDRV = "ldrv"
+    LDPV = "ldpv"
+    LD1R = "ld1r"
+    LD2V = "ld2v"
+    ST2V = "st2v"
+    STRV = "strv"
+    STPV = "stpv"
+    ADDI = "addi"
+    FMLA = "fmla"
+    FMLS = "fmls"
+    FMUL = "fmul"
+    FMAI = "fmai"
+    FMULI = "fmuli"
+    FADD = "fadd"
+    FSUB = "fsub"
+    FDIV = "fdiv"
+    VZERO = "vzero"
+    VMOV = "vmov"
+    FIMM = "fimm"
+    PRFM = "prfm"
+    NOP = "nop"
+
+
+class OpClass(enum.Enum):
+    """Issue-port class used by the pipeline model."""
+
+    MEM_LOAD = "load"
+    MEM_STORE = "store"
+    FP = "fp"
+    FP_DIV = "fpdiv"
+    INT = "int"
+    PREFETCH = "prefetch"
+    NOP = "nop"
+
+
+_OP_CLASS = {
+    Op.LDRV: OpClass.MEM_LOAD,
+    Op.LDPV: OpClass.MEM_LOAD,
+    Op.LD1R: OpClass.MEM_LOAD,
+    Op.LD2V: OpClass.MEM_LOAD,
+    Op.ST2V: OpClass.MEM_STORE,
+    Op.STRV: OpClass.MEM_STORE,
+    Op.STPV: OpClass.MEM_STORE,
+    Op.ADDI: OpClass.INT,
+    Op.FMLA: OpClass.FP,
+    Op.FMLS: OpClass.FP,
+    Op.FMUL: OpClass.FP,
+    Op.FMAI: OpClass.FP,
+    Op.FMULI: OpClass.FP,
+    Op.FADD: OpClass.FP,
+    Op.FSUB: OpClass.FP,
+    Op.FDIV: OpClass.FP_DIV,
+    Op.VZERO: OpClass.FP,
+    Op.VMOV: OpClass.FP,
+    Op.FIMM: OpClass.FP,
+    Op.PRFM: OpClass.PREFETCH,
+    Op.NOP: OpClass.NOP,
+}
+
+
+def iclass_of(op: Op) -> OpClass:
+    """Issue-port class of an opcode."""
+    return _OP_CLASS[op]
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One straight-line instruction.
+
+    Fields are a union across opcodes; unused ones stay at their defaults.
+
+    ``dst``/``srcs``
+        vector-register indices written / read.  For FMLA/FMLS/FMAI the
+        destination is also an implicit source (accumulator); the executor
+        and scoreboard both honour that.
+    ``base``/``offset``
+        scalar register index + byte offset for memory operands.
+    ``xdst``/``xsrc``/``ximm``
+        scalar-register operands of ADDI.
+    ``imm``
+        float immediate of FMAI/FMULI.
+    ``nlanes``
+        lanes touched by a memory op (None = full vector).
+    ``ew``
+        element width in bytes (4 or 8); the pipeline needs it because the
+        Kunpeng 920 dual-issues FP only for 32-bit elements.
+    ``tag``
+        free-form annotation (template name) used by the scheduler and in
+        disassembly; never semantically meaningful.
+    """
+
+    op: Op
+    dst: tuple[int, ...] = ()
+    srcs: tuple[int, ...] = ()
+    base: Optional[int] = None
+    offset: int = 0
+    xdst: Optional[int] = None
+    xsrc: Optional[int] = None
+    ximm: int = 0
+    imm: float = 0.0
+    nlanes: Optional[int] = None
+    ew: int = 8
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        for r in self.dst + self.srcs:
+            if not 0 <= r < NUM_VREGS:
+                raise ValueError(f"vector register v{r} out of range")
+        for r in (self.base, self.xdst, self.xsrc):
+            if r is not None and not 0 <= r < NUM_XREGS:
+                raise ValueError(f"scalar register x{r} out of range")
+        if self.ew not in (4, 8):
+            raise ValueError(f"element width must be 4 or 8, got {self.ew}")
+
+    @property
+    def iclass(self) -> OpClass:
+        return _OP_CLASS[self.op]
+
+    @property
+    def is_load(self) -> bool:
+        return self.iclass is OpClass.MEM_LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.iclass is OpClass.MEM_STORE
+
+    @property
+    def is_fp(self) -> bool:
+        return self.iclass in (OpClass.FP, OpClass.FP_DIV)
+
+    @property
+    def reads(self) -> tuple[int, ...]:
+        """Vector registers read, including accumulator inputs."""
+        if self.op in (Op.FMLA, Op.FMLS, Op.FMAI):
+            return self.srcs + self.dst
+        return self.srcs
+
+    @property
+    def writes(self) -> tuple[int, ...]:
+        return self.dst
+
+    @property
+    def flops_per_lane(self) -> int:
+        """Real flops per lane (FMA counts 2, MUL/ADD/SUB/DIV count 1)."""
+        if self.op in (Op.FMLA, Op.FMLS, Op.FMAI):
+            return 2
+        if self.op in (Op.FMUL, Op.FMULI, Op.FADD, Op.FSUB, Op.FDIV):
+            return 1
+        return 0
+
+    def asm(self) -> str:
+        """AArch64-flavoured disassembly, for debugging and the docs."""
+        sfx = ".4s" if self.ew == 4 else ".2d"
+        o = self.op
+        if o in (Op.LDRV, Op.LD1R):
+            return f"{o.value:<6}v{self.dst[0]}{sfx}, [x{self.base}, #{self.offset}]"
+        if o is Op.LD2V:
+            return (f"ld2   {{v{self.dst[0]}{sfx}, v{self.dst[1]}{sfx}}}, "
+                    f"[x{self.base}, #{self.offset}]")
+        if o is Op.ST2V:
+            return (f"st2   {{v{self.srcs[0]}{sfx}, v{self.srcs[1]}{sfx}}}, "
+                    f"[x{self.base}, #{self.offset}]")
+        if o is Op.LDPV:
+            return (f"ldp   q{self.dst[0]}, q{self.dst[1]}, "
+                    f"[x{self.base}, #{self.offset}]")
+        if o is Op.STRV:
+            return f"str   q{self.srcs[0]}, [x{self.base}, #{self.offset}]"
+        if o is Op.STPV:
+            return (f"stp   q{self.srcs[0]}, q{self.srcs[1]}, "
+                    f"[x{self.base}, #{self.offset}]")
+        if o is Op.ADDI:
+            return f"add   x{self.xdst}, x{self.xsrc}, #{self.ximm}"
+        if o in (Op.FMLA, Op.FMLS, Op.FMUL, Op.FADD, Op.FSUB, Op.FDIV):
+            return (f"{o.value:<6}v{self.dst[0]}{sfx}, "
+                    f"v{self.srcs[0]}{sfx}, v{self.srcs[1]}{sfx}")
+        if o in (Op.FMAI, Op.FMULI):
+            return f"{o.value:<6}v{self.dst[0]}{sfx}, v{self.srcs[0]}{sfx}, #{self.imm}"
+        if o is Op.VZERO:
+            return f"movi  v{self.dst[0]}.16b, #0"
+        if o is Op.VMOV:
+            return f"mov   v{self.dst[0]}.16b, v{self.srcs[0]}.16b"
+        if o is Op.FIMM:
+            return f"fmov  v{self.dst[0]}{sfx}, #{self.imm}"
+        if o is Op.PRFM:
+            return f"prfm  pldl1keep, [x{self.base}, #{self.offset}]"
+        return "nop"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.asm()
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors.  Code generation reads far better with these
+# than with raw Instr(...) calls.
+# ---------------------------------------------------------------------------
+
+def ldrv(dst: int, base: int, offset: int = 0, *, ew: int = 8,
+         nlanes: Optional[int] = None, tag: str = "") -> Instr:
+    return Instr(Op.LDRV, dst=(dst,), base=base, offset=offset, ew=ew,
+                 nlanes=nlanes, tag=tag)
+
+
+def ldpv(dst1: int, dst2: int, base: int, offset: int = 0, *, ew: int = 8,
+         tag: str = "") -> Instr:
+    return Instr(Op.LDPV, dst=(dst1, dst2), base=base, offset=offset, ew=ew,
+                 tag=tag)
+
+
+def ld1r(dst: int, base: int, offset: int = 0, *, ew: int = 8,
+         tag: str = "") -> Instr:
+    return Instr(Op.LD1R, dst=(dst,), base=base, offset=offset, ew=ew, tag=tag)
+
+
+def ld2v(dst_even: int, dst_odd: int, base: int, offset: int = 0, *,
+         ew: int = 8, nlanes: "int | None" = None, tag: str = "") -> Instr:
+    return Instr(Op.LD2V, dst=(dst_even, dst_odd), base=base, offset=offset,
+                 ew=ew, nlanes=nlanes, tag=tag)
+
+
+def st2v(src_even: int, src_odd: int, base: int, offset: int = 0, *,
+         ew: int = 8, nlanes: "int | None" = None, tag: str = "") -> Instr:
+    return Instr(Op.ST2V, srcs=(src_even, src_odd), base=base, offset=offset,
+                 ew=ew, nlanes=nlanes, tag=tag)
+
+
+def strv(src: int, base: int, offset: int = 0, *, ew: int = 8,
+         nlanes: Optional[int] = None, tag: str = "") -> Instr:
+    return Instr(Op.STRV, srcs=(src,), base=base, offset=offset, ew=ew,
+                 nlanes=nlanes, tag=tag)
+
+
+def stpv(src1: int, src2: int, base: int, offset: int = 0, *, ew: int = 8,
+         tag: str = "") -> Instr:
+    return Instr(Op.STPV, srcs=(src1, src2), base=base, offset=offset, ew=ew,
+                 tag=tag)
+
+
+def addi(xdst: int, xsrc: int, imm: int, *, tag: str = "") -> Instr:
+    return Instr(Op.ADDI, xdst=xdst, xsrc=xsrc, ximm=imm, tag=tag)
+
+
+def fmla(dst: int, a: int, b: int, *, ew: int = 8, tag: str = "") -> Instr:
+    return Instr(Op.FMLA, dst=(dst,), srcs=(a, b), ew=ew, tag=tag)
+
+
+def fmls(dst: int, a: int, b: int, *, ew: int = 8, tag: str = "") -> Instr:
+    return Instr(Op.FMLS, dst=(dst,), srcs=(a, b), ew=ew, tag=tag)
+
+
+def fmul(dst: int, a: int, b: int, *, ew: int = 8, tag: str = "") -> Instr:
+    return Instr(Op.FMUL, dst=(dst,), srcs=(a, b), ew=ew, tag=tag)
+
+
+def fmai(dst: int, src: int, imm: float, *, ew: int = 8, tag: str = "") -> Instr:
+    return Instr(Op.FMAI, dst=(dst,), srcs=(src,), imm=imm, ew=ew, tag=tag)
+
+
+def fmuli(dst: int, src: int, imm: float, *, ew: int = 8, tag: str = "") -> Instr:
+    return Instr(Op.FMULI, dst=(dst,), srcs=(src,), imm=imm, ew=ew, tag=tag)
+
+
+def fadd(dst: int, a: int, b: int, *, ew: int = 8, tag: str = "") -> Instr:
+    return Instr(Op.FADD, dst=(dst,), srcs=(a, b), ew=ew, tag=tag)
+
+
+def fsub(dst: int, a: int, b: int, *, ew: int = 8, tag: str = "") -> Instr:
+    return Instr(Op.FSUB, dst=(dst,), srcs=(a, b), ew=ew, tag=tag)
+
+
+def fdiv(dst: int, a: int, b: int, *, ew: int = 8, tag: str = "") -> Instr:
+    return Instr(Op.FDIV, dst=(dst,), srcs=(a, b), ew=ew, tag=tag)
+
+
+def vzero(dst: int, *, ew: int = 8, tag: str = "") -> Instr:
+    return Instr(Op.VZERO, dst=(dst,), ew=ew, tag=tag)
+
+
+def vmov(dst: int, src: int, *, ew: int = 8, tag: str = "") -> Instr:
+    return Instr(Op.VMOV, dst=(dst,), srcs=(src,), ew=ew, tag=tag)
+
+
+def fimm(dst: int, imm: float, *, ew: int = 8, tag: str = "") -> Instr:
+    return Instr(Op.FIMM, dst=(dst,), imm=imm, ew=ew, tag=tag)
+
+
+def prfm(base: int, offset: int = 0, *, tag: str = "") -> Instr:
+    return Instr(Op.PRFM, base=base, offset=offset, tag=tag)
+
+
+def nop(tag: str = "") -> Instr:
+    return Instr(Op.NOP, tag=tag)

@@ -1,0 +1,98 @@
+"""Functional memory model: named flat buffers.
+
+Functional execution does not need a single flat address space (the
+timing model builds one separately); it needs *buffers* that kernels
+address as ``base_pointer + byte_offset``.  A pointer is therefore a
+``(buffer_name, byte_offset)`` pair, where the offset may be a NumPy
+integer array so that one simulated instruction operates on every batch
+group at once — the vectorization idiom the HPC guides prescribe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import MachineError
+
+__all__ = ["MemorySpace", "Pointer"]
+
+
+class Pointer:
+    """A typed pointer into a :class:`MemorySpace` buffer.
+
+    ``offset`` is in bytes, either a Python int or an ``int64`` array of
+    shape ``(groups,)`` for batch-vectorized execution.
+    """
+
+    __slots__ = ("buffer", "offset")
+
+    def __init__(self, buffer: str, offset: "int | np.ndarray" = 0) -> None:
+        self.buffer = buffer
+        if isinstance(offset, np.ndarray):
+            self.offset = offset.astype(np.int64, copy=False)
+        else:
+            self.offset = int(offset)
+
+    def __add__(self, imm: int) -> "Pointer":
+        return Pointer(self.buffer, self.offset + int(imm))
+
+    @property
+    def groups(self) -> int | None:
+        """Number of batch groups this pointer fans out over (None = scalar)."""
+        if isinstance(self.offset, np.ndarray):
+            return int(self.offset.shape[0])
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Pointer({self.buffer!r}, {self.offset!r})"
+
+
+class MemorySpace:
+    """A set of named 1-D real-typed buffers.
+
+    Buffers are NumPy arrays of ``float32`` or ``float64``; complex data
+    is stored as split re/im planes by the layout subsystem, so memory
+    itself never sees complex dtypes.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: dict[str, np.ndarray] = {}
+
+    def alloc(self, name: str, num_elements: int, ew: int) -> np.ndarray:
+        """Allocate a zeroed buffer of ``num_elements`` real elements."""
+        if name in self._buffers:
+            raise MachineError(f"buffer {name!r} already allocated")
+        dtype = np.float32 if ew == 4 else np.float64
+        buf = np.zeros(int(num_elements), dtype=dtype)
+        self._buffers[name] = buf
+        return buf
+
+    def bind(self, name: str, array: np.ndarray) -> np.ndarray:
+        """Register an existing 1-D real array as a buffer (no copy)."""
+        if array.ndim != 1:
+            raise MachineError(f"buffer {name!r} must be 1-D, got {array.ndim}-D")
+        if array.dtype not in (np.float32, np.float64):
+            raise MachineError(
+                f"buffer {name!r} must be float32/float64, got {array.dtype}")
+        if not array.flags["C_CONTIGUOUS"]:
+            raise MachineError(f"buffer {name!r} must be C-contiguous")
+        self._buffers[name] = array
+        return array
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        try:
+            return self._buffers[name]
+        except KeyError:
+            raise MachineError(f"unknown buffer {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._buffers
+
+    def names(self) -> list[str]:
+        return sorted(self._buffers)
+
+    def itemsize(self, name: str) -> int:
+        return int(self[name].dtype.itemsize)
+
+    def nbytes(self, name: str) -> int:
+        return int(self[name].nbytes)

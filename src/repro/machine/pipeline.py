@@ -1,0 +1,289 @@
+"""In-order dual-issue scoreboard: the cycle-accurate-ish timing model.
+
+This is the substitute for running kernels on silicon.  It models the
+properties the paper's optimizations target:
+
+* **issue-slot structure** — per cycle, a bounded number of instructions
+  may issue, with per-class caps.  The Kunpeng 920 configuration encodes
+  the paper's §6.3 statement verbatim: "Kunpeng 920 CPU can only issue
+  one memory access instruction and one calculation instruction at the
+  same time, or simultaneously issue two calculation instructions for
+  single-precision floating-point numbers".
+* **register dependencies** — an instruction cannot issue before its
+  sources (including FMA accumulators) are ready; results become ready
+  ``latency`` cycles after issue.  Issue is strictly in order, which is
+  what makes the paper's instruction-scheduling pass (Figure 5)
+  measurable: a dependent pair placed back-to-back stalls the front end.
+* **memory latency** — loads ask the :class:`CacheHierarchy` where their
+  line lives; PRFM warms lines without blocking.
+* **division** — FDIV occupies the FP pipe for several cycles
+  (unpipelined), reproducing the paper's remark that ARM division is
+  expensive enough to justify reciprocal packing in TRSM.
+
+The model is deliberately in-order.  The real TaiShan V110 core has some
+out-of-order capacity, but the paper's entire install-time optimizer is
+motivated by static instruction placement mattering; an in-order
+scoreboard is the simplest machine on which that motivation is true, and
+it reproduces the paper's peak rates by construction (see
+:mod:`repro.machine.machines`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cache import CacheHierarchy
+from .isa import Instr, Op, OpClass
+from .program import Program
+
+__all__ = ["IssueRules", "Latencies", "TimingResult", "PipelineModel",
+           "AddressSpace"]
+
+
+@dataclass(frozen=True)
+class IssueRules:
+    """Per-cycle issue caps."""
+
+    width: int = 2           # total instructions per cycle
+    max_mem: int = 1         # loads + stores + prefetches
+    max_fp32: int = 2        # FP ops per cycle at 4-byte element width
+    max_fp64: int = 1        # FP ops per cycle at 8-byte element width
+    max_int: int = 2         # scalar ALU ops
+
+    def max_fp(self, ew: int) -> int:
+        return self.max_fp32 if ew == 4 else self.max_fp64
+
+
+@dataclass(frozen=True)
+class Latencies:
+    """Result latencies (cycles from issue to readiness) and FDIV blocking."""
+
+    load_use: int = 4        # L1-hit load-to-use
+    fp_ma: int = 4           # FMLA/FMLS/FMAI
+    fp_mul: int = 3          # FMUL/FMULI
+    fp_add: int = 3          # FADD/FSUB
+    fp_div32: int = 11       # FDIV float32 result latency
+    fp_div64: int = 18       # FDIV float64 result latency
+    div_block32: int = 8     # cycles FDIV occupies the FP pipe (fp32)
+    div_block64: int = 14    # cycles FDIV occupies the FP pipe (fp64)
+    int_alu: int = 1
+
+    def result_latency(self, ins: Instr) -> int:
+        op = ins.op
+        if op in (Op.FMLA, Op.FMLS, Op.FMAI):
+            return self.fp_ma
+        if op in (Op.FMUL, Op.FMULI):
+            return self.fp_mul
+        if op in (Op.FADD, Op.FSUB, Op.VZERO, Op.VMOV, Op.FIMM):
+            return self.fp_add
+        if op is Op.FDIV:
+            return self.fp_div32 if ins.ew == 4 else self.fp_div64
+        if op is Op.ADDI:
+            return self.int_alu
+        return 1
+
+    def div_block(self, ew: int) -> int:
+        return self.div_block32 if ew == 4 else self.div_block64
+
+
+@dataclass
+class TimingResult:
+    """Outcome of timing one program invocation."""
+
+    cycles: int                     # issue span (throughput-relevant)
+    drain_cycles: int               # extra cycles until last result is ready
+    instructions: int
+    stall_cycles: int               # cycles in the span with zero issues
+    fp_issued: int
+    mem_issued: int
+    l1_misses: int
+    l2_misses: int
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def __add__(self, other: "TimingResult") -> "TimingResult":
+        return TimingResult(
+            self.cycles + other.cycles,
+            max(self.drain_cycles, other.drain_cycles),
+            self.instructions + other.instructions,
+            self.stall_cycles + other.stall_cycles,
+            self.fp_issued + other.fp_issued,
+            self.mem_issued + other.mem_issued,
+            self.l1_misses + other.l1_misses,
+            self.l2_misses + other.l2_misses,
+        )
+
+    def scaled(self, factor: int) -> "TimingResult":
+        """Replicate this invocation ``factor`` times back-to-back."""
+        return TimingResult(
+            self.cycles * factor, self.drain_cycles,
+            self.instructions * factor, self.stall_cycles * factor,
+            self.fp_issued * factor, self.mem_issued * factor,
+            self.l1_misses * factor, self.l2_misses * factor,
+        )
+
+
+class AddressSpace:
+    """Flat address allocator used to place buffers for timing runs."""
+
+    def __init__(self, base: int = 1 << 20) -> None:
+        self._next = int(base)
+        self._map: dict[str, tuple[int, int]] = {}
+
+    def place(self, name: str, nbytes: int, align: int = 64) -> int:
+        """Allocate ``nbytes`` for ``name``; returns the base address."""
+        addr = (self._next + align - 1) // align * align
+        self._map[name] = (addr, int(nbytes))
+        self._next = addr + int(nbytes)
+        return addr
+
+    def base(self, name: str) -> int:
+        return self._map[name][0]
+
+    def extent(self, name: str) -> tuple[int, int]:
+        return self._map[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._map
+
+
+class PipelineModel:
+    """Scoreboard simulator producing deterministic cycle counts."""
+
+    def __init__(self, rules: IssueRules, lat: Latencies,
+                 caches: CacheHierarchy, vector_bytes: int) -> None:
+        self.rules = rules
+        self.lat = lat
+        self.caches = caches
+        self.vector_bytes = int(vector_bytes)
+
+    def _access_size(self, ins: Instr) -> int:
+        if ins.op in (Op.LDPV, Op.STPV, Op.LD2V, Op.ST2V):
+            return 2 * self.vector_bytes
+        if ins.op is Op.LD1R:
+            return ins.ew
+        if ins.nlanes is not None:
+            return ins.nlanes * ins.ew
+        return self.vector_bytes
+
+    def simulate(self, program: Program,
+                 xreg_init: dict[int, int] | None = None,
+                 start_cycle: int = 0,
+                 trace: list | None = None) -> TimingResult:
+        """Time one invocation.
+
+        ``xreg_init`` maps scalar registers to flat byte addresses (from an
+        :class:`AddressSpace`).  The cache hierarchy retains state across
+        calls, so back-to-back invocations see realistic residency.
+        ``trace``, if given, receives one ``(issue_cycle, instr)`` pair per
+        instruction (see :mod:`repro.machine.trace`).
+        """
+        rules, lat = self.rules, self.lat
+        vready = [0] * 32
+        xval: dict[int, int] = dict(xreg_init or {})
+        xready: dict[int, int] = {}
+        # per-cycle issue bookkeeping: cycle -> [total, mem, fp, int]
+        slots: dict[int, list[int]] = {}
+        fp_blocked_until = start_cycle  # unpipelined FDIV occupancy
+
+        l1_m0 = self.caches.l1.stats.misses
+        l2_m0 = self.caches.l2.stats.misses
+
+        cursor = start_cycle
+        last_issue = start_cycle
+        last_ready = start_cycle
+        fp_issued = 0
+        mem_issued = 0
+
+        for ins in program.instrs:
+            icls = ins.iclass
+            # dependency readiness
+            t = cursor
+            for r in ins.reads:
+                if vready[r] > t:
+                    t = vready[r]
+            if ins.base is not None:
+                tr = xready.get(ins.base, 0)
+                if tr > t:
+                    t = tr
+            if ins.op is Op.ADDI and ins.xsrc is not None:
+                tr = xready.get(ins.xsrc, 0)
+                if tr > t:
+                    t = tr
+            if icls in (OpClass.FP, OpClass.FP_DIV) and t < fp_blocked_until:
+                t = fp_blocked_until
+
+            # find an issue slot honouring per-class caps
+            is_mem = icls in (OpClass.MEM_LOAD, OpClass.MEM_STORE,
+                              OpClass.PREFETCH)
+            is_fp = icls in (OpClass.FP, OpClass.FP_DIV)
+            fp_cap = rules.max_fp(ins.ew)
+            while True:
+                c = slots.get(t)
+                if c is None:
+                    c = [0, 0, 0, 0]
+                    slots[t] = c
+                if (c[0] < rules.width
+                        and (not is_mem or c[1] < rules.max_mem)
+                        and (not is_fp or c[2] < fp_cap)
+                        and (icls is not OpClass.INT or c[3] < rules.max_int)):
+                    break
+                t += 1
+            c[0] += 1
+            if is_mem:
+                c[1] += 1
+                mem_issued += 1
+            if is_fp:
+                c[2] += 1
+                fp_issued += 1
+            if icls is OpClass.INT:
+                c[3] += 1
+
+            # effects
+            if icls is OpClass.MEM_LOAD:
+                addr = xval.get(ins.base, 0) + ins.offset
+                extra = self.caches.access(addr, self._access_size(ins))
+                ready = t + lat.load_use + extra
+                for d in ins.dst:
+                    vready[d] = ready
+            elif icls is OpClass.MEM_STORE:
+                addr = xval.get(ins.base, 0) + ins.offset
+                self.caches.access(addr, self._access_size(ins), write=True)
+                ready = t + 1
+            elif icls is OpClass.PREFETCH:
+                addr = xval.get(ins.base, 0) + ins.offset
+                self.caches.prefetch(addr, self.caches.line)
+                ready = t + 1
+            elif ins.op is Op.ADDI:
+                xval[ins.xdst] = xval.get(ins.xsrc, 0) + ins.ximm
+                ready = t + lat.int_alu
+                xready[ins.xdst] = ready
+            else:
+                ready = t + lat.result_latency(ins)
+                for d in ins.dst:
+                    vready[d] = ready
+                if ins.op is Op.FDIV:
+                    fp_blocked_until = t + lat.div_block(ins.ew)
+
+            if trace is not None:
+                trace.append((t, ins))
+            cursor = t  # in-order: next instruction issues at >= this cycle
+            if t > last_issue:
+                last_issue = t
+            if ready > last_ready:
+                last_ready = ready
+
+        span = last_issue - start_cycle + 1
+        stall = span - len(slots)
+        return TimingResult(
+            cycles=span,
+            drain_cycles=max(0, last_ready - last_issue - 1),
+            instructions=len(program.instrs),
+            stall_cycles=max(0, stall),
+            fp_issued=fp_issued,
+            mem_issued=mem_issued,
+            l1_misses=self.caches.l1.stats.misses - l1_m0,
+            l2_misses=self.caches.l2.stats.misses - l2_m0,
+        )

@@ -1,0 +1,119 @@
+"""Straight-line kernel programs.
+
+A :class:`Program` is an immutable-ish list of :class:`~repro.machine.isa.Instr`
+plus metadata used by the runtime (register usage, flop accounting, element
+width).  The paper's micro-kernels are branch-free and fully unrolled over
+the K dimension, so a flat list is the complete representation; all outer
+loops (tiles, batch groups) live in the host-level engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from .isa import Instr, Op
+
+__all__ = ["Program"]
+
+
+@dataclass
+class Program:
+    """A named straight-line instruction sequence.
+
+    Parameters
+    ----------
+    name:
+        Unique, human-readable kernel name, e.g. ``"dgemm_nn_4x4_k16"``.
+    instrs:
+        The instruction list, in program order.
+    ew:
+        Element width in bytes of the kernel's data (4 or 8).
+    lanes:
+        SIMD lanes per vector (the paper's P for this dtype/machine).
+    meta:
+        Free-form metadata (kernel size, template structure...); used by
+        the registry, the scheduler, and reporting, never by execution.
+    """
+
+    name: str
+    instrs: list[Instr]
+    ew: int = 8
+    lanes: int = 2
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.instrs = list(self.instrs)
+        if self.ew not in (4, 8):
+            raise ValueError(f"element width must be 4 or 8, got {self.ew}")
+        if self.lanes < 1:
+            raise ValueError("lanes must be >= 1")
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def __iter__(self) -> Iterator[Instr]:
+        return iter(self.instrs)
+
+    def __getitem__(self, i: int) -> Instr:
+        return self.instrs[i]
+
+    @property
+    def vregs_used(self) -> set[int]:
+        regs: set[int] = set()
+        for ins in self.instrs:
+            regs.update(ins.dst)
+            regs.update(ins.srcs)
+        return regs
+
+    @property
+    def xregs_used(self) -> set[int]:
+        regs: set[int] = set()
+        for ins in self.instrs:
+            for r in (ins.base, ins.xdst, ins.xsrc):
+                if r is not None:
+                    regs.add(r)
+        return regs
+
+    @property
+    def max_vreg(self) -> int:
+        used = self.vregs_used
+        return max(used) if used else -1
+
+    def count(self, op: Op) -> int:
+        return sum(1 for ins in self.instrs if ins.op is op)
+
+    @property
+    def num_fp(self) -> int:
+        return sum(1 for ins in self.instrs if ins.is_fp)
+
+    @property
+    def num_mem(self) -> int:
+        return sum(1 for ins in self.instrs if ins.is_load or ins.is_store)
+
+    @property
+    def flops_per_group(self) -> int:
+        """Real scalar flops one invocation performs across all lanes."""
+        return sum(ins.flops_per_lane * (ins.nlanes or self.lanes)
+                   for ins in self.instrs)
+
+    def with_instrs(self, instrs: Iterable[Instr], suffix: str = "") -> "Program":
+        """A copy with a different instruction list (used by the scheduler)."""
+        return Program(self.name + suffix, list(instrs), self.ew, self.lanes,
+                       dict(self.meta))
+
+    def disassemble(self) -> str:
+        """Full pretty-printed listing with template tags in the margin."""
+        lines = [f"// {self.name}  (ew={self.ew}, lanes={self.lanes}, "
+                 f"{len(self.instrs)} instrs, {self.num_fp} fp, {self.num_mem} mem)"]
+        last_tag = None
+        for ins in self.instrs:
+            if ins.tag != last_tag:
+                lines.append(f"// --- {ins.tag or 'untagged'} ---")
+                last_tag = ins.tag
+            lines.append("    " + ins.asm())
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Program({self.name!r}, {len(self.instrs)} instrs, "
+                f"ew={self.ew}, lanes={self.lanes})")

@@ -1,0 +1,24 @@
+"""Data-packing kernels and their cost model (paper Section 4.4).
+
+Packing re-arranges compact-layout operands into the exact streaming
+order the computing kernels consume: A panels are N-shaped (down the
+k-columns of each row tile), B panels are Z-shaped (across the n-row of
+each k step), and TRSM triangles are packed row-major with the diagonal
+replaced by its (complex) reciprocal so the solve kernel is
+division-free.  A no-packing analysis skips the copy whenever the
+compact layout already matches the kernel's access pattern.
+"""
+
+from .gemm_pack import PackedOperand, pack_gemm_a, pack_gemm_b
+from .trsm_pack import (PackedTriangles, pack_trsm_a, pack_trsm_b,
+                        unpack_trsm_b, normalize_trsm_mode)
+from .nopack import gemm_a_nopack, gemm_b_nopack, trsm_b_nopack
+from .cost import PackCost
+
+__all__ = [
+    "PackedOperand", "pack_gemm_a", "pack_gemm_b",
+    "PackedTriangles", "pack_trsm_a", "pack_trsm_b", "unpack_trsm_b",
+    "normalize_trsm_mode",
+    "gemm_a_nopack", "gemm_b_nopack", "trsm_b_nopack",
+    "PackCost",
+]

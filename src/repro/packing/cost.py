@@ -1,0 +1,54 @@
+"""Cycle-cost model for data packing.
+
+Packing is a streaming copy (the paper: "the data copied each time is at
+least the number of data that fills the length of the SIMD vector, so we
+use the memcpy function"), so its cost is bandwidth-shaped, not
+pipeline-shaped; we model it as bytes moved over the machine's sustained
+copy throughput plus a small per-panel loop overhead, and — for TRSM —
+the reciprocal divisions the triangle pack performs, which block the FP
+divider (the paper's stated reason packing pre-inverts the diagonal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.machines import MachineConfig
+
+__all__ = ["PackCost", "PER_PANEL_OVERHEAD_CYCLES"]
+
+PER_PANEL_OVERHEAD_CYCLES = 12.0
+"""Loop setup / address arithmetic per packed panel (per group)."""
+
+
+@dataclass(frozen=True)
+class PackCost:
+    """Aggregate cost of one packing pass over the whole batch."""
+
+    bytes_read: int = 0
+    bytes_written: int = 0
+    panels: int = 0                # panel copies performed (all groups)
+    div_vectors: int = 0           # vectorized reciprocal ops (all groups)
+    ew: int = 8
+
+    def __add__(self, other: "PackCost") -> "PackCost":
+        return PackCost(
+            self.bytes_read + other.bytes_read,
+            self.bytes_written + other.bytes_written,
+            self.panels + other.panels,
+            self.div_vectors + other.div_vectors,
+            max(self.ew, other.ew),
+        )
+
+    def cycles(self, machine: MachineConfig) -> float:
+        """Total packing cycles on the given machine."""
+        moved = self.bytes_read + self.bytes_written
+        c = moved / machine.copy_bytes_per_cycle
+        c += self.panels * PER_PANEL_OVERHEAD_CYCLES
+        c += self.div_vectors * machine.lat.div_block(self.ew)
+        return c
+
+    @property
+    def is_free(self) -> bool:
+        return (self.bytes_read == 0 and self.bytes_written == 0
+                and self.div_vectors == 0)

@@ -1,0 +1,127 @@
+"""GEMM operand packing (paper Figure 6: N-shaped A, Z-shaped B).
+
+The computing kernel consumes, per k-step, ``mc`` consecutive vectors of
+A (one per row of the current row tile) followed by ``nc`` vectors of B
+(one per column of the current column tile).  Packing therefore writes,
+per tile, panels in ``[k][within-tile]`` order — which is the N shape
+for A (walk down a column block, then right) and the Z shape for B
+(walk across a row, then down).  Transposed operands are normalized
+here, so every compute kernel sees the same order regardless of mode.
+
+All gathers are pure NumPy slicing/transposition over the compact grid
+view — one vectorized copy per tile panel, no per-matrix loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import LayoutError
+from ..layout.compact import CompactBatch
+from ..types import Trans
+from .cost import PackCost
+
+__all__ = ["PackedOperand", "pack_gemm_a", "pack_gemm_b"]
+
+
+@dataclass
+class PackedOperand:
+    """A packed (or no-pack aliased) operand ready for kernel consumption.
+
+    ``data`` is the flat real buffer when ``packed``; for the no-packing
+    fast path ``data`` is None and the engine addresses the original
+    compact buffer using the same offsets.
+    """
+
+    packed: bool
+    data: np.ndarray | None
+    group_stride_bytes: int
+    tile_offsets: list[int]        # byte offset of each tile panel in a group
+    tile_sizes: list[int]
+    cost: PackCost
+
+    @property
+    def num_tiles(self) -> int:
+        return len(self.tile_sizes)
+
+
+def _flatten_panels(panels: list[np.ndarray], groups: int) -> np.ndarray:
+    """Concatenate per-tile panels into the per-group packed buffer."""
+    flat = [np.ascontiguousarray(p).reshape(groups, -1) for p in panels]
+    return np.concatenate(flat, axis=1).reshape(-1)
+
+
+def pack_gemm_a(a: CompactBatch, transa: Trans, k: int,
+                m_tiles: list[int]) -> PackedOperand:
+    """Pack op(A) into N-shaped row-tile panels.
+
+    ``a`` stores the pre-op matrix; its shape must be (m, k) for N or
+    (k, m) for T, where m = sum(m_tiles).
+    """
+    m = sum(m_tiles)
+    expect = (m, k) if transa is Trans.N else (k, m)
+    if (a.rows, a.cols) != expect:
+        raise LayoutError(
+            f"A is {a.rows}x{a.cols}, expected {expect} for trans={transa.value}")
+    grid = a.as_grid()                       # (G, rows, cols, ncomp, P)
+    panels: list[np.ndarray] = []
+    offsets: list[int] = []
+    pos = 0
+    esz = a.dtype.real_itemsize
+    for size, start in zip(m_tiles, _starts(m_tiles)):
+        if transa is Trans.N:
+            # grid (G, m, k, ...) -> [l][i] panel
+            panel = grid[:, start:start + size, :, :, :].transpose(0, 2, 1, 3, 4)
+        else:
+            # grid (G, k, m, ...) is already [l][i] for the sliced columns
+            panel = grid[:, :, start:start + size, :, :]
+        panels.append(panel)
+        offsets.append(pos)
+        pos += size * k * a.elem_stride * esz
+    data = _flatten_panels(panels, a.groups).astype(a.dtype.real_dtype,
+                                                    copy=False)
+    nbytes = int(data.nbytes)
+    cost = PackCost(bytes_read=nbytes, bytes_written=nbytes,
+                    panels=len(m_tiles) * a.groups, ew=esz)
+    return PackedOperand(True, data, pos, offsets, list(m_tiles), cost)
+
+
+def pack_gemm_b(b: CompactBatch, transb: Trans, k: int,
+                n_tiles: list[int]) -> PackedOperand:
+    """Pack op(B) into Z-shaped column-tile panels (``[l][j]`` order)."""
+    n = sum(n_tiles)
+    expect = (k, n) if transb is Trans.N else (n, k)
+    if (b.rows, b.cols) != expect:
+        raise LayoutError(
+            f"B is {b.rows}x{b.cols}, expected {expect} for trans={transb.value}")
+    grid = b.as_grid()
+    panels: list[np.ndarray] = []
+    offsets: list[int] = []
+    pos = 0
+    esz = b.dtype.real_itemsize
+    for size, start in zip(n_tiles, _starts(n_tiles)):
+        if transb is Trans.N:
+            # grid (G, k, n, ...): [l][j] = direct column slice
+            panel = grid[:, :, start:start + size, :, :]
+        else:
+            # grid (G, n, k, ...): [l][j] = stored (start+j, l) -> transpose
+            panel = grid[:, start:start + size, :, :, :].transpose(0, 2, 1, 3, 4)
+        panels.append(panel)
+        offsets.append(pos)
+        pos += size * k * b.elem_stride * esz
+    data = _flatten_panels(panels, b.groups).astype(b.dtype.real_dtype,
+                                                    copy=False)
+    nbytes = int(data.nbytes)
+    cost = PackCost(bytes_read=nbytes, bytes_written=nbytes,
+                    panels=len(n_tiles) * b.groups, ew=esz)
+    return PackedOperand(True, data, pos, offsets, list(n_tiles), cost)
+
+
+def _starts(tiles: list[int]) -> list[int]:
+    out, pos = [], 0
+    for t in tiles:
+        out.append(pos)
+        pos += t
+    return out

@@ -1,0 +1,71 @@
+"""No-packing opportunity analysis (paper Section 4.4, last paragraph).
+
+Packing exists only to make kernel memory access contiguous; when the
+compact layout already delivers the kernel's order, the pack selector
+skips the copy.  Under column-major compact storage the exact
+conditions are:
+
+* **GEMM A**: non-transposed and covered by a *single* row tile — the
+  whole stored column ``k`` is then precisely the ``mc`` vectors the
+  kernel wants per k-step, and consecutive k-columns are adjacent.
+  (The paper: "for GEMM under NN mode, when M does not exceed the size
+  of the computing kernel design, matrix A is accessed rows by rows".)
+* **GEMM B**: transposed and covered by a single column tile — stored
+  B is (n x k) column-major, so walking a stored column yields the
+  ``[l-step][j]`` order the kernel wants.
+* **TRSM B**: the mode normalizes to lower/no-flip with unit alpha and
+  the whole problem is solved by one in-register triangular kernel —
+  then B's columns are consumed exactly as stored.  (The paper: "For
+  TRSM under LNLN mode, when M does not exceed the size of the
+  computing kernel design, the packing of matrix B can be skipped.")
+
+Each helper returns a :class:`PackedOperand`-compatible aliasing
+descriptor, or None when packing is required.
+"""
+
+from __future__ import annotations
+
+from ..layout.compact import CompactBatch
+from ..types import Trans
+from .cost import PackCost
+from .gemm_pack import PackedOperand
+
+__all__ = ["gemm_a_nopack", "gemm_b_nopack", "trsm_b_nopack"]
+
+
+def gemm_a_nopack(a: CompactBatch, transa: Trans,
+                  m_tiles: list[int]) -> PackedOperand | None:
+    if transa is not Trans.N or len(m_tiles) != 1:
+        return None
+    return PackedOperand(
+        packed=False, data=None,
+        group_stride_bytes=a.group_stride_bytes,
+        tile_offsets=[0], tile_sizes=list(m_tiles),
+        cost=PackCost(ew=a.dtype.real_itemsize),
+    )
+
+
+def gemm_b_nopack(b: CompactBatch, transb: Trans,
+                  n_tiles: list[int]) -> PackedOperand | None:
+    if transb is not Trans.T or len(n_tiles) != 1:
+        return None
+    return PackedOperand(
+        packed=False, data=None,
+        group_stride_bytes=b.group_stride_bytes,
+        tile_offsets=[0], tile_sizes=list(n_tiles),
+        cost=PackCost(ew=b.dtype.real_itemsize),
+    )
+
+
+def trsm_b_nopack(b: CompactBatch, needs_flip: bool, needs_transpose: bool,
+                  alpha: complex, whole_problem_in_registers: bool
+                  ) -> PackedOperand | None:
+    if needs_flip or needs_transpose or alpha != 1 \
+            or not whole_problem_in_registers:
+        return None
+    return PackedOperand(
+        packed=False, data=None,
+        group_stride_bytes=b.group_stride_bytes,
+        tile_offsets=[0], tile_sizes=[b.rows],
+        cost=PackCost(ew=b.dtype.real_itemsize),
+    )

@@ -1,0 +1,6 @@
+"""Golden-model batched BLAS used to validate every simulated kernel."""
+
+from .algorithm1 import compact_gemm_algorithm1
+from .naive_blas import gemm_reference, trsm_reference
+
+__all__ = ["gemm_reference", "trsm_reference", "compact_gemm_algorithm1"]

@@ -1,0 +1,62 @@
+"""Paper Algorithm 1: the simplified SIMD-friendly-layout GEMM, literally.
+
+The paper introduces the compact idea with a four-deep loop nest whose
+innermost body is "LOAD the element of P matrices into a vector, FMA,
+STORE".  This module transcribes it: the loop over groups is line 1,
+and each (i, j, l) body operates on a whole lane-vector at once —
+exactly one NumPy slice per LOAD/FMA/STORE.  It is quadratically slower
+than the generated kernels but serves as a second, structurally
+independent oracle for the compact layout itself (the main reference
+implementation works on de-interleaved standard arrays, so it would not
+catch a layout-indexing bug that `to_matrices` shares; this one reads
+the interleaved buffer directly).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidProblemError
+from ..layout.compact import CompactBatch
+
+__all__ = ["compact_gemm_algorithm1"]
+
+
+def compact_gemm_algorithm1(a: CompactBatch, b: CompactBatch,
+                            c: CompactBatch) -> CompactBatch:
+    """``C += A @ B`` on compact operands, as in the paper's Algorithm 1.
+
+    Operands must be non-transposed compatible shapes; complex batches
+    work on their split planes with the usual 4-op multiply.
+    """
+    m, k = a.rows, a.cols
+    n = b.cols
+    if (b.rows, c.rows, c.cols) != (k, m, n):
+        raise InvalidProblemError(
+            f"shape mismatch: A {a.rows}x{a.cols}, B {b.rows}x{b.cols}, "
+            f"C {c.rows}x{c.cols}")
+    if not (a.lanes == b.lanes == c.lanes
+            and a.groups == b.groups == c.groups
+            and a.dtype == b.dtype == c.dtype):
+        raise InvalidProblemError("operand batch properties differ")
+
+    ga, gb, gc = a.as_grid(), b.as_grid(), c.as_grid()
+    # line 1 of Algorithm 1 (the v loop over P-matrix groups) is the
+    # leading grid axis; lines 5-9 are one vectorized statement per op
+    for j in range(n):
+        for i in range(m):
+            if a.ncomp == 1:
+                vc = gc[:, i, j, 0, :]
+                for l in range(k):
+                    va = ga[:, i, l, 0, :]
+                    vb = gb[:, l, j, 0, :]
+                    vc += va * vb                 # FMA(V_a, V_b)
+            else:
+                cr = gc[:, i, j, 0, :]
+                ci = gc[:, i, j, 1, :]
+                for l in range(k):
+                    ar, ai = ga[:, i, l, 0, :], ga[:, i, l, 1, :]
+                    br, bi = gb[:, l, j, 0, :], gb[:, l, j, 1, :]
+                    cr += ar * br - ai * bi
+                    ci += ar * bi + ai * br
+    return c

@@ -1,0 +1,19 @@
+"""Run-time stage: input-aware plan generation and execution (Section 5).
+
+Given the input matrix properties, the batch counter sizes batch rounds
+to keep working sets L1-resident, the pack selector picks packing or the
+no-packing fast path, and the execution-plan generator binds packing and
+compute kernels into a command queue.  The engine executes plans
+functionally (NumPy-vectorized across the whole batch) and times them on
+the pipeline model.
+"""
+
+from .batch_counter import groups_per_round
+from .plan import ExecutionPlan, KernelCall, BufferSpec, build_gemm_plan, build_trsm_plan
+from .engine import Engine, PlanTiming
+from .iatf import IATF
+
+__all__ = [
+    "groups_per_round", "ExecutionPlan", "KernelCall", "BufferSpec",
+    "build_gemm_plan", "build_trsm_plan", "Engine", "PlanTiming", "IATF",
+]

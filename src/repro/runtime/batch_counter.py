@@ -1,0 +1,53 @@
+"""Batch counter (paper Section 5.1).
+
+Decides how many matrix groups each batch round processes so that the
+round's packed working set stays in the L1 data cache throughout the
+computation: "For GEMM, pack matrices A and B up to the size of L1
+cache at a time and reserve space for matrix C.  For TRSM, pack
+matrices B and the triangle part of matrices A up to the size of L1
+cache at a time."
+"""
+
+from __future__ import annotations
+
+from ..machine.machines import MachineConfig
+from ..types import GemmProblem, TrsmProblem
+
+__all__ = ["groups_per_round", "gemm_group_working_bytes",
+           "trsm_group_working_bytes"]
+
+
+def gemm_group_working_bytes(problem: GemmProblem,
+                             machine: MachineConfig) -> int:
+    """Bytes one group (P matrices) keeps live: packed A, packed B, and
+    the C tile region it updates."""
+    p = problem
+    lanes = machine.lanes(p.dtype)
+    ncomp = 2 if p.dtype.is_complex else 1
+    per_elem = lanes * ncomp * p.dtype.real_itemsize
+    return (p.m * p.k + p.k * p.n + p.m * p.n) * per_elem
+
+
+def trsm_group_working_bytes(problem: TrsmProblem,
+                             machine: MachineConfig) -> int:
+    """Bytes per group: the packed triangle of A plus the whole B panel."""
+    p = problem
+    lanes = machine.lanes(p.dtype)
+    ncomp = 2 if p.dtype.is_complex else 1
+    per_elem = lanes * ncomp * p.dtype.real_itemsize
+    d = p.a_dim
+    return (d * (d + 1) // 2 + p.m * p.n) * per_elem
+
+
+def groups_per_round(working_bytes_per_group: int,
+                     machine: MachineConfig) -> int:
+    """Groups per batch round; always at least one.
+
+    When even one group exceeds L1 the round degenerates to a single
+    group and the cache model simply observes the L2 traffic — the same
+    graceful degradation the paper's framework has for its largest
+    sizes.
+    """
+    if working_bytes_per_group <= 0:
+        raise ValueError("working set must be positive")
+    return max(1, machine.l1.size // working_bytes_per_group)

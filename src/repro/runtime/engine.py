@@ -1,0 +1,245 @@
+"""Plan execution: functional (NumPy-vectorized) and timed (pipeline model).
+
+The engine is the run-time stage's backend.  ``execute_gemm`` /
+``execute_trsm`` run a plan's command queue bit-for-bit through the
+functional executor, one vectorized pass over all batch groups per
+instruction.  ``time_plan`` replays the same command queue for a single
+representative group on the scoreboard pipeline with the cache hierarchy
+initialized to the batch counter's residency verdicts, then scales by
+the group count and adds the bandwidth-model packing cost — valid
+because compact kernels are data-independent and each group touches its
+own (identically laid out) data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..codegen import regs
+from ..codegen.templates_trsm import PX
+from ..errors import PlanError
+from ..layout.compact import CompactBatch
+from ..machine.executor import VectorExecutor
+from ..machine.machines import MachineConfig
+from ..machine.memory import MemorySpace
+from ..machine.pipeline import AddressSpace, TimingResult
+from ..packing.gemm_pack import pack_gemm_a, pack_gemm_b
+from ..packing.trsm_pack import pack_trsm_a, pack_trsm_b, unpack_trsm_b
+from ..types import GemmProblem, TrsmProblem
+from .plan import ExecutionPlan, KernelCall
+
+__all__ = ["Engine", "PlanTiming", "PLAN_GENERATION_OVERHEAD_CYCLES"]
+
+PLAN_GENERATION_OVERHEAD_CYCLES = 2000.0
+"""One-off run-time-stage cost per plan (paper: negligible once
+apportioned over a large batch; charged once per timed problem)."""
+
+PER_KERNEL_CALL_SETUP_CYCLES = 8
+"""Host-side loop control and pointer materialization around each
+branch-free kernel invocation (per group)."""
+
+
+@dataclass
+class PlanTiming:
+    """Cycle breakdown of one planned problem over its whole batch."""
+
+    plan: ExecutionPlan
+    kernel_cycles_per_group: int
+    pack_cycles: float
+    unpack_cycles: float
+    overhead_cycles: float
+    detail: TimingResult
+
+    @property
+    def groups(self) -> int:
+        return self.plan.groups
+
+    @property
+    def kernel_cycles(self) -> float:
+        return float(self.kernel_cycles_per_group) * self.groups
+
+    @property
+    def total_cycles(self) -> float:
+        return (self.kernel_cycles + self.pack_cycles + self.unpack_cycles
+                + self.overhead_cycles)
+
+    @property
+    def seconds(self) -> float:
+        return self.plan.machine.cycles_to_seconds(self.total_cycles)
+
+    @property
+    def gflops(self) -> float:
+        return self.plan.machine.gflops(self.plan.problem.flops,
+                                        self.total_cycles)
+
+    @property
+    def percent_of_peak(self) -> float:
+        return 100.0 * self.gflops / self.plan.machine.peak_gflops(
+            self.plan.problem.dtype)
+
+
+def _check_compact(name: str, cb: CompactBatch, rows: int, cols: int,
+                   plan: ExecutionPlan) -> None:
+    p = plan.problem
+    if (cb.rows, cb.cols) != (rows, cols):
+        raise PlanError(f"{name} is {cb.rows}x{cb.cols}, plan expects "
+                        f"{rows}x{cols}")
+    if cb.batch != p.batch:
+        raise PlanError(f"{name} batch {cb.batch} != plan batch {p.batch}")
+    if cb.dtype != p.dtype:
+        raise PlanError(f"{name} dtype {cb.dtype} != plan dtype {p.dtype}")
+    if cb.lanes != plan.machine.lanes(p.dtype):
+        raise PlanError(f"{name} lanes {cb.lanes} != machine lanes")
+
+
+class Engine:
+    """Executes and times execution plans on one machine."""
+
+    def __init__(self, machine: MachineConfig) -> None:
+        self.machine = machine
+
+    # ------------------------------------------------------------------
+    # functional execution
+    # ------------------------------------------------------------------
+
+    def _run_calls(self, plan: ExecutionPlan, mem: MemorySpace,
+                   strides: dict[str, int], groups: int) -> None:
+        ex = VectorExecutor(mem, groups=groups)
+        garange = np.arange(groups, dtype=np.int64)
+        bases = {name: garange * stride for name, stride in strides.items()}
+        for call in plan.calls:
+            ex.set_pointer(regs.PA, call.a_buf, bases[call.a_buf] + call.a_off)
+            ex.set_pointer(regs.PB, call.b_buf, bases[call.b_buf] + call.b_off)
+            for j, off in enumerate(call.c_offsets):
+                ex.set_pointer(regs.pc(j), call.c_buf, bases[call.c_buf] + off)
+            if call.x_buf is not None:
+                ex.set_pointer(PX, call.x_buf, bases[call.x_buf] + call.x_off)
+            ex.run(call.program)
+
+    def execute_gemm(self, plan: ExecutionPlan, a: CompactBatch,
+                     b: CompactBatch, c: CompactBatch) -> CompactBatch:
+        """Run the plan; C is updated in place and returned."""
+        if plan.kind != "gemm":
+            raise PlanError(f"expected a gemm plan, got {plan.kind}")
+        p: GemmProblem = plan.problem
+        _check_compact("A", a, *p.a_shape, plan)
+        _check_compact("B", b, *p.b_shape, plan)
+        _check_compact("C", c, *p.c_shape, plan)
+
+        mem = MemorySpace()
+        strides = {"C": c.group_stride_bytes}
+        mem.bind("C", c.buffer)
+        m_tiles = plan.meta["m_tiles"]
+        n_tiles = plan.meta["n_tiles"]
+        if "packA" in plan.buffers:
+            pa = pack_gemm_a(a, p.transa, p.k, m_tiles)
+            mem.bind("packA", pa.data)
+            strides["packA"] = pa.group_stride_bytes
+        else:
+            mem.bind("A", a.buffer)
+            strides["A"] = a.group_stride_bytes
+        if "packB" in plan.buffers:
+            pb = pack_gemm_b(b, p.transb, p.k, n_tiles)
+            mem.bind("packB", pb.data)
+            strides["packB"] = pb.group_stride_bytes
+        else:
+            mem.bind("B", b.buffer)
+            strides["B"] = b.group_stride_bytes
+
+        self._run_calls(plan, mem, strides, c.groups)
+        return c
+
+    def execute_trsm(self, plan: ExecutionPlan, a: CompactBatch,
+                     b: CompactBatch) -> CompactBatch:
+        """Run the plan; B is overwritten with X and returned."""
+        if plan.kind != "trsm":
+            raise PlanError(f"expected a trsm plan, got {plan.kind}")
+        p: TrsmProblem = plan.problem
+        _check_compact("A", a, p.a_dim, p.a_dim, plan)
+        _check_compact("B", b, *p.b_shape, plan)
+        norm = plan.meta["norm"]
+        blocks = plan.meta["blocks"]
+
+        mem = MemorySpace()
+        packed = pack_trsm_a(a, norm, blocks)
+        mem.bind("packT", packed.data)
+        strides = {"packT": packed.group_stride_bytes}
+
+        if plan.meta["b_nopack"]:
+            mem.bind("B", b.buffer)
+            strides["B"] = b.group_stride_bytes
+            work = None
+        else:
+            # pad_cols_to is the final padded width: padded_count(n, n_pad)
+            # == n_pad whenever n_pad >= n, which the plan guarantees
+            work, _ = pack_trsm_b(b, norm, pad_cols_to=plan.meta["n_pad"])
+            mem.bind("workB", work)
+            strides["workB"] = plan.buffers["workB"].group_stride_bytes
+
+        self._run_calls(plan, mem, strides, b.groups)
+
+        if work is not None:
+            unpack_trsm_b(work, b, norm, pad_cols_to=plan.meta["n_pad"])
+        return b
+
+    # ------------------------------------------------------------------
+    # timing
+    # ------------------------------------------------------------------
+
+    def time_plan(self, plan: ExecutionPlan) -> PlanTiming:
+        """Cycle-model timing of one steady-state group, scaled out.
+
+        Two consecutive groups are simulated: the first primes the cache
+        and stream-prefetcher state the way the previous group's
+        execution would have; the second is measured.  Each kernel call
+        also pays a small host-side setup cost (pointer materialization
+        and loop control around the branch-free kernels).
+        """
+        machine = plan.machine
+        caches = machine.make_caches()
+        pipe = machine.make_pipeline(caches)
+        asp = AddressSpace()
+        for name, spec in plan.buffers.items():
+            stride = max(spec.group_stride_bytes, 64)
+            base = asp.place(name, 2 * stride)
+            if spec.warm == "l1":
+                caches.warm_range(base, 2 * spec.group_stride_bytes, "l1")
+            elif spec.warm == "l2":
+                caches.warm_range(base, 2 * spec.group_stride_bytes, "l2")
+
+        total: TimingResult | None = None
+        for group in (0, 1):
+            group_total: TimingResult | None = None
+            for call in plan.calls:
+                def addr(buf: str, off: int) -> int:
+                    return (asp.base(buf)
+                            + group * plan.buffers[buf].group_stride_bytes
+                            + off)
+                init = {
+                    regs.PA: addr(call.a_buf, call.a_off),
+                    regs.PB: addr(call.b_buf, call.b_off),
+                }
+                for j, off in enumerate(call.c_offsets):
+                    init[regs.pc(j)] = addr(call.c_buf, off)
+                if call.x_buf is not None:
+                    init[PX] = addr(call.x_buf, call.x_off)
+                r = pipe.simulate(call.program, init)
+                group_total = r if group_total is None else group_total + r
+            total = group_total
+        assert total is not None, "plan has no kernel calls"
+        setup = PER_KERNEL_CALL_SETUP_CYCLES * len(plan.calls)
+        total = TimingResult(total.cycles + setup, total.drain_cycles,
+                             total.instructions, total.stall_cycles,
+                             total.fp_issued, total.mem_issued,
+                             total.l1_misses, total.l2_misses)
+
+        return PlanTiming(
+            plan=plan,
+            kernel_cycles_per_group=total.cycles,
+            pack_cycles=plan.pack_cost.cycles(machine),
+            unpack_cycles=plan.unpack_cost.cycles(machine),
+            overhead_cycles=PLAN_GENERATION_OVERHEAD_CYCLES,
+            detail=total,
+        )

@@ -1,0 +1,85 @@
+"""Multicore scaling model (the paper's Section 7 future work).
+
+The paper evaluates single-core performance and names multicore CPUs as
+future work.  Fixed-size compact batches are embarrassingly parallel
+across matrix groups — each core runs the same single-core plan on its
+share of the batch with private L1/L2 (the Kunpeng 920's caches are
+per-core) — so the first-order model is:
+
+* kernel cycles scale perfectly (private working sets, no sharing);
+* packing is a streaming copy through the *shared* memory system, so
+  its effective per-core bandwidth saturates once enough cores stream
+  concurrently (``bw_saturation_cores``, ~the point where a chip's
+  memory controllers are maxed);
+* the run-time stage's plan generation happens once, not per core.
+
+The model predicts the classic behaviour: compute-bound sizes scale
+nearly linearly, while tiny pack-dominated sizes flatten at the
+bandwidth wall — the ablation benchmark records the predicted curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.machines import MachineConfig
+from ..types import GemmProblem, TrsmProblem
+from .engine import PLAN_GENERATION_OVERHEAD_CYCLES, PlanTiming
+from .iatf import IATF
+
+__all__ = ["MulticoreModel", "MulticoreTiming"]
+
+
+@dataclass
+class MulticoreTiming:
+    """Predicted whole-batch timing on ``cores`` cores."""
+
+    cores: int
+    single: PlanTiming
+    cycles: float                 # wall-clock cycles (slowest core)
+
+    @property
+    def speedup(self) -> float:
+        return self.single.total_cycles / self.cycles
+
+    @property
+    def efficiency(self) -> float:
+        return self.speedup / self.cores
+
+    @property
+    def gflops(self) -> float:
+        plan = self.single.plan
+        return plan.machine.gflops(plan.problem.flops, self.cycles)
+
+
+class MulticoreModel:
+    """Scales single-core plan timings across cores."""
+
+    def __init__(self, machine: MachineConfig, cores: int,
+                 bw_saturation_cores: int = 8) -> None:
+        if cores < 1:
+            raise ValueError("cores must be >= 1")
+        self.machine = machine
+        self.cores = int(cores)
+        self.bw_saturation_cores = int(bw_saturation_cores)
+        self.iatf = IATF(machine)
+
+    def _scale(self, t: PlanTiming) -> MulticoreTiming:
+        cores = self.cores
+        groups = t.groups
+        # slowest core gets ceil(groups / cores) groups
+        per_core_groups = -(-groups // cores)
+        kernel = t.kernel_cycles_per_group * per_core_groups
+        # packing: shared memory bandwidth saturates
+        active = min(cores, groups)
+        bw_scale = min(active, self.bw_saturation_cores)
+        pack = (t.pack_cycles + t.unpack_cycles) / bw_scale \
+            * (per_core_groups * cores / max(groups, 1))
+        cycles = kernel + pack + PLAN_GENERATION_OVERHEAD_CYCLES
+        return MulticoreTiming(cores=cores, single=t, cycles=cycles)
+
+    def time_gemm(self, problem: GemmProblem) -> MulticoreTiming:
+        return self._scale(self.iatf.time_gemm(problem))
+
+    def time_trsm(self, problem: TrsmProblem) -> MulticoreTiming:
+        return self._scale(self.iatf.time_trsm(problem))

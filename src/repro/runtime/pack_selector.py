@@ -1,0 +1,102 @@
+"""Pack selector (paper Section 5.2, the middle box of Figure 1).
+
+Given the input matrix properties, chooses for each operand either a
+data-packing kernel or the no-packing strategy, and — for TRSM — which
+normalization transforms the packing must fold in.  The decisions are
+pure functions of the problem shape (no data), so the plan generator
+calls them once per problem configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..codegen.registry import KernelRegistry
+from ..packing.trsm_pack import NormalizedTrsm, normalize_trsm_mode
+from ..types import GemmProblem, Trans, TrsmProblem
+
+__all__ = ["GemmPackDecision", "TrsmPackDecision", "select_gemm_packing",
+           "select_trsm_packing"]
+
+
+@dataclass(frozen=True)
+class GemmPackDecision:
+    """Which GEMM operands get packed, and why."""
+
+    pack_a: bool
+    pack_b: bool
+    reason_a: str
+    reason_b: str
+
+    @property
+    def description(self) -> dict[str, str]:
+        return {"A": "N-shape" if self.pack_a else "no-pack",
+                "B": "Z-shape" if self.pack_b else "no-pack"}
+
+
+@dataclass(frozen=True)
+class TrsmPackDecision:
+    """TRSM packing decision plus the mode normalization it folds in."""
+
+    norm: NormalizedTrsm
+    whole_in_regs: bool
+    pack_b: bool
+    reason_b: str
+
+    @property
+    def description(self) -> dict[str, str]:
+        a = ("triangle+reciprocal" if self.whole_in_regs
+             else "blocked triangle+reciprocal")
+        return {"A": a,
+                "B": "panel" if self.pack_b else "no-pack"}
+
+
+def select_gemm_packing(problem: GemmProblem, m_tiles: list[int],
+                        n_tiles: list[int],
+                        force_pack: bool = False) -> GemmPackDecision:
+    """The paper's rule: pack only when the kernel cannot already walk
+    the operand contiguously in the compact layout.
+
+    * A is contiguous when non-transposed and covered by a single row
+      tile (its stored k-columns *are* the kernel's per-k-step loads);
+    * B is contiguous when transposed and covered by a single column
+      tile (stored columns deliver the ``[l][j]`` order).
+    """
+    if force_pack:
+        return GemmPackDecision(True, True, "forced", "forced")
+    a_nopack = problem.transa is Trans.N and len(m_tiles) == 1
+    b_nopack = problem.transb is Trans.T and len(n_tiles) == 1
+    return GemmPackDecision(
+        pack_a=not a_nopack,
+        pack_b=not b_nopack,
+        reason_a=("compact layout already streams per k-step" if a_nopack
+                  else ("transposed operand" if problem.transa is Trans.T
+                        else "multiple row tiles")),
+        reason_b=("stored columns already deliver [l][j]" if b_nopack
+                  else ("non-transposed operand" if problem.transb is Trans.N
+                        else "multiple column tiles")),
+    )
+
+
+def select_trsm_packing(problem: TrsmProblem, registry: KernelRegistry,
+                        force_pack: bool = False) -> TrsmPackDecision:
+    """The paper's example: LNLN with M within the in-register bound
+    skips the B pack.  Generalized: any mode whose normalization needs
+    neither a flip nor a transpose, with unit alpha, qualifies whenever
+    the whole problem is solved by one triangular kernel (the blocked
+    path needs the padded work panel regardless)."""
+    norm = normalize_trsm_mode(problem)
+    whole = norm.d <= registry.max_tri(problem.dtype)
+    if force_pack:
+        return TrsmPackDecision(norm, whole, True, "forced")
+    nopack = (whole and not norm.flip and not norm.transpose_b
+              and norm.alpha == 1)
+    if nopack:
+        reason = "canonical orientation, unit alpha, in-register solve"
+    elif not whole:
+        reason = "blocked path needs the padded work panel"
+    elif norm.flip or norm.transpose_b:
+        reason = "mode normalization transforms B"
+    else:
+        reason = "alpha scaling folds into the pack"
+    return TrsmPackDecision(norm, whole, not nopack, reason)

@@ -1,0 +1,55 @@
+"""MKL-compact comparator tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MklCompact
+from repro.machine.machines import XEON_GOLD_6240
+from repro.types import GemmProblem, TrsmProblem
+from tests.conftest import random_batch, random_triangular
+
+
+@pytest.fixture(scope="module")
+def mkl():
+    return MklCompact()
+
+
+def test_runs_on_xeon_machine(mkl):
+    assert mkl.machine is XEON_GOLD_6240
+
+
+def test_gemm_functional(mkl, rng):
+    a = random_batch(rng, 20, 6, 6, "d")
+    b = random_batch(rng, 20, 6, 6, "d")
+    got = mkl.gemm(a, b, np.zeros((20, 6, 6)), beta=0.0)
+    assert np.abs(got - a @ b).max() < 1e-9
+
+
+def test_trsm_functional(mkl, rng):
+    a = random_triangular(rng, 20, 5, "d")
+    b = random_batch(rng, 20, 5, 4, "d")
+    x = mkl.trsm(a, b.copy())
+    assert np.abs(np.tril(a) @ x - b).max() < 1e-9
+
+
+def test_always_packs(mkl):
+    """MKL compact is not input-aware: even no-pack-eligible shapes pay
+    the packing pass."""
+    t = mkl.time_gemm(GemmProblem(4, 4, 4, "d", batch=2048))
+    assert t.plan.pack_cost.bytes_written > 0
+    assert t.plan.meta["packing"]["A"] != "no-pack"
+
+
+def test_higher_absolute_lower_isnt_guaranteed_relative(mkl):
+    """Xeon peak is 8x Kunpeng's; absolute GFLOPS should exceed the
+    Kunpeng model even when percent-of-peak is lower."""
+    from repro import IATF, KUNPENG_920
+    p = GemmProblem(16, 16, 16, "d", batch=2048)
+    xeon_t = mkl.time_gemm(p)
+    kp_t = IATF(KUNPENG_920).time_gemm(p)
+    assert xeon_t.gflops > kp_t.gflops
+
+
+def test_timing_trsm_positive(mkl):
+    t = mkl.time_trsm(TrsmProblem(8, 8, "d", batch=2048))
+    assert 0 < t.gflops < XEON_GOLD_6240.peak_gflops("d")

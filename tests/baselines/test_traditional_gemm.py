@@ -1,0 +1,153 @@
+"""Baseline GEMM tests: functional correctness + policy differentiation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ArmplBatch, LibxsmmBatch, OpenBlasLoop
+from repro.baselines.common import (BaselinePolicy, decompose_cols,
+                                    decompose_vectors, std_colmajor_buffer,
+                                    std_from_colmajor)
+from repro.errors import InvalidProblemError
+from repro.machine.machines import KUNPENG_920
+from repro.reference import gemm_reference
+from repro.types import BlasDType, GemmProblem
+from tests.conftest import ALL_DTYPES, random_batch, tolerance
+
+
+@pytest.fixture(scope="module")
+def openblas():
+    return OpenBlasLoop(KUNPENG_920)
+
+
+@pytest.fixture(scope="module")
+def armpl():
+    return ArmplBatch(KUNPENG_920)
+
+
+@pytest.fixture(scope="module")
+def libxsmm():
+    return LibxsmmBatch(KUNPENG_920)
+
+
+class TestDecompositions:
+    def test_vectors_cover_m(self):
+        for m in range(1, 40):
+            chunks = decompose_vectors(m, 4)
+            rows = sum((mv - 1) * 4 + t for mv, t in chunks)
+            assert rows == m, m
+
+    def test_vectors_respect_max_chunk(self):
+        assert all(mv <= 2 for mv, _ in decompose_vectors(20, 4, 2))
+
+    def test_partial_tail(self):
+        assert decompose_vectors(5, 4) == [(1, 4), (1, 1)]
+        assert decompose_vectors(4, 4) == [(1, 4)]
+        assert decompose_vectors(17, 4) == [(4, 4), (1, 1)]
+
+    def test_cols(self):
+        assert decompose_cols(11) == [4, 4, 2, 1]
+        assert decompose_cols(3, max_cols=2) == [2, 1]
+
+
+class TestLayoutHelpers:
+    @pytest.mark.parametrize("dtype", ALL_DTYPES)
+    def test_colmajor_roundtrip(self, rng, dtype):
+        a = random_batch(rng, 3, 4, 5, dtype)
+        dt = BlasDType.from_any(dtype)
+        buf = std_colmajor_buffer(a, dt)
+        back = std_from_colmajor(buf, 3, 4, 5, dt)
+        assert np.array_equal(back, a)
+
+    def test_colmajor_order(self, rng):
+        a = random_batch(rng, 1, 3, 2, "d")
+        buf = std_colmajor_buffer(a, BlasDType.D)
+        # column-major: column 0 first
+        assert np.array_equal(buf[:3], a[0, :, 0])
+
+    def test_complex_interleaved(self, rng):
+        a = random_batch(rng, 1, 2, 1, "z")
+        buf = std_colmajor_buffer(a, BlasDType.Z)
+        assert buf[0] == a[0, 0, 0].real
+        assert buf[1] == a[0, 0, 0].imag
+
+
+class TestFunctional:
+    @pytest.mark.parametrize("dtype", ALL_DTYPES)
+    @pytest.mark.parametrize("mode", ["NN", "NT", "TN", "TT"])
+    def test_openblas_modes(self, openblas, rng, dtype, mode):
+        p = GemmProblem(9, 7, 5, dtype, mode[0], mode[1], 6,
+                        alpha=1.5, beta=0.5)
+        a = random_batch(rng, 6, *p.a_shape, dtype)
+        b = random_batch(rng, 6, *p.b_shape, dtype)
+        c = random_batch(rng, 6, 9, 7, dtype)
+        got = openblas.gemm.execute(p, a, b, c.copy())
+        want = gemm_reference(p, a, b, c)
+        assert np.abs(got - want).max() < tolerance(dtype)
+
+    @pytest.mark.parametrize("m,n,k", [
+        (1, 1, 1), (4, 4, 4), (5, 5, 5), (16, 16, 16), (17, 3, 9),
+        (33, 33, 33),
+    ])
+    def test_shapes(self, armpl, rng, m, n, k):
+        p = GemmProblem(m, n, k, "d", batch=3, beta=0.0)
+        a = random_batch(rng, 3, m, k, "d")
+        b = random_batch(rng, 3, k, n, "d")
+        got = armpl.gemm.execute(p, a, b, np.zeros((3, m, n)))
+        assert np.abs(got - a @ b).max() < 1e-9
+
+    def test_libxsmm_rejects_complex(self, libxsmm):
+        p = GemmProblem(4, 4, 4, "z", batch=2)
+        with pytest.raises(InvalidProblemError):
+            libxsmm.gemm.execute(p, np.zeros((2, 4, 4), complex),
+                                 np.zeros((2, 4, 4), complex),
+                                 np.zeros((2, 4, 4), complex))
+
+    def test_libxsmm_has_no_trsm(self, libxsmm):
+        from repro.errors import UnsupportedModeError
+        with pytest.raises(UnsupportedModeError):
+            libxsmm.trsm
+
+
+class TestTimingPolicies:
+    def test_openblas_slowest_at_tiny_sizes(self, openblas, armpl, libxsmm):
+        p = GemmProblem(2, 2, 2, "d", batch=4096)
+        ob = openblas.gemm.time(p).gflops
+        ar = armpl.gemm.time(p).gflops
+        xs = libxsmm.gemm.time(p).gflops
+        assert ob < ar < xs
+
+    def test_overheads_amortize_with_size(self, openblas, libxsmm):
+        """The OpenBLAS/LIBXSMM gap must shrink as matrices grow."""
+        tiny = GemmProblem(2, 2, 2, "d", batch=1024)
+        big = GemmProblem(32, 32, 32, "d", batch=1024)
+        gap_tiny = (libxsmm.gemm.time(tiny).gflops
+                    / openblas.gemm.time(tiny).gflops)
+        gap_big = (libxsmm.gemm.time(big).gflops
+                   / openblas.gemm.time(big).gflops)
+        assert gap_big < gap_tiny
+
+    def test_partial_vector_hurts(self, libxsmm):
+        """Single-precision M=5 fills 5 of 8 lanes; M=4 and M=8 fill all
+        (the paper's edge-processing inefficiency)."""
+        def eff(m):
+            p = GemmProblem(m, 8, 8, "s", batch=1024)
+            return libxsmm.gemm.time(p).gflops / (m * 8 * 8)
+        assert eff(5) < eff(4)
+        assert eff(5) < eff(8)
+
+    def test_transpose_copy_charged(self, armpl):
+        nn = GemmProblem(8, 8, 8, "d", batch=1024)
+        tn = GemmProblem(8, 8, 8, "d", "T", "N", 1024)
+        t_nn = armpl.gemm.time(nn)
+        t_tn = armpl.gemm.time(tn)
+        assert t_tn.pack_cycles_per_matrix > t_nn.pack_cycles_per_matrix
+
+    def test_timing_caches_consistent(self, openblas):
+        p = GemmProblem(4, 4, 4, "d", batch=256)
+        assert openblas.gemm.time(p).total_cycles == \
+            openblas.gemm.time(p).total_cycles
+
+    def test_policy_fields(self):
+        pol = BaselinePolicy("x", 1.0, 2.0, True, False)
+        assert pol.supports_complex
+        assert pol.per_call_overhead_cycles == 1.0

@@ -1,0 +1,120 @@
+"""Baseline TRSM tests: the scalar-solve timing model and policies."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ArmplBatch, OpenBlasLoop
+from repro.baselines.trsm_scalar import (TraditionalTrsm,
+                                         _reciprocal_program,
+                                         _scalar_column_program)
+from repro.machine.isa import Op
+from repro.machine.machines import KUNPENG_920
+from repro.types import BlasDType, TrsmProblem
+from tests.conftest import random_batch, random_triangular
+
+
+@pytest.fixture(scope="module")
+def openblas():
+    return OpenBlasLoop(KUNPENG_920)
+
+
+@pytest.fixture(scope="module")
+def armpl():
+    return ArmplBatch(KUNPENG_920)
+
+
+class TestColumnProgram:
+    def test_in_loop_division_count(self):
+        prog = _scalar_column_program(6, BlasDType.D, KUNPENG_920, True)
+        assert prog.count(Op.FDIV) == 6      # one per diagonal step
+
+    def test_reciprocal_variant_divides_nowhere(self):
+        prog = _scalar_column_program(6, BlasDType.D, KUNPENG_920, False)
+        assert prog.count(Op.FDIV) == 0
+        assert prog.count(Op.FMUL) >= 6      # multiplies instead
+
+    def test_complex_division_is_two_divides(self):
+        prog = _scalar_column_program(3, BlasDType.Z, KUNPENG_920, True)
+        assert prog.count(Op.FDIV) == 2 * 3
+
+    def test_fma_count_quadratic(self):
+        p4 = _scalar_column_program(4, BlasDType.D, KUNPENG_920, True)
+        p8 = _scalar_column_program(8, BlasDType.D, KUNPENG_920, True)
+        fmls4 = p4.count(Op.FMLS)
+        fmls8 = p8.count(Op.FMLS)
+        assert fmls4 == 4 * 3 // 2
+        assert fmls8 == 8 * 7 // 2
+
+    def test_scalar_loads_single_lane(self):
+        prog = _scalar_column_program(4, BlasDType.D, KUNPENG_920, True)
+        for ins in prog.instrs:
+            if ins.is_load:
+                assert ins.nlanes == 1
+
+    def test_reciprocal_program_divisions(self):
+        prog = _reciprocal_program(5, BlasDType.D, KUNPENG_920)
+        assert prog.count(Op.FDIV) == 5
+        progz = _reciprocal_program(5, BlasDType.Z, KUNPENG_920)
+        assert progz.count(Op.FDIV) == 10
+
+
+class TestTimingModel:
+    def test_division_variant_slower(self):
+        p = TrsmProblem(8, 8, "d", batch=1024)
+        pol = OpenBlasLoop(KUNPENG_920).trsm.policy
+        div = TraditionalTrsm(KUNPENG_920, pol, in_loop_division=True)
+        recip = TraditionalTrsm(KUNPENG_920, pol, in_loop_division=False)
+        assert div.time(p).total_cycles > recip.time(p).total_cycles
+
+    def test_armpl_faster_than_openblas(self, openblas, armpl):
+        for n in (2, 8, 24):
+            p = TrsmProblem(n, n, "d", batch=1024)
+            assert armpl.trsm.time(p).gflops > openblas.trsm.time(p).gflops
+
+    def test_cycles_grow_with_size(self, openblas):
+        prev = 0.0
+        for n in (2, 4, 8, 16):
+            t = openblas.trsm.time(TrsmProblem(n, n, "d", batch=64))
+            assert t.cycles_per_matrix > prev
+            prev = t.cycles_per_matrix
+
+    def test_right_side_uses_other_dimension(self, openblas):
+        left = openblas.trsm.time(TrsmProblem(4, 16, "d", side="L",
+                                              batch=64))
+        right = openblas.trsm.time(TrsmProblem(4, 16, "d", side="R",
+                                               batch=64))
+        # side R solves a 16x16 system over 4 columns: more work
+        assert right.cycles_per_matrix > left.cycles_per_matrix
+
+    def test_execute_is_reference(self, openblas, rng):
+        p = TrsmProblem(5, 4, "d", batch=3)
+        a = random_triangular(rng, 3, 5, "d")
+        b = random_batch(rng, 3, 5, 4, "d")
+        x = openblas.trsm.execute(p, a, b)
+        assert np.allclose(np.tril(a) @ x, b, atol=1e-10)
+
+
+class TestBlockedStructure:
+    def test_large_sizes_use_gemm_updates(self, openblas):
+        """Beyond one diagonal block, baseline GFLOPS must keep growing
+        (the Eq. 1 blocked structure) instead of flattening at the
+        scalar solve's rate."""
+        from repro.baselines.trsm_scalar import DIAG_BLOCK
+        small = openblas.trsm.time(
+            TrsmProblem(DIAG_BLOCK, DIAG_BLOCK, "d", batch=512))
+        large = openblas.trsm.time(
+            TrsmProblem(4 * DIAG_BLOCK, 4 * DIAG_BLOCK, "d", batch=512))
+        assert large.gflops > small.gflops
+
+    def test_block_boundary_continuity(self, openblas):
+        """Cycles/matrix must grow monotonically through the block
+        boundary (no modeling cliff at DIAG_BLOCK+1)."""
+        from repro.baselines.trsm_scalar import DIAG_BLOCK
+        cycles = [openblas.trsm.time(
+            TrsmProblem(m, 8, "d", batch=64)).cycles_per_matrix
+            for m in range(DIAG_BLOCK - 2, DIAG_BLOCK + 3)]
+        assert cycles == sorted(cycles)
+
+    def test_timing_cached(self, armpl):
+        p = TrsmProblem(16, 16, "d", batch=256)
+        assert armpl.trsm.time(p) is armpl.trsm.time(p)

@@ -1,0 +1,100 @@
+"""Bench-harness tests (quick grids)."""
+
+import pytest
+
+from repro.bench.harness import (PAPER_BATCH, PAPER_SIZES, QUICK_SIZES,
+                                 BenchHarness, Series)
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return BenchHarness(sizes=(2, 4, 8), batch=1024)
+
+
+def test_paper_protocol_constants():
+    assert PAPER_SIZES == tuple(range(1, 34))
+    assert PAPER_BATCH == 16384
+    assert set(QUICK_SIZES) <= set(PAPER_SIZES)
+
+
+class TestSeries:
+    def test_points_and_lookup(self):
+        s = Series("x", "d", "gflops", [(2, 1.0), (4, 3.0)])
+        assert s.sizes == [2, 4]
+        assert s.value_at(4) == 3.0
+        assert s.max_value == 3.0
+        with pytest.raises(KeyError):
+            s.value_at(8)
+
+
+class TestSweeps:
+    def test_gemm_series_structure(self, harness):
+        out = harness.gemm_series("d", "NN")
+        assert set(out) == {"IATF", "OpenBLAS (loop)", "ARMPL (batch)",
+                            "LIBXSMM (batch)"}
+        for s in out.values():
+            assert s.sizes == [2, 4, 8]
+            assert all(v > 0 for _, v in s.points)
+
+    def test_complex_drops_libxsmm(self, harness):
+        out = harness.gemm_series("z", "NN")
+        assert "LIBXSMM (batch)" not in out
+
+    def test_trsm_series_structure(self, harness):
+        out = harness.trsm_series("d", "LNLN")
+        assert set(out) == {"IATF", "OpenBLAS (loop)", "ARMPL (loop)"}
+
+    def test_iatf_wins_small_gemm(self, harness):
+        out = harness.gemm_series("d", "NN")
+        assert out["IATF"].value_at(2) > out["OpenBLAS (loop)"].value_at(2)
+        assert out["IATF"].value_at(2) > out["ARMPL (batch)"].value_at(2)
+
+    def test_iatf_wins_all_trsm_sizes(self, harness):
+        """The paper: 'IATF achieves extremely large improvements for all
+        sizes and all data types' in TRSM."""
+        out = harness.trsm_series("d", "LNLN")
+        for (sz, iatf_v), (_, ob_v) in zip(out["IATF"].points,
+                                           out["OpenBLAS (loop)"].points):
+            assert iatf_v > ob_v, sz
+
+    def test_caching(self, harness):
+        v1 = harness.gemm_gflops("IATF", 4, "d", "NN")
+        v2 = harness.gemm_gflops("IATF", 4, "d", "NN")
+        assert v1 == v2
+        assert ("gemm", "IATF", 4, "d", "NN", 1024) in harness._cache
+
+    def test_unknown_lib_rejected(self, harness):
+        with pytest.raises(KeyError):
+            harness.gemm_gflops("ESSL", 4, "d", "NN")
+
+    def test_max_speedup(self, harness):
+        series = harness.gemm_series("d", "NN")
+        ratio, size = harness.max_speedup(series, over="OpenBLAS (loop)")
+        assert ratio > 1
+        assert size in (2, 4, 8)
+
+
+class TestPercentPeak:
+    def test_gemm_percent_peak(self, harness):
+        out = harness.gemm_percent_peak("d")
+        assert set(out) == {"IATF (Kunpeng 920)",
+                            "MKL compact (Xeon 6240)"}
+        for s in out.values():
+            for _, v in s.points:
+                assert 0 < v < 100
+
+    def test_trsm_percent_peak(self, harness):
+        out = harness.trsm_percent_peak("s")
+        for s in out.values():
+            for _, v in s.points:
+                assert 0 < v < 100
+
+
+def test_series_csv(harness):
+    from repro.bench.reporting import series_csv
+    s = harness.gemm_series("d", "NN")
+    text = series_csv(s)
+    lines = text.splitlines()
+    assert lines[0].startswith("size,IATF,")
+    assert len(lines) == 1 + len(harness.sizes)
+    assert all(len(l.split(",")) == len(s) + 1 for l in lines)

@@ -1,0 +1,74 @@
+"""CMAR analysis tests (paper Eqs. 2-3 and the Section 4.2 derivations)."""
+
+import pytest
+
+from repro.codegen.cmar import (cmar_complex, cmar_real, fits_registers,
+                                max_triangular_order, optimal_gemm_kernel,
+                                register_cost)
+
+
+class TestFormulas:
+    def test_eq2_values(self):
+        assert cmar_real(4, 4) == pytest.approx(2.0)
+        assert cmar_real(2, 2) == pytest.approx(1.0)
+        assert cmar_real(1, 4) == pytest.approx(0.8)
+
+    def test_eq3_values(self):
+        assert cmar_complex(3, 2) == pytest.approx(24 / 10)
+        assert cmar_complex(2, 3) == pytest.approx(24 / 10)
+        assert cmar_complex(2, 2) == pytest.approx(2.0)
+
+    def test_register_cost(self):
+        assert register_cost(4, 4, "d") == 8 + 8 + 16   # exactly 32
+        assert register_cost(3, 2, "z") == 12 + 8 + 12  # exactly 32
+        assert register_cost(4, 4, "s") == 32
+
+    def test_fits_registers_boundary(self):
+        assert fits_registers(4, 4, "d")
+        assert not fits_registers(5, 4, "d")
+        assert not fits_registers(4, 5, "d")
+        assert fits_registers(3, 2, "c")
+        assert not fits_registers(3, 3, "c")
+
+
+class TestOptima:
+    @pytest.mark.parametrize("dtype", ["s", "d"])
+    def test_real_optimum_is_4x4(self, dtype):
+        """The paper: 'For DGEMM and SGEMM, the optimal kernel size is 4x4'."""
+        assert optimal_gemm_kernel(dtype) == (4, 4)
+
+    @pytest.mark.parametrize("dtype", ["c", "z"])
+    def test_complex_optimum_is_3x2(self, dtype):
+        """'For CGEMM and ZGEMM, the optimal kernel size is 3x2 or 2x3';
+        the tie-break picks the taller kernel."""
+        assert optimal_gemm_kernel(dtype) == (3, 2)
+
+    def test_optimum_is_actual_argmax(self):
+        """Brute force over the feasible set confirms no better point."""
+        mc, nc = optimal_gemm_kernel("d")
+        best = cmar_real(mc, nc)
+        for m in range(1, 32):
+            for n in range(1, 32):
+                if fits_registers(m, n, "d"):
+                    assert cmar_real(m, n) <= best + 1e-12
+
+    def test_more_registers_never_worse(self):
+        m1, n1 = optimal_gemm_kernel("d", 32)
+        m2, n2 = optimal_gemm_kernel("d", 64)
+        assert cmar_real(m2, n2) >= cmar_real(m1, n1)
+
+
+class TestTriangularBound:
+    @pytest.mark.parametrize("dtype", ["s", "d"])
+    def test_real_bound_is_5(self, dtype):
+        """Section 4.2.2: '2M + M(M+1)/2 <= 32, so M is up to 5'."""
+        assert max_triangular_order(dtype) == 5
+
+    @pytest.mark.parametrize("dtype", ["c", "z"])
+    def test_complex_bound_is_3(self, dtype):
+        assert max_triangular_order(dtype) == 3
+
+    def test_bound_formula(self):
+        m = max_triangular_order("d")
+        assert 2 * m + m * (m + 1) // 2 <= 32
+        assert 2 * (m + 1) + (m + 1) * (m + 2) // 2 > 32

@@ -1,0 +1,181 @@
+"""Functional correctness of TRSM triangular and rectangular kernels."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.codegen.cmar import max_triangular_order
+from repro.codegen.generator_trsm import (generate_trsm_rect,
+                                          generate_trsm_triangular)
+from repro.errors import CodegenError
+from repro.machine import KUNPENG_920, MemorySpace, VectorExecutor
+from repro.machine.isa import Op
+from repro.types import BlasDType
+from tests.conftest import random_batch, random_triangular, tolerance
+
+
+def pack_triangle(a, lanes, ncomp, unit=False):
+    batch, m, _ = a.shape
+    groups = batch // lanes
+    idx = [(i, j) for i in range(m) for j in range(i + 1)]
+    real = np.float32 if a.real.dtype == np.float32 else np.float64
+    out = np.zeros((groups, len(idx), ncomp, lanes), dtype=real)
+    ar = a.reshape(groups, lanes, m, m)
+    for t, (i, j) in enumerate(idx):
+        v = ar[:, :, i, j]
+        if i == j and not unit:
+            v = 1.0 / v
+        out[:, t, 0, :] = v.real
+        if ncomp == 2:
+            out[:, t, 1, :] = v.imag
+    return np.ascontiguousarray(out).reshape(-1)
+
+
+def pack_colmajor(b, lanes, ncomp):
+    batch, m, n = b.shape
+    groups = batch // lanes
+    g = b.reshape(groups, lanes, m, n)
+    if ncomp == 2:
+        planes = np.stack([g.real, g.imag], axis=2)
+        out = planes.transpose(0, 4, 3, 2, 1)
+    else:
+        out = g.transpose(0, 3, 2, 1)
+    # .copy(): for degenerate shapes the transpose is already contiguous
+    # and ascontiguousarray would alias the input, which the in-place
+    # solve then overwrites
+    return out.copy().reshape(-1)
+
+
+def unpack_colmajor(buf, groups, lanes, m, n, ncomp, dtype):
+    out = buf.reshape(groups, n, m, ncomp, lanes)
+    if ncomp == 2:
+        full = (out[:, :, :, 0, :] + 1j * out[:, :, :, 1, :])
+    else:
+        full = out[:, :, :, 0, :]
+    return full.transpose(0, 3, 2, 1).reshape(groups * lanes, m, n) \
+        .astype(dtype)
+
+
+class TestTriangularKernels:
+    @pytest.mark.parametrize("dt", ["s", "d", "c", "z"])
+    @pytest.mark.parametrize("n", [1, 3, 6])
+    @pytest.mark.parametrize("unit", [False, True])
+    def test_all_orders(self, rng, dt, n, unit):
+        bdt = BlasDType.from_any(dt)
+        machine = KUNPENG_920
+        lanes = machine.lanes(bdt)
+        ncomp = 2 if bdt.is_complex else 1
+        for m in range(1, max_triangular_order(bdt) + 1):
+            groups = 2
+            batch = groups * lanes
+            a = random_triangular(rng, batch, m, dt)
+            b = random_batch(rng, batch, m, n, dt)
+            pa = pack_triangle(a, lanes, ncomp, unit)
+            pb = pack_colmajor(b, lanes, ncomp)
+            mem = MemorySpace()
+            mem.bind("pA", pa)
+            mem.bind("pB", pb)
+            prog = generate_trsm_triangular(m, n, bdt, machine,
+                                            unit_diag=unit)
+            ex = VectorExecutor(mem, groups=groups)
+            isz = bdt.real_itemsize
+            ga = np.arange(groups, dtype=np.int64)
+            tri = m * (m + 1) // 2
+            ex.set_pointer(0, "pA", ga * tri * ncomp * lanes * isz)
+            boff = ga * (m * n * ncomp * lanes * isz)
+            ex.set_pointer(1, "pB", boff)
+            ex.set_pointer(6, "pB", boff)
+            ex.run(prog)
+            x = unpack_colmajor(pb, groups, lanes, m, n, ncomp, bdt.np_dtype)
+            for i in range(batch):
+                want = scipy.linalg.solve_triangular(
+                    a[i], b[i], lower=True, unit_diagonal=unit)
+                assert np.abs(x[i] - want).max() < tolerance(dt), (dt, m, n)
+
+    def test_order_beyond_bound_rejected(self):
+        with pytest.raises(CodegenError):
+            generate_trsm_triangular(6, 4, "d", KUNPENG_920)
+        with pytest.raises(CodegenError):
+            generate_trsm_triangular(4, 2, "z", KUNPENG_920)
+
+    def test_bad_panel_width_rejected(self):
+        with pytest.raises(CodegenError):
+            generate_trsm_triangular(3, 0, "d", KUNPENG_920)
+
+    def test_division_free(self):
+        """The kernel multiplies by the pre-reciprocated diagonal."""
+        prog = generate_trsm_triangular(5, 8, "d", KUNPENG_920)
+        assert prog.count(Op.FDIV) == 0
+
+    def test_unit_diag_skips_diagonal_multiply(self):
+        n = 4
+        nonunit = generate_trsm_triangular(4, n, "d", KUNPENG_920)
+        unit = generate_trsm_triangular(4, n, "d", KUNPENG_920,
+                                        unit_diag=True)
+        assert nonunit.count(Op.FMUL) - unit.count(Op.FMUL) == 4 * n
+
+
+class TestRectKernels:
+    @pytest.mark.parametrize("dt", ["s", "d", "c", "z"])
+    def test_fmls_update(self, rng, dt):
+        bdt = BlasDType.from_any(dt)
+        machine = KUNPENG_920
+        lanes = machine.lanes(bdt)
+        ncomp = 2 if bdt.is_complex else 1
+        sizes = ([(4, 4), (3, 4), (1, 4)] if not bdt.is_complex
+                 else [(2, 2), (1, 2)])
+        ks = [1, 2, 3, 4] if not bdt.is_complex else [1, 2]
+        for mc, nc in sizes:
+            for k in ks:
+                groups = 2
+                batch = groups * lanes
+                l_blk = random_batch(rng, batch, mc, k, dt)
+                x_pan = random_batch(rng, batch, k, nc, dt)
+                b0 = random_batch(rng, batch, mc, nc, dt)
+                # L block in GEMM-A stream layout ([k][i])
+                g = l_blk.reshape(groups, lanes, mc, k)
+                if ncomp == 2:
+                    planes = np.stack([g.real, g.imag], axis=2)
+                    pl = np.ascontiguousarray(
+                        planes.transpose(0, 4, 3, 2, 1)).reshape(-1)
+                else:
+                    pl = np.ascontiguousarray(
+                        g.transpose(0, 3, 2, 1)).reshape(-1)
+                pl = pl.astype(bdt.real_dtype)
+                px = pack_colmajor(x_pan, lanes, ncomp)
+                pb = pack_colmajor(b0, lanes, ncomp)
+                mem = MemorySpace()
+                mem.bind("pL", pl)
+                mem.bind("pX", px)
+                mem.bind("pB", pb)
+                isz = bdt.real_itemsize
+                vb = lanes * isz
+                xcs = k * ncomp * vb
+                prog = generate_trsm_rect(mc, nc, k, bdt, machine, xcs)
+                ex = VectorExecutor(mem, groups=groups)
+                ga = np.arange(groups, dtype=np.int64)
+                ex.set_pointer(0, "pL", ga * (mc * k * ncomp * vb))
+                ex.set_pointer(1, "pX", ga * (k * nc * ncomp * vb))
+                for j in range(nc):
+                    ex.set_pointer(2 + j, "pB",
+                                   ga * (mc * nc * ncomp * vb)
+                                   + j * mc * ncomp * vb)
+                ex.run(prog)
+                got = unpack_colmajor(pb, groups, lanes, mc, nc, ncomp,
+                                      bdt.np_dtype)
+                wide = np.complex128 if ncomp == 2 else np.float64
+                want = b0 - l_blk.astype(wide) @ x_pan.astype(wide)
+                assert np.abs(got - want).max() < tolerance(dt), (dt, mc,
+                                                                  nc, k)
+
+    def test_uses_fmls_not_fmla_for_real(self):
+        """Eq. 4: the rectangular kernel is FMLS-based, saving the M*N
+        extra multiplies a plain GEMM call would spend."""
+        prog = generate_trsm_rect(4, 4, 4, "d", KUNPENG_920, 64)
+        assert prog.count(Op.FMLS) == 4 * 4 * 4
+        assert prog.count(Op.FMLA) == 0
+        assert prog.count(Op.FMUL) == 0
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(CodegenError):
+            generate_trsm_rect(0, 4, 1, "d", KUNPENG_920, 64)

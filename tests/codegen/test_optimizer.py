@@ -1,0 +1,169 @@
+"""Kernel-optimizer tests: semantics preservation and cycle improvement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codegen.generator_gemm import generate_gemm_kernel
+from repro.codegen.generator_trsm import generate_trsm_triangular
+from repro.codegen.optimizer import build_dag, schedule_program
+from repro.machine import KUNPENG_920, MemorySpace, VectorExecutor
+from repro.machine.isa import Op, OpClass
+from repro.machine.pipeline import AddressSpace
+
+
+def run_gemm_like(prog, seed, nc=4, mc=4, k=8):
+    """Execute a GEMM-shaped program on random memory; return C buffer."""
+    rng = np.random.default_rng(seed)
+    mem = MemorySpace()
+    pa = mem.alloc("pA", mc * k * 2, 8)
+    pa[:] = rng.standard_normal(pa.shape)
+    pb = mem.alloc("pB", nc * k * 2, 8)
+    pb[:] = rng.standard_normal(pb.shape)
+    c = mem.alloc("C", mc * nc * 2, 8)
+    c[:] = rng.standard_normal(c.shape)
+    ex = VectorExecutor(mem, groups=1)
+    ex.set_pointer(0, "pA", 0)
+    ex.set_pointer(1, "pB", 0)
+    for j in range(nc):
+        ex.set_pointer(2 + j, "C", j * mc * 2 * 8)
+    ex.run(prog)
+    return c.copy()
+
+
+def time_on_warm(prog, machine=KUNPENG_920, mc=4, nc=4, k=8):
+    caches = machine.make_caches()
+    pipe = machine.make_pipeline(caches)
+    asp = AddressSpace()
+    aA = asp.place("pA", mc * k * 16)
+    aB = asp.place("pB", nc * k * 16)
+    aC = asp.place("C", mc * nc * 16)
+    for base, size in [(aA, mc * k * 16), (aB, nc * k * 16),
+                       (aC, mc * nc * 16)]:
+        caches.warm_range(base, size)
+    init = {0: aA, 1: aB}
+    init.update({2 + j: aC + j * mc * 16 for j in range(nc)})
+    return pipe.simulate(prog, init)
+
+
+class TestSemanticsPreserved:
+    @pytest.mark.parametrize("dt,mc,nc,k", [
+        ("d", 4, 4, 8), ("d", 4, 4, 1), ("d", 3, 2, 3), ("s", 4, 4, 16),
+        ("z", 3, 2, 5), ("c", 2, 2, 4),
+    ])
+    def test_gemm_kernels(self, dt, mc, nc, k):
+        prog = generate_gemm_kernel(mc, nc, k, dt, KUNPENG_920,
+                                    alpha=1.5, beta=0.5)
+        opt = schedule_program(prog, KUNPENG_920)
+        # execute both on identical memory images
+        from repro.types import BlasDType
+        bdt = BlasDType.from_any(dt)
+        lanes = KUNPENG_920.lanes(bdt)
+        ncomp = 2 if bdt.is_complex else 1
+        for seed in (0, 1):
+            rng = np.random.default_rng(seed)
+            shapes = {"pA": mc * k * ncomp * lanes,
+                      "pB": nc * k * ncomp * lanes,
+                      "C": mc * nc * ncomp * lanes}
+            results = []
+            for p in (prog, opt):
+                mem = MemorySpace()
+                r2 = np.random.default_rng(seed)
+                for name, n in shapes.items():
+                    buf = mem.alloc(name, n, bdt.real_itemsize)
+                    buf[:] = r2.standard_normal(n)
+                ex = VectorExecutor(mem, groups=1)
+                ex.set_pointer(0, "pA", 0)
+                ex.set_pointer(1, "pB", 0)
+                esz = bdt.real_itemsize
+                for j in range(nc):
+                    ex.set_pointer(2 + j, "C", j * mc * ncomp * lanes * esz)
+                ex.run(p)
+                results.append(mem["C"].copy())
+            assert np.array_equal(results[0], results[1])
+
+    def test_trsm_triangular_kernel(self):
+        prog = generate_trsm_triangular(4, 6, "d", KUNPENG_920)
+        opt = schedule_program(prog, KUNPENG_920)
+        for seed in (3, 4):
+            outs = []
+            for p in (prog, opt):
+                rng = np.random.default_rng(seed)
+                mem = MemorySpace()
+                pa = mem.alloc("pA", 10 * 2, 8)
+                pa[:] = rng.standard_normal(pa.shape) + 2
+                pb = mem.alloc("pB", 4 * 6 * 2, 8)
+                pb[:] = rng.standard_normal(pb.shape)
+                ex = VectorExecutor(mem, groups=1)
+                ex.set_pointer(0, "pA", 0)
+                ex.set_pointer(1, "pB", 0)
+                ex.set_pointer(6, "pB", 0)
+                ex.run(p)
+                outs.append(pb.copy())
+            assert np.array_equal(outs[0], outs[1])
+
+    def test_instruction_multiset_preserved(self):
+        prog = generate_gemm_kernel(4, 4, 8, "d", KUNPENG_920)
+        opt = schedule_program(prog, KUNPENG_920)
+        assert sorted(i.asm() for i in prog) == sorted(i.asm() for i in opt)
+        assert len(opt) == len(prog)
+
+
+class TestImprovement:
+    def test_figure5_staging(self):
+        """original >= dependence-reordered >= resource-aware optimized."""
+        prog = generate_gemm_kernel(4, 4, 16, "d", KUNPENG_920)
+        reord = schedule_program(prog, KUNPENG_920, resource_aware=False)
+        opt = schedule_program(prog, KUNPENG_920, resource_aware=True)
+        c0 = time_on_warm(prog).cycles
+        c1 = time_on_warm(reord).cycles
+        c2 = time_on_warm(opt).cycles
+        assert c0 >= c1 >= c2
+        assert c2 < 0.85 * c0     # the optimizer must actually matter
+
+    @pytest.mark.parametrize("dt", ["s", "d", "z"])
+    def test_never_slower(self, dt):
+        prog = generate_gemm_kernel(3, 2, 6, dt, KUNPENG_920)
+        opt = schedule_program(prog, KUNPENG_920)
+        assert time_on_warm(opt, mc=3, nc=2, k=6).cycles <= \
+            time_on_warm(prog, mc=3, nc=2, k=6).cycles
+
+
+class TestStructure:
+    def test_prefetches_stay_first(self):
+        prog = generate_gemm_kernel(4, 4, 8, "d", KUNPENG_920)
+        opt = schedule_program(prog, KUNPENG_920)
+        n_pf = sum(1 for i in prog if i.iclass is OpClass.PREFETCH)
+        assert all(i.iclass is OpClass.PREFETCH for i in opt.instrs[:n_pf])
+
+    def test_name_and_meta(self):
+        prog = generate_gemm_kernel(2, 2, 4, "d", KUNPENG_920)
+        opt = schedule_program(prog, KUNPENG_920)
+        assert opt.name.endswith("_opt")
+        assert opt.meta["scheduled"] == "opt"
+        reord = schedule_program(prog, KUNPENG_920, resource_aware=False)
+        assert reord.meta["scheduled"] == "reord"
+
+    def test_dag_edges_forward_only(self):
+        prog = generate_gemm_kernel(4, 4, 4, "d", KUNPENG_920)
+        body = [i for i in prog.instrs if i.iclass is not OpClass.PREFETCH]
+        dag = build_dag(body, KUNPENG_920)
+        for src, edges in enumerate(dag.succs):
+            for dst, _ in edges:
+                assert dst > src
+
+    def test_store_load_order_same_base_kept(self):
+        """A load after a store through the same pointer must not be
+        hoisted above it."""
+        from repro.machine.isa import fmul, ldrv, strv
+        from repro.machine.program import Program
+        prog = Program("t", [
+            fmul(0, 1, 2, ew=8),
+            strv(0, 0, 0),
+            ldrv(3, 0, 0),
+            fmul(4, 3, 3, ew=8),
+        ], ew=8, lanes=2)
+        opt = schedule_program(prog, KUNPENG_920)
+        ops = [i.op for i in opt.instrs]
+        assert ops.index(Op.STRV) < ops.index(Op.LDRV)

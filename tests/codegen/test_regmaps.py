@@ -1,0 +1,104 @@
+"""Register-map tests: the Algorithm 2 / Algorithm 4 register layouts.
+
+The register numbering is a contract between templates, the scheduler
+(which reasons about dependences through these registers), and the
+paper's budget derivations — pin it directly.
+"""
+
+import pytest
+
+from repro.codegen.cmar import register_cost
+from repro.codegen.templates_gemm import GemmRegMap
+from repro.codegen.templates_trsm import TrsmTriRegMap, tri_index
+from repro.errors import RegisterAllocationError
+from repro.types import BlasDType
+
+
+class TestGemmRegMapReal:
+    def setup_method(self):
+        self.ctx = GemmRegMap(4, 4, BlasDType.D, lanes=2)
+
+    def test_paper_layout(self):
+        """Algorithm 2: A in V0..V(2mc-1), B next, C at V(2(mc+nc))."""
+        assert self.ctx.a_reg(0, 0) == 0
+        assert self.ctx.a_reg(1, 0) == 4          # bank 1 starts at mc
+        assert self.ctx.b_base == 8
+        assert self.ctx.b_reg(0, 0) == 8
+        assert self.ctx.b_reg(1, 3) == 15
+        assert self.ctx.c_base == 16
+        assert self.ctx.c_reg(0, 0) == 16
+        assert self.ctx.c_reg(3, 3) == 31         # the last register
+
+    def test_c_is_column_major(self):
+        """Figure 5's v16 = C(0,0), v17 = C(1,0) ordering."""
+        assert self.ctx.c_reg(1, 0) == 17
+        assert self.ctx.c_reg(0, 1) == 20
+
+    def test_all_registers_distinct_and_bounded(self):
+        regs = ([self.ctx.a_reg(b, i) for b in (0, 1) for i in range(4)]
+                + [self.ctx.b_reg(b, j) for b in (0, 1) for j in range(4)]
+                + [self.ctx.c_reg(i, j) for i in range(4) for j in range(4)])
+        assert len(set(regs)) == 32
+        assert max(regs) == 31
+
+    def test_budget_matches_cmar_accounting(self):
+        for mc, nc in [(4, 4), (3, 2), (1, 4), (2, 2)]:
+            ctx = GemmRegMap(mc, nc, BlasDType.D, lanes=2)
+            used = ctx.c_base + mc * nc
+            assert used == register_cost(mc, nc, "d")
+
+    def test_overflow_raises(self):
+        with pytest.raises(RegisterAllocationError):
+            GemmRegMap(5, 5, BlasDType.D, lanes=2)
+
+
+class TestGemmRegMapComplex:
+    def setup_method(self):
+        self.ctx = GemmRegMap(3, 2, BlasDType.Z, lanes=2)
+
+    def test_exactly_32_registers(self):
+        """Paper: 4mc + 4nc + 2mc*nc = 12 + 8 + 12 = 32."""
+        assert self.ctx.c_base + 2 * 3 * 2 == 32
+
+    def test_planes_adjacent(self):
+        """Element re/im in consecutive registers (an LDP fills both)."""
+        assert self.ctx.a_reg(0, 0, 1) == self.ctx.a_reg(0, 0, 0) + 1
+        assert self.ctx.c_reg(2, 1, 1) == self.ctx.c_reg(2, 1, 0) + 1
+
+    def test_bank_regs_grouped_by_element(self):
+        regs = self.ctx.a_bank_regs(0)
+        assert regs == [0, 1, 2, 3, 4, 5]       # (re, im) per element
+
+    def test_complex_overflow(self):
+        with pytest.raises(RegisterAllocationError):
+            GemmRegMap(3, 3, BlasDType.Z, lanes=2)
+
+
+class TestTrsmTriRegMap:
+    def test_tri_index_row_major(self):
+        assert tri_index(0, 0) == 0
+        assert tri_index(1, 0) == 1
+        assert tri_index(1, 1) == 2
+        assert tri_index(4, 4) == 14
+
+    def test_real_m5_budget(self):
+        """Paper: 2M + M(M+1)/2 = 10 + 15 = 25 registers at M=5."""
+        ctx = TrsmTriRegMap(5, BlasDType.D, lanes=2)
+        assert ctx.a_base == 10
+        assert ctx.a_reg(4, 4) == 10 + 14
+        regs = ([ctx.b_reg(b, i) for b in (0, 1) for i in range(5)]
+                + [ctx.a_reg(i, j) for i in range(5) for j in range(i + 1)])
+        assert len(set(regs)) == 25
+        assert max(regs) < 32
+
+    def test_complex_m3_with_temp(self):
+        ctx = TrsmTriRegMap(3, BlasDType.Z, lanes=2)
+        assert ctx.a_base == 12
+        assert ctx.temp_reg == 12 + 12
+        assert ctx.temp_reg < 32
+
+    def test_m6_overflow(self):
+        with pytest.raises(RegisterAllocationError):
+            TrsmTriRegMap(6, BlasDType.D, lanes=2)
+        with pytest.raises(RegisterAllocationError):
+            TrsmTriRegMap(4, BlasDType.Z, lanes=2)

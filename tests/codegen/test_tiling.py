@@ -1,0 +1,72 @@
+"""Tile-decomposition tests (Figure 4's edge-avoidance policy)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codegen.tiling import decompose_dim, tile_starts
+
+
+class TestMain4:
+    def test_paper_example_15(self):
+        """Figure 4(b): 15 decomposes as 4+4+4+3, not 4+4+4+2+1."""
+        assert decompose_dim(15, 4) == [4, 4, 4, 3]
+
+    @pytest.mark.parametrize("d,expect", [
+        (1, [1]), (2, [2]), (3, [3]), (4, [4]), (5, [3, 2]),
+        (6, [3, 3]), (7, [4, 3]), (8, [4, 4]), (9, [4, 3, 2]),
+        (10, [4, 3, 3]), (11, [4, 4, 3]), (12, [4, 4, 4]),
+        (33, [4] * 7 + [3, 2]),
+    ])
+    def test_known_decompositions(self, d, expect):
+        assert decompose_dim(d, 4) == expect
+
+    def test_no_unit_tiles_above_2(self):
+        for d in range(3, 100):
+            assert 1 not in decompose_dim(d, 4), d
+
+
+class TestMain3:
+    @pytest.mark.parametrize("d,expect", [
+        (1, [1]), (2, [2]), (3, [3]), (4, [2, 2]), (5, [3, 2]),
+        (6, [3, 3]), (7, [3, 2, 2]), (8, [3, 3, 2]),
+    ])
+    def test_known(self, d, expect):
+        assert decompose_dim(d, 3) == expect
+
+    def test_no_unit_tiles_above_1(self):
+        for d in range(2, 60):
+            assert 1 not in decompose_dim(d, 3), d
+
+
+class TestMain2:
+    @pytest.mark.parametrize("d,expect", [
+        (1, [1]), (2, [2]), (3, [2, 1]), (6, [2, 2, 2]), (7, [2, 2, 2, 1]),
+    ])
+    def test_known(self, d, expect):
+        assert decompose_dim(d, 2) == expect
+
+
+class TestValidation:
+    def test_rejects_bad_dim(self):
+        with pytest.raises(ValueError):
+            decompose_dim(0, 4)
+
+    def test_rejects_bad_main(self):
+        with pytest.raises(ValueError):
+            decompose_dim(4, 5)
+
+
+def test_tile_starts():
+    assert tile_starts([4, 4, 3]) == [0, 4, 8]
+    assert tile_starts([]) == []
+
+
+@given(d=st.integers(1, 200), main=st.sampled_from([2, 3, 4]))
+def test_property_cover_and_bounds(d, main):
+    """Tiles always cover the dimension exactly with sizes in 1..main,
+    sorted descending (main kernels run first)."""
+    tiles = decompose_dim(d, main)
+    assert sum(tiles) == d
+    assert all(1 <= t <= main for t in tiles)
+    assert tiles == sorted(tiles, reverse=True)

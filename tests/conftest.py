@@ -1,0 +1,58 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine.machines import KUNPENG_920, XEON_GOLD_6240
+from repro.types import BlasDType
+
+NP_DTYPES = {
+    "s": np.float32,
+    "d": np.float64,
+    "c": np.complex64,
+    "z": np.complex128,
+}
+
+ALL_DTYPES = ("s", "d", "c", "z")
+REAL_DTYPES = ("s", "d")
+COMPLEX_DTYPES = ("c", "z")
+
+
+def tolerance(dtype: str) -> float:
+    """Comparison tolerance: single-precision kernels round like float32."""
+    return 5e-3 if dtype in ("s", "c") else 1e-9
+
+
+def random_batch(rng: np.random.Generator, batch: int, rows: int, cols: int,
+                 dtype: str) -> np.ndarray:
+    """Random (batch, rows, cols) array of the requested BLAS dtype."""
+    a = rng.standard_normal((batch, rows, cols))
+    if dtype in COMPLEX_DTYPES:
+        a = a + 1j * rng.standard_normal((batch, rows, cols))
+    return a.astype(NP_DTYPES[dtype])
+
+
+def random_triangular(rng: np.random.Generator, batch: int, d: int,
+                      dtype: str, uplo: str = "L") -> np.ndarray:
+    """Well-conditioned random triangular batch (diagonal pushed off zero)."""
+    a = random_batch(rng, batch, d, d, dtype)
+    tri = np.tril(a) if uplo == "L" else np.triu(a)
+    eye = (3.0 + 0j if dtype in COMPLEX_DTYPES else 3.0) * np.eye(d)
+    return (tri + eye[None]).astype(NP_DTYPES[dtype])
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20220829)  # the paper's conference date
+
+
+@pytest.fixture
+def kunpeng():
+    return KUNPENG_920
+
+
+@pytest.fixture
+def xeon():
+    return XEON_GOLD_6240

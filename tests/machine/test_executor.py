@@ -1,0 +1,239 @@
+"""Functional-executor semantics: every opcode, batched fan-out, errors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExecutionError, MachineError
+from repro.machine.executor import VectorExecutor
+from repro.machine.isa import (addi, fadd, fdiv, fmai, fmla, fmls, fmul,
+                               fmuli, fsub, ld1r, ld2v, ldpv, ldrv, nop,
+                               prfm, st2v, stpv, strv, vmov, vzero)
+from repro.machine.memory import MemorySpace
+from repro.machine.program import Program
+
+
+def run_one(instrs, buffers, pointers, groups=1, ew=8, lanes=2):
+    mem = MemorySpace()
+    arrays = {}
+    for name, data in buffers.items():
+        arr = mem.alloc(name, len(data), ew)
+        arr[:] = data
+        arrays[name] = arr
+    ex = VectorExecutor(mem, groups=groups)
+    for xreg, (buf, off) in pointers.items():
+        ex.set_pointer(xreg, buf, off)
+    ex.run(Program("t", instrs, ew=ew, lanes=lanes))
+    return arrays, ex
+
+
+class TestLoadsStores:
+    def test_ldrv_strv_roundtrip(self):
+        arrays, _ = run_one(
+            [ldrv(0, 0, 0), strv(0, 0, 16)],
+            {"m": [1, 2, 0, 0]}, {0: ("m", 0)})
+        assert list(arrays["m"]) == [1, 2, 1, 2]
+
+    def test_ldpv_loads_two_registers(self):
+        _, ex = run_one([ldpv(0, 1, 0, 0)], {"m": [1, 2, 3, 4]},
+                        {0: ("m", 0)})
+        assert list(ex.vreg(0)[0]) == [1, 2]
+        assert list(ex.vreg(1)[0]) == [3, 4]
+
+    def test_ld1r_broadcasts(self):
+        _, ex = run_one([ld1r(0, 0, 8)], {"m": [9, 7]}, {0: ("m", 0)})
+        assert list(ex.vreg(0)[0]) == [7, 7]
+
+    def test_ld2_st2_deinterleave(self):
+        arrays, ex = run_one(
+            [ld2v(0, 1, 0, 0), st2v(1, 0, 0, 32)],
+            {"m": [1, 10, 2, 20, 0, 0, 0, 0]}, {0: ("m", 0)})
+        assert list(ex.vreg(0)[0]) == [1, 2]
+        assert list(ex.vreg(1)[0]) == [10, 20]
+        assert list(arrays["m"][4:]) == [10, 1, 20, 2]
+
+    def test_partial_load_zero_fills(self):
+        _, ex = run_one([ldrv(0, 0, 0, nlanes=1)], {"m": [5, 6]},
+                        {0: ("m", 0)})
+        assert list(ex.vreg(0)[0]) == [5, 0]
+
+    def test_partial_store_touches_named_lanes_only(self):
+        arrays, _ = run_one(
+            [ldrv(0, 0, 0), strv(0, 0, 16, nlanes=1)],
+            {"m": [1, 2, -1, -1]}, {0: ("m", 0)})
+        assert list(arrays["m"][2:]) == [1, -1]
+
+    def test_offset_addressing(self):
+        _, ex = run_one([ldrv(0, 0, 16)], {"m": [0, 0, 3, 4]},
+                        {0: ("m", 0)})
+        assert list(ex.vreg(0)[0]) == [3, 4]
+
+
+class TestArithmetic:
+    def setup_method(self):
+        self.buffers = {"m": [1.0, 2.0, 3.0, 4.0, 0.0, 0.0]}
+
+    def _binary(self, op, expect):
+        arrays, _ = run_one(
+            [ldrv(0, 0, 0), ldrv(1, 0, 16), op(2, 0, 1), strv(2, 0, 32)],
+            dict(self.buffers), {0: ("m", 0)})
+        assert list(arrays["m"][4:]) == expect
+
+    def test_fmul(self):
+        self._binary(fmul, [3.0, 8.0])
+
+    def test_fadd(self):
+        self._binary(fadd, [4.0, 6.0])
+
+    def test_fsub(self):
+        self._binary(fsub, [-2.0, -2.0])
+
+    def test_fdiv(self):
+        self._binary(fdiv, [1 / 3, 0.5])
+
+    def test_fmla_accumulates(self):
+        arrays, _ = run_one(
+            [ldrv(0, 0, 0), ldrv(1, 0, 16), vzero(2),
+             fmla(2, 0, 1), fmla(2, 0, 1), strv(2, 0, 32)],
+            dict(self.buffers), {0: ("m", 0)})
+        assert list(arrays["m"][4:]) == [6.0, 16.0]
+
+    def test_fmls_subtracts(self):
+        arrays, _ = run_one(
+            [ldrv(0, 0, 0), ldrv(1, 0, 16), vzero(2),
+             fmls(2, 0, 1), strv(2, 0, 32)],
+            dict(self.buffers), {0: ("m", 0)})
+        assert list(arrays["m"][4:]) == [-3.0, -8.0]
+
+    def test_fmai_fmuli_immediates(self):
+        arrays, _ = run_one(
+            [ldrv(0, 0, 0), fmuli(1, 0, 2.0), fmai(1, 0, 0.5),
+             strv(1, 0, 32)],
+            dict(self.buffers), {0: ("m", 0)})
+        assert list(arrays["m"][4:]) == [2.5, 5.0]
+
+    def test_vmov_vzero(self):
+        arrays, _ = run_one(
+            [ldrv(0, 0, 0), vmov(1, 0), vzero(0), strv(1, 0, 32)],
+            dict(self.buffers), {0: ("m", 0)})
+        assert list(arrays["m"][4:]) == [1.0, 2.0]
+
+    def test_prfm_nop_are_functional_noops(self):
+        arrays, _ = run_one(
+            [prfm(0, 0), nop(), ldrv(0, 0, 0), strv(0, 0, 32)],
+            dict(self.buffers), {0: ("m", 0)})
+        assert list(arrays["m"][4:]) == [1.0, 2.0]
+
+    def test_float32_rounds_like_float32(self):
+        mem = MemorySpace()
+        arr = mem.alloc("m", 8, 4)
+        arr[:4] = [1e8, 1.0, 0, 0]
+        ex = VectorExecutor(mem)
+        ex.set_pointer(0, "m", 0)
+        ex.run(Program("t", [ldrv(0, 0, 0, ew=4), ldrv(1, 0, 4 * 4, ew=4),
+                             fadd(2, 0, 0, ew=4), strv(2, 0, 16, ew=4)],
+                       ew=4, lanes=4))
+        assert arr[4] == np.float32(1e8) + np.float32(1e8)
+
+
+class TestPointers:
+    def test_addi_bumps(self):
+        _, ex = run_one([addi(0, 0, 16), ldrv(0, 0, 0)],
+                        {"m": [0, 0, 7, 8]}, {0: ("m", 0)})
+        assert list(ex.vreg(0)[0]) == [7, 8]
+
+    def test_addi_different_dst(self):
+        _, ex = run_one([addi(1, 0, 16), ldrv(0, 1, 0)],
+                        {"m": [0, 0, 7, 8]}, {0: ("m", 0)})
+        assert list(ex.vreg(0)[0]) == [7, 8]
+
+
+class TestGroupFanOut:
+    def test_vectorized_over_groups(self):
+        mem = MemorySpace()
+        arr = mem.alloc("m", 8, 8)
+        arr[:] = [1, 2, 3, 4, 5, 6, 7, 8]
+        ex = VectorExecutor(mem, groups=2)
+        ex.set_pointer(0, "m", np.array([0, 32]))
+        ex.run(Program("t", [ldrv(0, 0, 0), fmuli(1, 0, 10.0),
+                             strv(1, 0, 16)], ew=8, lanes=2))
+        assert list(arr) == [1, 2, 10, 20, 5, 6, 50, 60]
+
+    def test_fanout_mismatch_rejected(self):
+        mem = MemorySpace()
+        mem.alloc("m", 8, 8)
+        ex = VectorExecutor(mem, groups=3)
+        with pytest.raises(ExecutionError):
+            ex.set_pointer(0, "m", np.array([0, 32]))
+
+
+class TestErrors:
+    def test_read_uninitialized_vreg(self):
+        with pytest.raises(ExecutionError, match="read before write"):
+            run_one([strv(0, 0, 0)], {"m": [0, 0]}, {0: ("m", 0)})
+
+    def test_read_uninitialized_pointer(self):
+        with pytest.raises(ExecutionError, match="x1"):
+            run_one([ldrv(0, 1, 0)], {"m": [0, 0]}, {0: ("m", 0)})
+
+    def test_out_of_bounds(self):
+        with pytest.raises(ExecutionError, match="out-of-bounds"):
+            run_one([ldrv(0, 0, 8)], {"m": [0, 0]}, {0: ("m", 0)})
+
+    def test_misaligned(self):
+        with pytest.raises(ExecutionError, match="misaligned"):
+            run_one([ldrv(0, 0, 3)], {"m": [0, 0, 0, 0]}, {0: ("m", 0)})
+
+    def test_unknown_buffer(self):
+        mem = MemorySpace()
+        ex = VectorExecutor(mem)
+        with pytest.raises(ExecutionError):
+            ex.set_pointer(0, "nope", 0)
+
+    def test_error_includes_program_context(self):
+        with pytest.raises(ExecutionError, match="t @pc=0"):
+            run_one([ldrv(0, 0, 64)], {"m": [0, 0]}, {0: ("m", 0)})
+
+    def test_groups_must_be_positive(self):
+        with pytest.raises(ExecutionError):
+            VectorExecutor(MemorySpace(), groups=0)
+
+
+class TestMemorySpace:
+    def test_double_alloc_rejected(self):
+        mem = MemorySpace()
+        mem.alloc("x", 4, 8)
+        with pytest.raises(MachineError):
+            mem.alloc("x", 4, 8)
+
+    def test_bind_requires_1d_contiguous_real(self):
+        mem = MemorySpace()
+        with pytest.raises(MachineError):
+            mem.bind("x", np.zeros((2, 2)))
+        with pytest.raises(MachineError):
+            mem.bind("x", np.zeros(4, dtype=np.int32))
+        with pytest.raises(MachineError):
+            mem.bind("x", np.zeros(8)[::2])
+
+    def test_names_and_itemsize(self):
+        mem = MemorySpace()
+        mem.alloc("b", 4, 4)
+        mem.alloc("a", 4, 8)
+        assert mem.names() == ["a", "b"]
+        assert mem.itemsize("b") == 4
+        assert mem.nbytes("a") == 32
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=st.lists(st.floats(-1e3, 1e3), min_size=2, max_size=2),
+       b=st.lists(st.floats(-1e3, 1e3), min_size=2, max_size=2),
+       c=st.lists(st.floats(-1e3, 1e3), min_size=2, max_size=2))
+def test_fmla_matches_numpy_property(a, b, c):
+    """Property: FMLA is exactly acc + a*b elementwise in float64."""
+    arrays, _ = run_one(
+        [ldrv(0, 0, 0), ldrv(1, 0, 16), ldrv(2, 0, 32),
+         fmla(2, 0, 1), strv(2, 0, 32)],
+        {"m": a + b + c}, {0: ("m", 0)})
+    want = np.array(c) + np.array(a) * np.array(b)
+    assert np.array_equal(arrays["m"][4:], want)

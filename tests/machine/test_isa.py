@@ -1,0 +1,105 @@
+"""Tests for the instruction set definitions."""
+
+import pytest
+
+from repro.machine.isa import (Instr, Op, OpClass, addi, fadd, fdiv, fmai,
+                               fmla, fmls, fmul, fmuli, fsub, iclass_of,
+                               ld1r, ld2v, ldpv, ldrv, nop, prfm, st2v, stpv,
+                               strv, vmov, vzero)
+
+
+class TestConstructors:
+    def test_ldrv(self):
+        i = ldrv(3, 0, 16, ew=4)
+        assert i.op is Op.LDRV and i.dst == (3,)
+        assert i.base == 0 and i.offset == 16 and i.ew == 4
+
+    def test_ldpv_two_destinations(self):
+        i = ldpv(1, 2, 0, 32)
+        assert i.dst == (1, 2)
+
+    def test_store_sources(self):
+        assert strv(5, 1).srcs == (5,)
+        assert stpv(5, 6, 1).srcs == (5, 6)
+        assert st2v(5, 6, 1).srcs == (5, 6)
+
+    def test_addi(self):
+        i = addi(2, 2, 64)
+        assert i.xdst == 2 and i.xsrc == 2 and i.ximm == 64
+
+    def test_fmai_immediate(self):
+        i = fmai(4, 5, 1.5)
+        assert i.imm == 1.5 and i.dst == (4,) and i.srcs == (5,)
+
+
+class TestValidation:
+    def test_vreg_out_of_range(self):
+        with pytest.raises(ValueError):
+            fmla(32, 0, 1)
+
+    def test_xreg_out_of_range(self):
+        with pytest.raises(ValueError):
+            ldrv(0, 31)
+
+    def test_bad_element_width(self):
+        with pytest.raises(ValueError):
+            Instr(Op.FMLA, dst=(0,), srcs=(1, 2), ew=2)
+
+
+class TestClassification:
+    @pytest.mark.parametrize("ins,cls", [
+        (ldrv(0, 0), OpClass.MEM_LOAD),
+        (ldpv(0, 1, 0), OpClass.MEM_LOAD),
+        (ld1r(0, 0), OpClass.MEM_LOAD),
+        (ld2v(0, 1, 0), OpClass.MEM_LOAD),
+        (strv(0, 0), OpClass.MEM_STORE),
+        (stpv(0, 1, 0), OpClass.MEM_STORE),
+        (st2v(0, 1, 0), OpClass.MEM_STORE),
+        (addi(0, 0, 8), OpClass.INT),
+        (fmla(0, 1, 2), OpClass.FP),
+        (fdiv(0, 1, 2), OpClass.FP_DIV),
+        (vmov(0, 1), OpClass.FP),
+        (vzero(0), OpClass.FP),
+        (prfm(0), OpClass.PREFETCH),
+        (nop(), OpClass.NOP),
+    ])
+    def test_iclass(self, ins, cls):
+        assert ins.iclass is cls
+        assert iclass_of(ins.op) is cls
+
+    def test_fma_reads_accumulator(self):
+        """FMLA/FMLS/FMAI read their destination — a RAW hazard the
+        scheduler and scoreboard must both see."""
+        assert 0 in fmla(0, 1, 2).reads
+        assert 0 in fmls(0, 1, 2).reads
+        assert 0 in fmai(0, 1, 2.0).reads
+        assert 0 not in fmul(0, 1, 2).reads
+
+    @pytest.mark.parametrize("ins,fl", [
+        (fmla(0, 1, 2), 2), (fmls(0, 1, 2), 2), (fmai(0, 1, 1.0), 2),
+        (fmul(0, 1, 2), 1), (fadd(0, 1, 2), 1), (fsub(0, 1, 2), 1),
+        (fdiv(0, 1, 2), 1), (ldrv(0, 0), 0), (vmov(0, 1), 0),
+    ])
+    def test_flops_per_lane(self, ins, fl):
+        assert ins.flops_per_lane == fl
+
+
+class TestDisassembly:
+    def test_asm_strings(self):
+        assert "ldp   q0, q1, [x0, #0]" == ldpv(0, 1, 0).asm()
+        assert "fmla" in fmla(3, 1, 2, ew=4).asm()
+        assert ".4s" in fmla(3, 1, 2, ew=4).asm()
+        assert ".2d" in fmla(3, 1, 2, ew=8).asm()
+        assert "prfm" in prfm(2, 64).asm()
+        assert "add   x1, x1, #32" == addi(1, 1, 32).asm()
+
+    def test_every_opcode_has_asm(self):
+        samples = [ldrv(0, 0), ldpv(0, 1, 0), ld1r(0, 0), ld2v(0, 1, 0),
+                   strv(0, 0), stpv(0, 1, 0), st2v(0, 1, 0), addi(0, 0, 1),
+                   fmla(0, 1, 2), fmls(0, 1, 2), fmul(0, 1, 2),
+                   fmai(0, 1, 1.0), fmuli(0, 1, 1.0), fadd(0, 1, 2),
+                   fsub(0, 1, 2), fdiv(0, 1, 2), vzero(0), vmov(0, 1),
+                   prfm(0), nop()]
+        assert len({s.op for s in samples}) == len(samples)
+        for s in samples:
+            assert isinstance(s.asm(), str) and s.asm()

@@ -1,0 +1,95 @@
+"""Machine configurations must reproduce the paper's Table 2 exactly."""
+
+import pytest
+
+from repro.machine.machines import KUNPENG_920, XEON_GOLD_6240
+
+
+class TestKunpeng920:
+    def test_table2_peaks(self):
+        assert KUNPENG_920.peak_gflops("d") == pytest.approx(10.4)
+        assert KUNPENG_920.peak_gflops("s") == pytest.approx(41.6)
+        assert KUNPENG_920.peak_gflops("z") == pytest.approx(10.4)
+        assert KUNPENG_920.peak_gflops("c") == pytest.approx(41.6)
+
+    def test_table2_specs(self):
+        m = KUNPENG_920
+        assert m.freq_ghz == 2.6
+        assert m.vector_bytes * 8 == 128
+        assert m.l1.size == 64 * 1024
+        assert m.l2.size == 512 * 1024
+        assert m.num_vregs == 32
+
+    def test_paper_issue_statement(self):
+        """§6.3: one mem + one FP, or two FP for single precision."""
+        m = KUNPENG_920
+        assert m.rules.max_mem == 1
+        assert m.rules.max_fp(8) == 1
+        assert m.rules.max_fp(4) == 2
+        assert m.rules.width == 2
+
+    def test_lanes_match_paper_p(self):
+        assert KUNPENG_920.lanes("s") == 4    # paper: "P=4 ... fills SIMD"
+        assert KUNPENG_920.lanes("d") == 2
+        assert KUNPENG_920.lanes("c") == 4
+        assert KUNPENG_920.lanes("z") == 2
+
+
+class TestXeonGold6240:
+    def test_table2_peaks(self):
+        assert XEON_GOLD_6240.peak_gflops("d") == pytest.approx(83.2)
+        assert XEON_GOLD_6240.peak_gflops("s") == pytest.approx(166.4)
+
+    def test_table2_specs(self):
+        m = XEON_GOLD_6240
+        assert m.vector_bytes * 8 == 512
+        assert m.l1.size == 32 * 1024
+        assert m.l2.size == 1024 * 1024
+
+    def test_two_fma_pipes(self):
+        assert XEON_GOLD_6240.rules.max_fp(8) == 2
+        assert XEON_GOLD_6240.rules.max_fp(4) == 2
+
+
+class TestHelpers:
+    def test_gflops_conversion(self):
+        m = KUNPENG_920
+        # peak flops for 1 cycle at 2.6 GHz
+        assert m.gflops(4, 1) == pytest.approx(10.4)
+        assert m.gflops(100, 0) == 0.0
+
+    def test_cycles_to_seconds(self):
+        assert KUNPENG_920.cycles_to_seconds(2.6e9) == pytest.approx(1.0)
+
+    def test_with_rules_override(self):
+        m = KUNPENG_920.with_rules(max_fp64=2)
+        assert m.peak_gflops("d") == pytest.approx(20.8)
+        assert KUNPENG_920.rules.max_fp64 == 1   # original untouched
+
+    def test_factories_are_independent(self):
+        c1 = KUNPENG_920.make_caches()
+        c2 = KUNPENG_920.make_caches()
+        c1.access(0, 8)
+        assert c2.l1.stats.accesses == 0
+
+
+class TestA64FX:
+    """The beyond-the-paper SVE machine (see machines.A64FX)."""
+
+    def test_peaks(self):
+        from repro.machine.machines import A64FX
+        assert A64FX.peak_gflops("d") == pytest.approx(70.4)
+        assert A64FX.peak_gflops("s") == pytest.approx(140.8)
+
+    def test_sve_width_and_lines(self):
+        from repro.machine.machines import A64FX
+        assert A64FX.vector_bytes * 8 == 512
+        assert A64FX.l1.line == 256            # A64FX's unusual line size
+        assert A64FX.lanes("d") == 8
+
+    def test_caches_build(self):
+        from repro.machine.machines import A64FX
+        h = A64FX.make_caches()
+        assert h.line == 256
+        h.access(0, 8)
+        assert h.l1.contains(0)

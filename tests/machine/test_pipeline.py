@@ -1,0 +1,208 @@
+"""Scoreboard pipeline tests: issue rules, dependencies, latencies, FDIV."""
+
+import pytest
+
+from repro.machine.cache import CacheConfig, CacheHierarchy
+from repro.machine.isa import addi, fdiv, fmla, fmul, ldrv, nop, prfm, strv
+from repro.machine.machines import KUNPENG_920, XEON_GOLD_6240
+from repro.machine.pipeline import (AddressSpace, IssueRules, Latencies,
+                                    PipelineModel, TimingResult)
+from repro.machine.program import Program
+
+
+def make_pipe(machine=KUNPENG_920, warm_bytes=4096):
+    caches = machine.make_caches()
+    caches.warm_range(0, warm_bytes, "l1")
+    return machine.make_pipeline(caches)
+
+
+def simulate(instrs, machine=KUNPENG_920, ew=8, lanes=2, init=None):
+    pipe = make_pipe(machine)
+    return pipe.simulate(Program("t", instrs, ew=ew, lanes=lanes),
+                         init or {0: 0, 1: 1024, 2: 2048})
+
+
+class TestIssueRules:
+    def test_dp_one_fma_per_cycle(self):
+        """Kunpeng: fp64 issues at most one FP op per cycle -> N FMAs on
+        independent accumulators take ~N cycles."""
+        instrs = [fmul(i % 8, 8 + i % 8, 16 + i % 8, ew=8)
+                  for i in range(32)]
+        # make them fully independent: distinct destinations, sources ready
+        instrs = [fmul(i % 28, 28, 29, ew=8) for i in range(28)]
+        r = simulate([fmul(28, 28, 28, ew=8)] * 0 + instrs)
+        assert r.cycles >= 28
+
+    def test_sp_two_fp_per_cycle(self):
+        """fp32 dual-issues FP -> ~N/2 cycles for N independent FMULs
+        (the paper's single-precision special case)."""
+        instrs = [fmul(i, 30, 31, ew=4) for i in range(28)]
+        r = simulate(instrs, ew=4, lanes=4)
+        assert r.cycles <= 28 // 2 + 3
+
+    def test_one_mem_per_cycle(self):
+        instrs = [ldrv(i, 0, i * 16) for i in range(16)]
+        r = simulate(instrs)
+        assert r.cycles >= 16
+
+    def test_xeon_two_mem_per_cycle(self):
+        instrs = [ldrv(i, 0, i * 64, ew=8) for i in range(16)]
+        r = simulate(instrs, machine=XEON_GOLD_6240, lanes=8)
+        assert r.cycles <= 16 // 2 + 2
+
+    def test_load_pairs_with_fp_same_cycle(self):
+        """Kunpeng can co-issue one load + one FP op."""
+        instrs = []
+        for i in range(8):
+            instrs.append(ldrv(i, 0, i * 16))
+            instrs.append(fmul(8 + i, 30, 31, ew=8))
+        r = simulate(instrs)
+        # 16 instructions, 2-wide with 1 mem + 1 fp per cycle -> ~8 cycles
+        assert r.cycles <= 10
+
+    def test_width_bounds_total(self):
+        rules = IssueRules(width=1, max_mem=1, max_fp32=1, max_fp64=1,
+                           max_int=1)
+        lat = Latencies()
+        caches = CacheHierarchy(CacheConfig(1024, 2, 64, 10),
+                                CacheConfig(4096, 4, 64), 100)
+        caches.warm_range(0, 1024, "l1")
+        pipe = PipelineModel(rules, lat, caches, 16)
+        prog = Program("t", [nop() for _ in range(10)], ew=8, lanes=2)
+        r = pipe.simulate(prog, {})
+        assert r.cycles >= 10
+
+
+class TestDependencies:
+    def test_raw_dependency_stalls(self):
+        dep = simulate([fmul(0, 30, 31, ew=8), fmul(1, 0, 31, ew=8)])
+        indep = simulate([fmul(0, 30, 31, ew=8), fmul(1, 30, 31, ew=8)])
+        assert dep.cycles > indep.cycles
+
+    def test_accumulator_chain_costs_latency(self):
+        """Dependent FMA chain: each link pays the full FMA latency."""
+        n = 10
+        chain = simulate([fmla(0, 30, 31, ew=8) for _ in range(n)])
+        lat = KUNPENG_920.lat.fp_ma
+        assert chain.cycles >= (n - 1) * lat
+
+    def test_load_use_latency(self):
+        r1 = simulate([ldrv(0, 0, 0), fmul(1, 0, 0, ew=8)])
+        r2 = simulate([ldrv(0, 0, 0), fmul(1, 30, 30, ew=8)])
+        # wait... v30 uninitialized is fine for timing (ready at 0)
+        assert r1.cycles - r2.cycles >= KUNPENG_920.lat.load_use - 1
+
+    def test_addi_creates_address_dependency(self):
+        dep = simulate([addi(0, 0, 16), ldrv(0, 0, 0)])
+        indep = simulate([addi(3, 0, 16), ldrv(0, 0, 0)])
+        assert dep.cycles >= indep.cycles
+
+    def test_in_order_issue(self):
+        """A stalled instruction blocks everything behind it (in-order)."""
+        stalled_first = simulate([
+            fmla(0, 30, 31, ew=8), fmla(0, 30, 31, ew=8),  # chain
+            fmul(1, 30, 31, ew=8),                          # independent
+        ])
+        free_first = simulate([
+            fmul(1, 30, 31, ew=8),
+            fmla(0, 30, 31, ew=8), fmla(0, 30, 31, ew=8),
+        ])
+        assert free_first.cycles <= stalled_first.cycles
+
+
+class TestMemoryTiming:
+    def test_cold_load_pays_miss(self):
+        pipe = make_pipe(warm_bytes=64)      # only first line warm
+        prog = Program("t", [ldrv(0, 0, 0), fmul(1, 0, 0, ew=8)],
+                       ew=8, lanes=2)
+        warm = pipe.simulate(prog, {0: 0})
+        pipe2 = make_pipe(warm_bytes=64)
+        cold = pipe2.simulate(prog, {0: 1 << 16})
+        assert cold.cycles > warm.cycles + 50
+
+    def test_prfm_hides_latency(self):
+        machine = KUNPENG_920
+        caches = machine.make_caches()
+        pipe = machine.make_pipeline(caches)
+        fillers = [fmul(2, 30, 31, ew=8) for _ in range(40)]
+        with_pf = Program("t", [prfm(0, 0)] + fillers
+                          + [ldrv(0, 0, 0), fmul(1, 0, 0, ew=8)],
+                          ew=8, lanes=2)
+        r1 = pipe.simulate(with_pf, {0: 0})
+        caches2 = machine.make_caches()
+        pipe2 = machine.make_pipeline(caches2)
+        without = Program("t", fillers + [ldrv(0, 0, 0),
+                                          fmul(1, 0, 0, ew=8)],
+                          ew=8, lanes=2)
+        r2 = pipe2.simulate(without, {0: 0})
+        assert r1.cycles < r2.cycles
+
+    def test_l1_miss_counted(self):
+        pipe = make_pipe(warm_bytes=64)
+        prog = Program("t", [ldrv(0, 0, 0)], ew=8, lanes=2)
+        r = pipe.simulate(prog, {0: 1 << 18})
+        assert r.l1_misses >= 1
+
+
+class TestFDIV:
+    def test_fdiv_blocks_fp_pipe(self):
+        with_div = simulate([fdiv(0, 30, 31, ew=8)]
+                            + [fmul(i, 28, 29, ew=8) for i in range(1, 10)])
+        without = simulate([fmul(0, 30, 31, ew=8)]
+                           + [fmul(i, 28, 29, ew=8) for i in range(1, 10)])
+        assert with_div.cycles >= without.cycles + \
+            KUNPENG_920.lat.div_block64 - 2
+
+    def test_fdiv32_cheaper_than_fdiv64(self):
+        d32 = simulate([fdiv(0, 30, 31, ew=4), fmul(1, 0, 0, ew=4)],
+                       ew=4, lanes=4)
+        d64 = simulate([fdiv(0, 30, 31, ew=8), fmul(1, 0, 0, ew=8)])
+        assert d32.cycles < d64.cycles
+
+
+class TestTimingResult:
+    def test_add_and_scale(self):
+        a = TimingResult(10, 1, 5, 2, 3, 2, 1, 0)
+        b = TimingResult(20, 3, 7, 1, 4, 3, 0, 1)
+        c = a + b
+        assert c.cycles == 30 and c.instructions == 12
+        assert c.drain_cycles == 3
+        s = a.scaled(4)
+        assert s.cycles == 40 and s.fp_issued == 12
+
+    def test_ipc(self):
+        assert TimingResult(10, 0, 20, 0, 0, 0, 0, 0).ipc == 2.0
+
+
+class TestAddressSpace:
+    def test_placement_alignment_and_disjointness(self):
+        asp = AddressSpace()
+        a = asp.place("a", 100)
+        b = asp.place("b", 100)
+        assert a % 64 == 0 and b % 64 == 0
+        assert b >= a + 100
+        assert "a" in asp and asp.base("a") == a
+        assert asp.extent("b") == (b, 100)
+
+
+def test_dgemm_kernel_reaches_near_peak():
+    """End-to-end sanity: the optimized 4x4 DGEMM kernel sustains >85%
+    of the machine's DP peak on warm caches (Figure 5's end state)."""
+    from repro.codegen.generator_gemm import generate_gemm_kernel
+    from repro.codegen.optimizer import schedule_program
+    m = KUNPENG_920
+    prog = schedule_program(generate_gemm_kernel(4, 4, 32, "d", m), m)
+    caches = m.make_caches()
+    pipe = m.make_pipeline(caches)
+    asp = AddressSpace()
+    aA = asp.place("pA", 4 * 32 * 16)
+    aB = asp.place("pB", 4 * 32 * 16)
+    aC = asp.place("C", 512)
+    caches.warm_range(aA, 4 * 32 * 16)
+    caches.warm_range(aB, 4 * 32 * 16)
+    caches.warm_range(aC, 512)
+    init = {0: aA, 1: aB}
+    init.update({2 + j: aC + j * 64 for j in range(4)})
+    r = pipe.simulate(prog, init)
+    gflops = m.gflops(prog.flops_per_group, r.cycles)
+    assert gflops > 0.85 * m.peak_gflops("d")

@@ -1,0 +1,74 @@
+"""Tests for the Program container."""
+
+import pytest
+
+from repro.machine.isa import Op, addi, fmla, ldpv, ldrv, stpv, vzero
+from repro.machine.program import Program
+
+
+def make_prog():
+    return Program("p", [
+        ldpv(0, 1, 0, 0), addi(0, 0, 32),
+        ldrv(2, 1, 0), vzero(4),
+        fmla(4, 0, 2), fmla(4, 1, 2),
+        stpv(4, 4, 2, 0),
+    ], ew=8, lanes=2)
+
+
+def test_len_iter_getitem():
+    p = make_prog()
+    assert len(p) == 7
+    assert p[0].op is Op.LDPV
+    assert [i.op for i in p][-1] is Op.STPV
+
+
+def test_register_usage():
+    p = make_prog()
+    assert p.vregs_used == {0, 1, 2, 4}
+    assert p.xregs_used == {0, 1, 2}
+    assert p.max_vreg == 4
+
+
+def test_counts():
+    p = make_prog()
+    assert p.count(Op.FMLA) == 2
+    assert p.num_fp == 3      # two FMLA + VZERO
+    assert p.num_mem == 3
+
+
+def test_flops_per_group():
+    p = make_prog()
+    # 2 FMLAs x 2 flops x 2 lanes
+    assert p.flops_per_group == 8
+
+
+def test_flops_respects_nlanes():
+    p = Program("q", [fmla(0, 1, 2)], ew=8, lanes=2)
+    assert p.flops_per_group == 4
+
+
+def test_with_instrs_copies_meta():
+    p = make_prog()
+    p.meta["x"] = 1
+    q = p.with_instrs(p.instrs[:2], suffix="_cut")
+    assert q.name == "p_cut"
+    assert q.meta == {"x": 1}
+    q.meta["x"] = 2
+    assert p.meta["x"] == 1
+
+
+def test_disassemble_contains_tags_and_name():
+    p = make_prog()
+    text = p.disassemble()
+    assert "// p" in text
+    assert "ldp" in text and "fmla" in text
+
+
+def test_invalid_ew():
+    with pytest.raises(ValueError):
+        Program("bad", [], ew=3, lanes=2)
+
+
+def test_invalid_lanes():
+    with pytest.raises(ValueError):
+        Program("bad", [], ew=8, lanes=0)

@@ -1,0 +1,48 @@
+"""Packing cost-model tests."""
+
+import pytest
+
+from repro.machine.machines import KUNPENG_920, XEON_GOLD_6240
+from repro.packing.cost import PER_PANEL_OVERHEAD_CYCLES, PackCost
+
+
+def test_zero_cost_is_free():
+    assert PackCost().is_free
+    assert PackCost().cycles(KUNPENG_920) == 0.0
+
+
+def test_bytes_at_copy_throughput():
+    c = PackCost(bytes_read=800, bytes_written=800)
+    assert c.cycles(KUNPENG_920) == pytest.approx(
+        1600 / KUNPENG_920.copy_bytes_per_cycle)
+
+
+def test_panel_overhead():
+    c = PackCost(panels=10)
+    assert c.cycles(KUNPENG_920) == 10 * PER_PANEL_OVERHEAD_CYCLES
+
+
+def test_divisions_block_fp_pipe():
+    c64 = PackCost(div_vectors=5, ew=8)
+    c32 = PackCost(div_vectors=5, ew=4)
+    assert c64.cycles(KUNPENG_920) == 5 * KUNPENG_920.lat.div_block64
+    assert c32.cycles(KUNPENG_920) == 5 * KUNPENG_920.lat.div_block32
+    assert c64.cycles(KUNPENG_920) > c32.cycles(KUNPENG_920)
+
+
+def test_addition_accumulates():
+    a = PackCost(bytes_read=10, bytes_written=20, panels=1, div_vectors=2,
+                 ew=4)
+    b = PackCost(bytes_read=5, bytes_written=5, panels=2, div_vectors=1,
+                 ew=8)
+    c = a + b
+    assert (c.bytes_read, c.bytes_written) == (15, 25)
+    assert c.panels == 3 and c.div_vectors == 3
+    assert c.ew == 8            # widest element width wins
+
+    assert not c.is_free
+
+
+def test_xeon_copies_faster():
+    c = PackCost(bytes_read=6400, bytes_written=6400)
+    assert c.cycles(XEON_GOLD_6240) < c.cycles(KUNPENG_920)

@@ -1,0 +1,138 @@
+"""GEMM packing tests: panel order, offsets, no-pack analysis, costs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LayoutError
+from repro.layout import CompactBatch
+from repro.packing.gemm_pack import pack_gemm_a, pack_gemm_b
+from repro.packing.nopack import gemm_a_nopack, gemm_b_nopack
+from repro.types import Trans
+from tests.conftest import ALL_DTYPES, random_batch
+
+LANES = {"s": 4, "d": 2, "c": 4, "z": 2}
+
+
+def panel_elements(packed, cb, tile_idx, tile_size, k):
+    """Slice one tile panel back out as (G, k, tile, ncomp, P)."""
+    esz = cb.dtype.real_itemsize
+    start = packed.tile_offsets[tile_idx] // esz
+    per_group = packed.group_stride_bytes // esz
+    data = packed.data.reshape(cb.groups, per_group)
+    n = tile_size * k * cb.elem_stride
+    return data[:, start:start + n].reshape(cb.groups, k, tile_size,
+                                            cb.ncomp, cb.lanes)
+
+
+class TestPackA:
+    @pytest.mark.parametrize("dtype", ALL_DTYPES)
+    def test_nn_stream_order(self, rng, dtype):
+        """Packed A panel is [k][i] per tile: the kernel's load order."""
+        m, k = 7, 5
+        a = random_batch(rng, LANES[dtype], m, k, dtype)
+        cb = CompactBatch.from_matrices(a, LANES[dtype])
+        packed = pack_gemm_a(cb, Trans.N, k, [4, 3])
+        panel = panel_elements(packed, cb, 0, 4, k)
+        for l in range(k):
+            for i in range(4):
+                got = panel[0, l, i, 0, 0]
+                assert got == pytest.approx(a[0, i, l].real, abs=1e-6)
+        panel2 = panel_elements(packed, cb, 1, 3, k)
+        assert panel2[0, 0, 0, 0, 0] == pytest.approx(a[0, 4, 0].real,
+                                                      abs=1e-6)
+
+    def test_transposed_gather(self, rng):
+        """trans=T: stored (k, m); panel still comes out [l][i] of op(A)."""
+        m, k = 3, 4
+        a_stored = random_batch(rng, 2, k, m, "d")
+        cb = CompactBatch.from_matrices(a_stored, 2)
+        packed = pack_gemm_a(cb, Trans.T, k, [3])
+        panel = panel_elements(packed, cb, 0, 3, k)
+        op_a = a_stored.transpose(0, 2, 1)
+        for l in range(k):
+            for i in range(m):
+                assert panel[0, l, i, 0, 0] == op_a[0, i, l]
+
+    def test_complex_planes(self, rng):
+        a = random_batch(rng, 4, 3, 2, "c")
+        cb = CompactBatch.from_matrices(a, 4)
+        packed = pack_gemm_a(cb, Trans.N, 2, [3])
+        panel = panel_elements(packed, cb, 0, 3, 2)
+        assert panel[0, 1, 2, 0, 0] == pytest.approx(a[0, 2, 1].real,
+                                                     abs=1e-6)
+        assert panel[0, 1, 2, 1, 0] == pytest.approx(a[0, 2, 1].imag,
+                                                     abs=1e-6)
+
+    def test_shape_mismatch_rejected(self, rng):
+        cb = CompactBatch.from_matrices(random_batch(rng, 2, 3, 4, "d"), 2)
+        with pytest.raises(LayoutError):
+            pack_gemm_a(cb, Trans.N, 5, [3])
+        with pytest.raises(LayoutError):
+            pack_gemm_a(cb, Trans.T, 4, [3])   # T expects (k, m) = (4, 3)
+
+    def test_cost_accounting(self, rng):
+        cb = CompactBatch.from_matrices(random_batch(rng, 4, 6, 5, "d"), 2)
+        packed = pack_gemm_a(cb, Trans.N, 5, [4, 2])
+        assert packed.cost.bytes_written == packed.data.nbytes
+        assert packed.cost.bytes_read == packed.data.nbytes
+        assert packed.cost.panels == 2 * cb.groups
+
+
+class TestPackB:
+    def test_nn_z_shape(self, rng):
+        """NN-mode B panel is [l][j]: across the row tile, then down K."""
+        k, n = 4, 6
+        b = random_batch(rng, 2, k, n, "d")
+        cb = CompactBatch.from_matrices(b, 2)
+        packed = pack_gemm_b(cb, Trans.N, k, [4, 2])
+        panel = panel_elements(packed, cb, 0, 4, k)
+        for l in range(k):
+            for j in range(4):
+                assert panel[0, l, j, 0, 0] == b[0, l, j]
+        panel2 = panel_elements(packed, cb, 1, 2, k)
+        assert panel2[0, 2, 1, 0, 0] == b[0, 2, 5]
+
+    def test_transposed_gather(self, rng):
+        k, n = 3, 4
+        b_stored = random_batch(rng, 2, n, k, "d")
+        cb = CompactBatch.from_matrices(b_stored, 2)
+        packed = pack_gemm_b(cb, Trans.T, k, [4])
+        panel = panel_elements(packed, cb, 0, 4, k)
+        op_b = b_stored.transpose(0, 2, 1)
+        for l in range(k):
+            for j in range(n):
+                assert panel[0, l, j, 0, 0] == op_b[0, l, j]
+
+    def test_shape_mismatch_rejected(self, rng):
+        cb = CompactBatch.from_matrices(random_batch(rng, 2, 3, 4, "d"), 2)
+        with pytest.raises(LayoutError):
+            pack_gemm_b(cb, Trans.N, 4, [4])
+
+
+class TestNoPack:
+    def test_a_nopack_conditions(self, rng):
+        cb = CompactBatch.from_matrices(random_batch(rng, 2, 4, 5, "d"), 2)
+        # N + single tile: eligible
+        alias = gemm_a_nopack(cb, Trans.N, [4])
+        assert alias is not None and not alias.packed
+        assert alias.cost.is_free
+        assert alias.group_stride_bytes == cb.group_stride_bytes
+        # transposed: never
+        assert gemm_a_nopack(cb, Trans.T, [4]) is None
+        # multiple tiles: never
+        assert gemm_a_nopack(cb, Trans.N, [4, 4]) is None
+
+    def test_b_nopack_conditions(self, rng):
+        cb = CompactBatch.from_matrices(random_batch(rng, 2, 4, 5, "d"), 2)
+        assert gemm_b_nopack(cb, Trans.T, [4]) is not None
+        assert gemm_b_nopack(cb, Trans.N, [4]) is None
+        assert gemm_b_nopack(cb, Trans.T, [2, 2]) is None
+
+    def test_nopack_layout_equals_packed_layout(self, rng):
+        """The no-pack fast path is only legal because the compact layout
+        *is* the packed layout when M fits one tile; verify bytewise."""
+        m, k = 4, 6
+        a = random_batch(rng, 2, m, k, "d")
+        cb = CompactBatch.from_matrices(a, 2)
+        packed = pack_gemm_a(cb, Trans.N, k, [m])
+        assert np.array_equal(packed.data, cb.buffer)

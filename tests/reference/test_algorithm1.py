@@ -1,0 +1,57 @@
+"""Algorithm 1 transcription tests: a layout-level second oracle."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidProblemError
+from repro.layout import CompactBatch
+from repro.reference import compact_gemm_algorithm1
+from tests.conftest import ALL_DTYPES, random_batch, tolerance
+
+LANES = {"s": 4, "d": 2, "c": 4, "z": 2}
+
+
+@pytest.mark.parametrize("dtype", ALL_DTYPES)
+def test_matches_numpy(rng, dtype):
+    a = random_batch(rng, 7, 4, 3, dtype)
+    b = random_batch(rng, 7, 3, 5, dtype)
+    c = random_batch(rng, 7, 4, 5, dtype)
+    ca = CompactBatch.from_matrices(a, LANES[dtype])
+    cb = CompactBatch.from_matrices(b, LANES[dtype])
+    cc = CompactBatch.from_matrices(c, LANES[dtype])
+    compact_gemm_algorithm1(ca, cb, cc)
+    wide = np.complex128 if dtype in "cz" else np.float64
+    want = c + a.astype(wide) @ b.astype(wide)
+    assert np.abs(cc.to_matrices() - want).max() < tolerance(dtype)
+
+
+def test_agrees_with_generated_kernels(rng):
+    """Algorithm 1 and the full IATF pipeline must agree bit-for-bit on
+    the same compact inputs (both do the identical float64 FMAs)."""
+    from repro import IATF, KUNPENG_920
+    from repro.types import GemmProblem
+    iatf = IATF(KUNPENG_920)
+    a = random_batch(rng, 5, 6, 6, "d")
+    b = random_batch(rng, 5, 6, 6, "d")
+    c = random_batch(rng, 5, 6, 6, "d")
+    ca = CompactBatch.from_matrices(a, 2)
+    cb = CompactBatch.from_matrices(b, 2)
+    c1 = CompactBatch.from_matrices(c, 2)
+    c2 = CompactBatch.from_matrices(c, 2)
+    compact_gemm_algorithm1(ca, cb, c1)
+    iatf.gemm_compact(GemmProblem(6, 6, 6, "d", batch=5), ca, cb, c2)
+    assert np.abs(c1.to_matrices() - c2.to_matrices()).max() < 1e-12
+
+
+def test_shape_mismatch_rejected(rng):
+    ca = CompactBatch.from_matrices(random_batch(rng, 2, 3, 3, "d"), 2)
+    cb = CompactBatch.from_matrices(random_batch(rng, 2, 4, 3, "d"), 2)
+    with pytest.raises(InvalidProblemError):
+        compact_gemm_algorithm1(ca, cb, ca)
+
+
+def test_property_mismatch_rejected(rng):
+    ca = CompactBatch.from_matrices(random_batch(rng, 2, 3, 3, "d"), 2)
+    cs = CompactBatch.from_matrices(random_batch(rng, 2, 3, 3, "s"), 4)
+    with pytest.raises(InvalidProblemError):
+        compact_gemm_algorithm1(ca, cs, ca)

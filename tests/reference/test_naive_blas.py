@@ -1,0 +1,106 @@
+"""Reference-implementation tests (the oracle must itself be right)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidProblemError
+from repro.reference import gemm_reference, trsm_reference
+from repro.types import GemmProblem, TrsmProblem
+from tests.conftest import random_batch, random_triangular
+
+
+class TestGemmReference:
+    def test_matches_numpy(self, rng):
+        a = random_batch(rng, 5, 3, 4, "d")
+        b = random_batch(rng, 5, 4, 6, "d")
+        c = random_batch(rng, 5, 3, 6, "d")
+        p = GemmProblem(3, 6, 4, "d", batch=5, alpha=2.0, beta=-1.0)
+        got = gemm_reference(p, a, b, c)
+        assert np.allclose(got, 2.0 * (a @ b) - c)
+
+    def test_transpose_handling(self, rng):
+        a = random_batch(rng, 2, 4, 3, "d")      # stored (k, m) for T
+        b = random_batch(rng, 2, 6, 4, "d")      # stored (n, k) for T
+        c = np.zeros((2, 3, 6))
+        p = GemmProblem(3, 6, 4, "d", "T", "T", 2, beta=0.0)
+        got = gemm_reference(p, a, b, c)
+        want = a.transpose(0, 2, 1) @ b.transpose(0, 2, 1)
+        assert np.allclose(got, want)
+
+    def test_does_not_mutate_inputs(self, rng):
+        a = random_batch(rng, 2, 2, 2, "d")
+        c = random_batch(rng, 2, 2, 2, "d")
+        c0 = c.copy()
+        gemm_reference(GemmProblem(2, 2, 2, "d", batch=2), a, a, c)
+        assert np.array_equal(c, c0)
+
+    def test_shape_validation(self, rng):
+        p = GemmProblem(3, 3, 3, "d", batch=2)
+        good = random_batch(rng, 2, 3, 3, "d")
+        bad = random_batch(rng, 2, 3, 4, "d")
+        with pytest.raises(InvalidProblemError):
+            gemm_reference(p, bad, good, good)
+
+    def test_complex(self, rng):
+        a = random_batch(rng, 3, 2, 2, "z")
+        b = random_batch(rng, 3, 2, 2, "z")
+        c = random_batch(rng, 3, 2, 2, "z")
+        p = GemmProblem(2, 2, 2, "z", batch=3, alpha=1j, beta=1.0)
+        got = gemm_reference(p, a, b, c)
+        assert np.allclose(got, 1j * (a @ b) + c)
+
+
+class TestTrsmReference:
+    @pytest.mark.parametrize("uplo", ["L", "U"])
+    def test_left_solves(self, rng, uplo):
+        a = random_triangular(rng, 3, 4, "d", uplo)
+        b = random_batch(rng, 3, 4, 5, "d")
+        p = TrsmProblem(4, 5, "d", "L", uplo, "N", "N", 3, alpha=2.0)
+        x = trsm_reference(p, a, b)
+        tri = np.tril(a) if uplo == "L" else np.triu(a)
+        assert np.allclose(tri @ x, 2.0 * b)
+
+    def test_right_solve(self, rng):
+        a = random_triangular(rng, 2, 5, "d")
+        b = random_batch(rng, 2, 4, 5, "d")
+        p = TrsmProblem(4, 5, "d", "R", "L", "N", "N", 2)
+        x = trsm_reference(p, a, b)
+        assert np.allclose(x @ np.tril(a), b, atol=1e-10)
+
+    def test_transpose_solve(self, rng):
+        a = random_triangular(rng, 2, 4, "d")
+        b = random_batch(rng, 2, 4, 3, "d")
+        p = TrsmProblem(4, 3, "d", "L", "L", "T", "N", 2)
+        x = trsm_reference(p, a, b)
+        assert np.allclose(np.tril(a).transpose(0, 2, 1) @ x, b, atol=1e-10)
+
+    def test_unit_diagonal_ignores_diag_values(self, rng):
+        a = random_triangular(rng, 2, 4, "d")
+        b = random_batch(rng, 2, 4, 3, "d")
+        a2 = a.copy()
+        for i in range(4):
+            a2[:, i, i] = 99.0
+        p = TrsmProblem(4, 3, "d", diag="U", batch=2)
+        assert np.allclose(trsm_reference(p, a, b),
+                           trsm_reference(p, a2, b))
+
+    def test_only_triangle_referenced(self, rng):
+        a = random_triangular(rng, 2, 4, "d")
+        b = random_batch(rng, 2, 4, 3, "d")
+        a_dirty = a + np.triu(np.ones((4, 4)), 1) * 100
+        p = TrsmProblem(4, 3, "d", batch=2)
+        assert np.allclose(trsm_reference(p, a, b),
+                           trsm_reference(p, a_dirty, b))
+
+    def test_complex_residual(self, rng):
+        a = random_triangular(rng, 2, 3, "z")
+        b = random_batch(rng, 2, 3, 2, "z")
+        p = TrsmProblem(3, 2, "z", batch=2, alpha=1 - 1j)
+        x = trsm_reference(p, a, b)
+        assert np.allclose(np.tril(a) @ x, (1 - 1j) * b)
+
+    def test_shape_validation(self, rng):
+        p = TrsmProblem(4, 3, "d", batch=2)
+        with pytest.raises(InvalidProblemError):
+            trsm_reference(p, random_batch(rng, 2, 3, 3, "d"),
+                           random_batch(rng, 2, 4, 3, "d"))

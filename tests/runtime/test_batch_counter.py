@@ -1,0 +1,56 @@
+"""Batch-counter tests (paper Section 5.1)."""
+
+import pytest
+
+from repro.machine.machines import KUNPENG_920, XEON_GOLD_6240
+from repro.runtime.batch_counter import (gemm_group_working_bytes,
+                                         groups_per_round,
+                                         trsm_group_working_bytes)
+from repro.types import GemmProblem, TrsmProblem
+
+
+class TestWorkingSets:
+    def test_gemm_counts_a_b_c(self):
+        p = GemmProblem(4, 4, 4, "d")
+        # (16 + 16 + 16) elements x 2 lanes x 8 bytes
+        assert gemm_group_working_bytes(p, KUNPENG_920) == 48 * 2 * 8
+
+    def test_gemm_complex_doubles(self):
+        p = GemmProblem(4, 4, 4, "z")
+        assert gemm_group_working_bytes(p, KUNPENG_920) == 48 * 2 * 2 * 8
+
+    def test_trsm_counts_triangle_and_b(self):
+        p = TrsmProblem(4, 6, "d")
+        # triangle 10 + B 24 elements, 2 lanes, 8 bytes
+        assert trsm_group_working_bytes(p, KUNPENG_920) == 34 * 2 * 8
+
+    def test_trsm_right_side_uses_n(self):
+        p = TrsmProblem(6, 4, "d", side="R")
+        assert trsm_group_working_bytes(p, KUNPENG_920) == \
+            (10 + 24) * 2 * 8
+
+
+class TestGroupsPerRound:
+    def test_small_problems_batch_heavily(self):
+        p = GemmProblem(2, 2, 2, "d")
+        ws = gemm_group_working_bytes(p, KUNPENG_920)
+        g = groups_per_round(ws, KUNPENG_920)
+        assert g == KUNPENG_920.l1.size // ws
+        assert g > 100
+
+    def test_huge_problem_degenerates_to_one(self):
+        g = groups_per_round(10 * KUNPENG_920.l1.size, KUNPENG_920)
+        assert g == 1
+
+    def test_exact_fit(self):
+        assert groups_per_round(KUNPENG_920.l1.size, KUNPENG_920) == 1
+        assert groups_per_round(KUNPENG_920.l1.size // 2, KUNPENG_920) == 2
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            groups_per_round(0, KUNPENG_920)
+
+    def test_smaller_l1_fewer_groups(self):
+        ws = 1024
+        assert groups_per_round(ws, XEON_GOLD_6240) < \
+            groups_per_round(ws, KUNPENG_920)

@@ -1,0 +1,132 @@
+"""Public-API tests for the IATF facade."""
+
+import numpy as np
+import pytest
+
+from repro import IATF, KUNPENG_920, XEON_GOLD_6240
+from repro.errors import InvalidProblemError
+from repro.reference import gemm_reference, trsm_reference
+from repro.types import GemmProblem, TrsmProblem
+from tests.conftest import (ALL_DTYPES, random_batch, random_triangular,
+                            tolerance)
+
+
+@pytest.fixture(scope="module")
+def iatf():
+    return IATF(KUNPENG_920)
+
+
+class TestGemmApi:
+    @pytest.mark.parametrize("dtype", ALL_DTYPES)
+    def test_standard_arrays(self, iatf, rng, dtype):
+        a = random_batch(rng, 10, 6, 4, dtype)
+        b = random_batch(rng, 10, 4, 7, dtype)
+        c = random_batch(rng, 10, 6, 7, dtype)
+        got = iatf.gemm(a, b, c.copy(), alpha=2.0, beta=1.0)
+        p = GemmProblem(6, 7, 4, dtype, batch=10, alpha=2.0, beta=1.0)
+        want = gemm_reference(p, a, b, c)
+        assert np.abs(got - want).max() < tolerance(dtype)
+
+    def test_transpose_flags(self, iatf, rng):
+        a = random_batch(rng, 6, 4, 6, "d")    # stored (k=4? no: (4,6))
+        b = random_batch(rng, 6, 7, 4, "d")
+        c = np.zeros((6, 6, 7))
+        got = iatf.gemm(a, b, c, transa="T", transb="T", beta=0.0)
+        want = a.transpose(0, 2, 1) @ b.transpose(0, 2, 1)
+        assert np.abs(got - want).max() < 1e-9
+
+    def test_rejects_2d(self, iatf):
+        with pytest.raises(InvalidProblemError):
+            iatf.gemm(np.zeros((4, 4)), np.zeros((4, 4)), np.zeros((4, 4)))
+
+    def test_rejects_mismatched_batches(self, iatf):
+        with pytest.raises(InvalidProblemError):
+            iatf.gemm(np.zeros((2, 4, 4)), np.zeros((3, 4, 4)),
+                      np.zeros((2, 4, 4)))
+
+    def test_plan_cache_hit(self, iatf):
+        p = GemmProblem(3, 3, 3, "d", batch=7)
+        assert iatf.plan_gemm(p) is iatf.plan_gemm(p)
+        assert iatf.plan_gemm(p) is not iatf.plan_gemm(p.with_batch(8))
+
+
+class TestTrsmApi:
+    @pytest.mark.parametrize("dtype", ALL_DTYPES)
+    def test_standard_arrays(self, iatf, rng, dtype):
+        a = random_triangular(rng, 6, 5, dtype)
+        b = random_batch(rng, 6, 5, 4, dtype)
+        got = iatf.trsm(a, b.copy(), alpha=1.5)
+        p = TrsmProblem(5, 4, dtype, batch=6, alpha=1.5)
+        want = trsm_reference(p, a, b)
+        assert np.abs(got - want).max() < 10 * tolerance(dtype)
+
+    def test_solution_solves_system(self, iatf, rng):
+        """Residual check: A @ X == alpha * B."""
+        a = random_triangular(rng, 4, 9, "d")
+        b = random_batch(rng, 4, 9, 6, "d")
+        x = iatf.trsm(a, b.copy())
+        resid = np.tril(a) @ x - b
+        assert np.abs(resid).max() < 1e-8
+
+    def test_rejects_mismatched_batches(self, iatf):
+        with pytest.raises(InvalidProblemError):
+            iatf.trsm(np.zeros((2, 4, 4)), np.zeros((3, 4, 4)))
+
+
+class TestInstall:
+    def test_install_populates_registry(self):
+        fresh = IATF(KUNPENG_920)
+        n = fresh.install(dtypes=("d",))
+        assert n > 20
+        assert len(fresh.registry) == n
+
+
+class TestCrossMachine:
+    def test_runs_on_xeon_model(self, rng):
+        xeon = IATF(XEON_GOLD_6240)
+        a = random_batch(rng, 20, 5, 5, "d")
+        b = random_batch(rng, 20, 5, 5, "d")
+        c = np.zeros((20, 5, 5))
+        got = xeon.gemm(a, b, c, beta=0.0)
+        assert np.abs(got - a @ b).max() < 1e-9
+
+    def test_xeon_higher_peak_gemm(self):
+        k = IATF(KUNPENG_920).time_gemm(GemmProblem(8, 8, 8, "d",
+                                                    batch=2048))
+        x = IATF(XEON_GOLD_6240).time_gemm(GemmProblem(8, 8, 8, "d",
+                                                       batch=2048))
+        assert x.gflops > k.gflops      # absolute perf; % peak may differ
+
+
+class TestAutotune:
+    def test_never_slower_than_analytic(self, iatf):
+        from repro.types import GemmProblem
+        for n in (5, 9, 13):
+            p = GemmProblem(n, n, n, "d", batch=2048)
+            t0 = iatf.time_gemm(p).total_cycles
+            t1 = iatf.time_gemm(p, autotune=True).total_cycles
+            assert t1 <= t0 + 1e-9, n
+
+    def test_autotuned_plan_cached_and_marked(self, iatf):
+        from repro.types import GemmProblem
+        p = GemmProblem(9, 9, 9, "d", batch=512)
+        plan = iatf.plan_gemm(p, autotune=True)
+        assert plan.meta.get("autotuned")
+        assert iatf.plan_gemm(p, autotune=True) is plan
+        # the non-autotuned plan is a separate cache entry
+        assert iatf.plan_gemm(p) is not plan
+
+    def test_autotuned_plan_executes_correctly(self, iatf, rng):
+        import numpy as np
+        from repro.layout import CompactBatch
+        from repro.types import GemmProblem
+        from tests.conftest import random_batch
+        p = GemmProblem(9, 9, 9, "d", batch=6)
+        a = random_batch(rng, 6, 9, 9, "d")
+        b = random_batch(rng, 6, 9, 9, "d")
+        cc = CompactBatch.from_matrices(np.zeros((6, 9, 9)), 2)
+        plan = iatf.plan_gemm(p.with_batch(6), autotune=True)
+        iatf.engine.execute_gemm(plan,
+                                 CompactBatch.from_matrices(a, 2),
+                                 CompactBatch.from_matrices(b, 2), cc)
+        assert np.abs(cc.to_matrices() - a @ b).max() < 1e-9

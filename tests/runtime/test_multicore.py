@@ -1,0 +1,68 @@
+"""Multicore scaling-model tests (future-work extension)."""
+
+import pytest
+
+from repro.machine.machines import KUNPENG_920
+from repro.runtime.multicore import MulticoreModel
+from repro.types import GemmProblem, TrsmProblem
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return GemmProblem(8, 8, 8, "d", batch=16384)
+
+
+def test_one_core_matches_single(problem):
+    m = MulticoreModel(KUNPENG_920, 1)
+    t = m.time_gemm(problem)
+    assert t.speedup == pytest.approx(1.0, rel=0.01)
+
+
+def test_speedup_monotone_in_cores(problem):
+    prev = 0.0
+    for cores in (1, 2, 4, 8, 16, 32):
+        t = MulticoreModel(KUNPENG_920, cores).time_gemm(problem)
+        assert t.speedup >= prev
+        prev = t.speedup
+
+
+def test_speedup_bounded_by_cores(problem):
+    for cores in (2, 8, 64):
+        t = MulticoreModel(KUNPENG_920, cores).time_gemm(problem)
+        assert t.speedup <= cores + 1e-9
+        assert 0 < t.efficiency <= 1.0 + 1e-9
+
+
+def test_pack_bound_sizes_saturate():
+    """Tiny (pack-dominated) problems scale worse past the bandwidth
+    wall than compute-bound ones."""
+    tiny = GemmProblem(2, 2, 2, "d", batch=16384)
+    big = GemmProblem(24, 24, 24, "d", batch=16384)
+    cores = 32
+    e_tiny = MulticoreModel(KUNPENG_920, cores).time_gemm(tiny).efficiency
+    e_big = MulticoreModel(KUNPENG_920, cores).time_gemm(big).efficiency
+    assert e_big > e_tiny
+
+
+def test_more_cores_than_groups():
+    p = GemmProblem(4, 4, 4, "d", batch=8)    # 4 groups
+    t = MulticoreModel(KUNPENG_920, 64).time_gemm(p)
+    assert t.speedup <= 4 + 1
+
+
+def test_trsm_scales_too():
+    p = TrsmProblem(8, 8, "d", batch=16384)
+    t = MulticoreModel(KUNPENG_920, 8).time_trsm(p)
+    assert 2 < t.speedup <= 8
+
+
+def test_gflops_scales():
+    p = GemmProblem(16, 16, 16, "d", batch=16384)
+    t1 = MulticoreModel(KUNPENG_920, 1).time_gemm(p)
+    t8 = MulticoreModel(KUNPENG_920, 8).time_gemm(p)
+    assert t8.gflops > 4 * t1.gflops
+
+
+def test_rejects_bad_cores():
+    with pytest.raises(ValueError):
+        MulticoreModel(KUNPENG_920, 0)

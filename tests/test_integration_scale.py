@@ -1,0 +1,94 @@
+"""Scale integration tests: many groups, many rounds, mixed routines.
+
+Everything else in the suite uses small batches for speed; these tests
+push realistic batch counts through the vectorized executor to catch
+anything that only breaks with group fan-out (offset arithmetic,
+padding lanes, plan reuse across batches).
+"""
+
+import numpy as np
+import pytest
+
+from repro import IATF, KUNPENG_920
+from repro.extensions import CompactGetrf
+from repro.layout import CompactBatch
+from repro.reference import gemm_reference, trsm_reference
+from repro.types import GemmProblem, TrsmProblem
+from tests.conftest import random_batch, random_triangular
+
+
+@pytest.fixture(scope="module")
+def iatf():
+    return IATF(KUNPENG_920)
+
+
+def test_gemm_thousand_matrices(iatf, rng):
+    batch = 1001          # odd: exercises the padded final group
+    p = GemmProblem(6, 6, 6, "d", batch=batch, alpha=2.0, beta=0.5)
+    a = random_batch(rng, batch, 6, 6, "d")
+    b = random_batch(rng, batch, 6, 6, "d")
+    c = random_batch(rng, batch, 6, 6, "d")
+    got = iatf.gemm(a, b, c.copy(), 2.0, 0.5)
+    want = gemm_reference(p, a, b, c)
+    assert np.abs(got - want).max() < 1e-9
+
+
+def test_trsm_thousand_matrices(iatf, rng):
+    batch = 999
+    p = TrsmProblem(7, 5, "s", batch=batch)
+    a = random_triangular(rng, batch, 7, "s")
+    b = random_batch(rng, batch, 7, 5, "s")
+    got = iatf.trsm(a, b.copy())
+    want = trsm_reference(p, a, b)
+    assert np.abs(got - want).max() < 5e-2   # float32, size-7 solves
+
+
+def test_plan_reused_across_batches(iatf, rng):
+    """One plan, three different input batches: results stay right and
+    the plan object is shared (the run-time stage's amortization)."""
+    p = GemmProblem(4, 4, 4, "d", batch=64)
+    plan = iatf.plan_gemm(p)
+    for seed in (1, 2, 3):
+        r = np.random.default_rng(seed)
+        a = random_batch(r, 64, 4, 4, "d")
+        b = random_batch(r, 64, 4, 4, "d")
+        cc = CompactBatch.from_matrices(np.zeros((64, 4, 4)), 2)
+        iatf.engine.execute_gemm(plan, CompactBatch.from_matrices(a, 2),
+                                 CompactBatch.from_matrices(b, 2), cc)
+        assert np.abs(cc.to_matrices() - a @ b).max() < 1e-9
+    assert iatf.plan_gemm(p) is plan
+
+
+def test_gemm_then_trsm_chain(iatf, rng):
+    """A realistic composite: form C = A @ B, then solve L X = C."""
+    batch = 96
+    a = random_batch(rng, batch, 8, 8, "d")
+    b = random_batch(rng, batch, 8, 8, "d")
+    low = random_triangular(rng, batch, 8, "d")
+    c = iatf.gemm(a, b, np.zeros((batch, 8, 8)), beta=0.0)
+    x = iatf.trsm(low, c.copy())
+    assert np.abs(np.tril(low) @ x - a @ b).max() < 1e-8
+
+
+def test_lu_solve_pipeline_at_scale(rng):
+    """Factor 500 systems with the LU extension and solve in bulk."""
+    getrf = CompactGetrf(KUNPENG_920)
+    batch, d = 500, 10
+    a = (random_batch(rng, batch, d, d, "d") + d * np.eye(d))
+    b = random_batch(rng, batch, d, 2, "d")
+    ca = CompactBatch.from_matrices(a, 2)
+    cb = CompactBatch.from_matrices(b, 2)
+    getrf.factor(ca)
+    getrf.solve(ca, cb)
+    x = cb.to_matrices()
+    assert np.abs(a @ x - b).max() < 1e-7
+
+
+def test_padding_lanes_never_leak(iatf, rng):
+    """Results for batch = k*P + 1 must equal the same matrices computed
+    in a full batch (padding garbage must never reach real outputs)."""
+    base = random_batch(rng, 8, 5, 5, "d")
+    b2 = random_batch(rng, 8, 5, 5, "d")
+    full = iatf.gemm(base, b2, np.zeros((8, 5, 5)), beta=0.0)
+    ragged = iatf.gemm(base[:5], b2[:5], np.zeros((5, 5, 5)), beta=0.0)
+    assert np.array_equal(full[:5], ragged)

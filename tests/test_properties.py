@@ -1,0 +1,99 @@
+"""End-to-end property-based tests: the whole IATF pipeline against the
+reference oracle on randomly drawn problems.
+
+These are the highest-value invariants in the suite: any random problem
+shape, dtype, mode, and scaling factor the framework accepts must solve
+to the same answer as NumPy/SciPy.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import IATF, KUNPENG_920
+from repro.reference import gemm_reference, trsm_reference
+from repro.types import GemmProblem, TrsmProblem
+from tests.conftest import (NP_DTYPES, random_batch, random_triangular,
+                            tolerance)
+
+IATF_SHARED = IATF(KUNPENG_920)
+
+small = st.integers(1, 12)
+scalars = st.sampled_from([0.0, 1.0, -1.0, 2.5, 0.5])
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(m=small, n=small, k=small,
+       dtype=st.sampled_from(["s", "d"]),
+       transa=st.booleans(), transb=st.booleans(),
+       batch=st.integers(1, 9),
+       alpha=scalars, beta=scalars,
+       seed=st.integers(0, 2**16))
+def test_gemm_matches_reference(m, n, k, dtype, transa, transb, batch,
+                                alpha, beta, seed):
+    rng = np.random.default_rng(seed)
+    p = GemmProblem(m, n, k, dtype, transa, transb, batch, alpha, beta)
+    a = random_batch(rng, batch, *p.a_shape, dtype)
+    b = random_batch(rng, batch, *p.b_shape, dtype)
+    c = random_batch(rng, batch, m, n, dtype)
+    got = IATF_SHARED.gemm(a, b, c.copy(), alpha, beta,
+                           "T" if transa else "N", "T" if transb else "N")
+    want = gemm_reference(p, a, b, c)
+    scale = max(1.0, np.abs(want).max())
+    assert np.abs(got - want).max() < tolerance(dtype) * scale
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(m=small, n=small,
+       dtype=st.sampled_from(["d", "z"]),
+       side=st.sampled_from(["L", "R"]),
+       uplo=st.sampled_from(["L", "U"]),
+       trans=st.sampled_from(["N", "T"]),
+       diag=st.sampled_from(["N", "U"]),
+       batch=st.integers(1, 6),
+       seed=st.integers(0, 2**16))
+def test_trsm_matches_reference(m, n, dtype, side, uplo, trans, diag,
+                                batch, seed):
+    rng = np.random.default_rng(seed)
+    p = TrsmProblem(m, n, dtype, side, uplo, trans, diag, batch, alpha=1.5)
+    a = random_triangular(rng, batch, p.a_dim, dtype, uplo)
+    b = random_batch(rng, batch, m, n, dtype)
+    got = IATF_SHARED.trsm(a, b.copy(), 1.5, side, uplo, trans, diag)
+    want = trsm_reference(p, a, b)
+    scale = max(1.0, np.abs(want).max())
+    assert np.abs(got - want).max() < 10 * tolerance(dtype) * scale
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(m=small, n=small,
+       uplo=st.sampled_from(["L", "U"]),
+       batch=st.integers(1, 5),
+       seed=st.integers(0, 2**16))
+def test_trsm_residual_property(m, n, uplo, batch, seed):
+    """Independent of the oracle: op(A) @ X must reproduce alpha*B."""
+    rng = np.random.default_rng(seed)
+    a = random_triangular(rng, batch, m, "d", uplo)
+    b = random_batch(rng, batch, m, n, "d")
+    x = IATF_SHARED.trsm(a, b.copy(), 1.0, "L", uplo, "N", "N")
+    tri = np.tril(a) if uplo == "L" else np.triu(a)
+    resid = tri @ x - b
+    assert np.abs(resid).max() < 1e-7 * max(1.0, np.abs(b).max())
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(m=small, n=small, k=small, batch=st.integers(1, 6),
+       seed=st.integers(0, 2**16))
+def test_gemm_linearity_property(m, n, k, batch, seed):
+    """gemm(alpha=2) == 2 * gemm(alpha=1) when beta == 0."""
+    rng = np.random.default_rng(seed)
+    a = random_batch(rng, batch, m, k, "d")
+    b = random_batch(rng, batch, k, n, "d")
+    z = np.zeros((batch, m, n))
+    one = IATF_SHARED.gemm(a, b, z.copy(), alpha=1.0, beta=0.0)
+    two = IATF_SHARED.gemm(a, b, z.copy(), alpha=2.0, beta=0.0)
+    assert np.allclose(two, 2 * one, atol=1e-9)
