@@ -20,7 +20,7 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-figure reproductions.
 """
 
-from . import (machine, layout, codegen, packing, runtime, reference,
+from . import (obs, machine, layout, codegen, packing, runtime, reference,
                api, baselines, bench, extensions)
 from .errors import ReproError
 from .layout.compact import CompactBatch
@@ -36,5 +36,5 @@ __all__ = [
     "BlasDType", "Trans", "Side", "UpLo", "Diag",
     "GemmProblem", "TrsmProblem", "TrmmProblem",
     "gemm_flops", "trsm_flops", "trmm_flops",
-    "ReproError", "__version__",
+    "ReproError", "obs", "__version__",
 ]

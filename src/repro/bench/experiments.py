@@ -7,6 +7,7 @@ structured result dict; ``render()`` keys hold ready-to-print text.
 
 from __future__ import annotations
 
+from .. import obs
 from ..codegen.cmar import optimal_gemm_kernel
 from ..codegen.generator_gemm import generate_gemm_kernel
 from ..codegen.optimizer import schedule_program
@@ -16,7 +17,7 @@ from ..machine.pipeline import AddressSpace
 from ..runtime.iatf import IATF
 from ..types import BlasDType, GemmProblem
 from .harness import BenchHarness, Series
-from .reporting import ratio_summary, series_table
+from .reporting import decision_stats, ratio_summary, series_table
 
 __all__ = ["fig4_tiling", "fig5_scheduling", "fig7_gemm_nn",
            "fig8_gemm_modes", "fig9_trsm_lnln", "fig10_trsm_modes",
@@ -267,15 +268,19 @@ def ablation_scheduling(sizes=(4, 8, 16, 32), dtype: str = "d",
     on = IATF(KUNPENG_920, optimize_kernels=True)
     off = IATF(KUNPENG_920, optimize_kernels=False)
     rows = []
-    for n in sizes:
-        prob = GemmProblem(n, n, n, dtype, batch=batch)
-        g_on = on.time_gemm(prob).gflops
-        g_off = off.time_gemm(prob).gflops
-        rows.append((n, g_on, g_off, g_on / g_off))
+    with obs.scoped() as reg:
+        for n in sizes:
+            prob = GemmProblem(n, n, n, dtype, batch=batch)
+            g_on = on.time_gemm(prob).gflops
+            g_off = off.time_gemm(prob).gflops
+            rows.append((n, g_on, g_off, g_on / g_off))
     lines = [f"Ablation — kernel optimizer, {dtype}gemm NN",
              f"{'n':>4} {'scheduled':>10} {'unscheduled':>12} {'gain':>6}"]
     for n, a, b, r in rows:
         lines.append(f"{n:>4} {a:>10.2f} {b:>12.2f} {r:>5.2f}x")
+    stats = decision_stats(reg)
+    if stats:
+        lines.append(stats)
     return {"rows": rows, "render": "\n".join(lines)}
 
 
@@ -284,16 +289,20 @@ def ablation_nopack(sizes=(1, 2, 3, 4), dtype: str = "d",
     """IATF with the no-packing fast path disabled (force_pack)."""
     iatf = IATF(KUNPENG_920)
     rows = []
-    for n in sizes:
-        prob = GemmProblem(n, n, n, dtype, batch=batch)
-        g_on = iatf.time_gemm(prob).gflops
-        g_off = iatf.time_gemm(prob, force_pack=True).gflops
-        rows.append((n, g_on, g_off, g_on / g_off))
+    with obs.scoped() as reg:
+        for n in sizes:
+            prob = GemmProblem(n, n, n, dtype, batch=batch)
+            g_on = iatf.time_gemm(prob).gflops
+            g_off = iatf.time_gemm(prob, force_pack=True).gflops
+            rows.append((n, g_on, g_off, g_on / g_off))
     lines = [f"Ablation — no-packing fast path, {dtype}gemm NN "
              f"(sizes where A qualifies)",
              f"{'n':>4} {'no-pack':>10} {'forced pack':>12} {'gain':>6}"]
     for n, a, b, r in rows:
         lines.append(f"{n:>4} {a:>10.2f} {b:>12.2f} {r:>5.2f}x")
+    stats = decision_stats(reg)
+    if stats:
+        lines.append(stats)
     return {"rows": rows, "render": "\n".join(lines)}
 
 
@@ -311,22 +320,26 @@ def ablation_batch_counter(sizes=(2, 4, 8, 16), dtype: str = "d",
     iatf = IATF(KUNPENG_920)
     engine = Engine(KUNPENG_920)
     rows = []
-    for n in sizes:
-        prob = GemmProblem(n, n, n, dtype, batch=batch)
-        plan = iatf.plan_gemm(prob)
-        g_on = engine.time_plan(plan).gflops
-        demoted = {
-            name: (dataclasses.replace(spec, warm="l2")
-                   if spec.warm == "l1" else spec)
-            for name, spec in plan.buffers.items()
-        }
-        plan_off = dataclasses.replace(plan, buffers=demoted)
-        g_off = engine.time_plan(plan_off).gflops
-        rows.append((n, g_on, g_off, g_on / g_off))
+    with obs.scoped() as reg:
+        for n in sizes:
+            prob = GemmProblem(n, n, n, dtype, batch=batch)
+            plan = iatf.plan_gemm(prob)
+            g_on = engine.time_plan(plan).gflops
+            demoted = {
+                name: (dataclasses.replace(spec, warm="l2")
+                       if spec.warm == "l1" else spec)
+                for name, spec in plan.buffers.items()
+            }
+            plan_off = dataclasses.replace(plan, buffers=demoted)
+            g_off = engine.time_plan(plan_off).gflops
+            rows.append((n, g_on, g_off, g_on / g_off))
     lines = [f"Ablation — batch counter (L1-resident rounds), {dtype}gemm NN",
              f"{'n':>4} {'L1 rounds':>10} {'L2 rounds':>10} {'gain':>6}"]
     for n, a, b, r in rows:
         lines.append(f"{n:>4} {a:>10.2f} {b:>10.2f} {r:>5.2f}x")
+    stats = decision_stats(reg)
+    if stats:
+        lines.append(stats)
     return {"rows": rows, "render": "\n".join(lines)}
 
 
@@ -341,14 +354,18 @@ def ablation_autotune(sizes=(5, 6, 9, 13, 17, 21), dtype: str = "d",
     """
     iatf = IATF(KUNPENG_920)
     rows = []
-    for n in sizes:
-        prob = GemmProblem(n, n, n, dtype, batch=batch)
-        g0 = iatf.time_gemm(prob).gflops
-        g1 = iatf.time_gemm(prob, autotune=True).gflops
-        main = iatf.plan_gemm(prob, autotune=True).meta["main_kernel"]
-        rows.append((n, g0, g1, main))
+    with obs.scoped() as reg:
+        for n in sizes:
+            prob = GemmProblem(n, n, n, dtype, batch=batch)
+            g0 = iatf.time_gemm(prob).gflops
+            g1 = iatf.time_gemm(prob, autotune=True).gflops
+            main = iatf.plan_gemm(prob, autotune=True).meta["main_kernel"]
+            rows.append((n, g0, g1, main))
     lines = [f"Ablation — empirical autotuning, {dtype}gemm NN",
              f"{'n':>4} {'analytic':>9} {'autotuned':>10} {'chosen':>8}"]
     for n, a, b, main in rows:
         lines.append(f"{n:>4} {a:>9.3f} {b:>10.3f} {str(main):>8}")
+    stats = decision_stats(reg)
+    if stats:
+        lines.append(stats)
     return {"rows": rows, "render": "\n".join(lines)}

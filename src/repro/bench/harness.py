@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..baselines.armpl_batch import ArmplBatch
 from ..baselines.libxsmm_batch import LibxsmmBatch
 from ..baselines.mkl_compact import MklCompact
@@ -77,9 +78,24 @@ class BenchHarness:
     def _cached(self, key: tuple, fn) -> float:
         val = self._cache.get(key)
         if val is None:
-            val = fn()
+            with obs.span("bench.point", routine=key[0], lib=key[1],
+                          size=key[2], dtype=key[3]):
+                val = fn()
+            obs.count("bench.points")
+            obs.count(f"bench.points.{key[0]}")
             self._cache[key] = val
+        else:
+            obs.count("bench.cache_hits")
         return val
+
+    def write_trace(self, path) -> str:
+        """Export spans recorded so far as a Chrome-trace artifact.
+
+        Run sweeps inside ``with obs.scoped(fresh=False):`` (or after
+        ``obs.enable()``) so there are spans to export; the returned
+        path loads in ``chrome://tracing`` / Perfetto.
+        """
+        return obs.write_chrome_trace(path)
 
     def gemm_gflops(self, lib: str, size: int, dtype: str,
                     mode: str = "NN") -> float:

@@ -2,10 +2,15 @@
 
 from __future__ import annotations
 
+from .. import obs
 from .harness import Series
 
 __all__ = ["series_table", "ratio_summary", "markdown_table",
-           "series_csv"]
+           "series_csv", "decision_stats"]
+
+#: counter prefixes that narrate run-time-stage decisions
+DECISION_PREFIXES = ("plan_cache.", "pack_selector.", "autotune.",
+                     "batch_counter.")
 
 
 def series_table(series: dict[str, Series], title: str = "",
@@ -47,6 +52,27 @@ def ratio_summary(series: dict[str, Series], of: str = "IATF") -> str:
             if v2 > 0 and v1 / v2 > best:
                 best, at = v1 / v2, sz
         lines.append(f"  {of} vs {label}: up to {best:.1f}x (at size {at})")
+    return "\n".join(lines)
+
+
+def decision_stats(registry: "obs.Registry | None" = None,
+                   title: str = "decision statistics:") -> str:
+    """Plan-cache / pack-selector / autotune counter snapshot as text.
+
+    Appended to benchmark reports so ablation runs show the run-time
+    stage's decisions alongside GFLOPS.  Returns "" when nothing was
+    recorded (e.g. instrumentation disabled).
+    """
+    reg = registry if registry is not None else obs.get_registry()
+    counters = {name: value for name, value in reg.counters().items()
+                if name.startswith(DECISION_PREFIXES)}
+    if not counters:
+        return ""
+    width = max(len(n) for n in counters)
+    lines = [title]
+    for name, value in counters.items():
+        shown = int(value) if float(value).is_integer() else value
+        lines.append(f"  {name:<{width}}  {shown}")
     return "\n".join(lines)
 
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..machine.machines import MachineConfig
 from ..machine.program import Program
 from ..types import BlasDType
@@ -83,11 +84,19 @@ class KernelRegistry:
     def _get(self, key: tuple, make) -> Program:
         prog = self._cache.get(key)
         if prog is None:
-            prog = make()
-            if self.optimize:
-                prog = schedule_program(prog, self.machine)
-            assert_valid(prog, self.machine)
+            t0 = obs.tick()
+            with obs.span("codegen.generate", kernel=str(key)):
+                prog = make()
+                if self.optimize:
+                    with obs.span("codegen.optimize"):
+                        prog = schedule_program(prog, self.machine)
+                    obs.count("codegen.optimized")
+                assert_valid(prog, self.machine)
+            obs.count("codegen.generated")
+            obs.tock("codegen.generate_ms", t0)
             self._cache[key] = prog
+        else:
+            obs.count("codegen.cache_hits")
         return prog
 
     def gemm_kernel(self, mc: int, nc: int, k: int, dtype: "BlasDType | str",

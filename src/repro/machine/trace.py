@@ -63,12 +63,8 @@ def format_trace(entries: list[tuple[int, Instr]],
             lines.append(f"... ({len(entries) - i} more)")
             break
         mark = "|" if cycle == prev else " "
-        gap = ""
         if prev is not None and cycle > prev + 1:
-            gap = f"   <- {cycle - prev - 1} stall cycle(s)\n"
-            lines[-1] += ""
-        if gap:
-            lines.append(f"{'':>6}  {gap.strip()}")
+            lines.append(f"{'':>6}  <- {cycle - prev - 1} stall cycle(s)")
         lines.append(f"{cycle:>6} {mark} {ins.asm()}")
         prev = cycle
     return "\n".join(lines)

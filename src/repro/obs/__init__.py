@@ -1,0 +1,48 @@
+"""repro.obs — zero-dependency observability for the run-time stage.
+
+Three layers:
+
+* :mod:`repro.obs.core` — the process-wide :class:`Registry` of named
+  :class:`Counter`/:class:`Histogram` objects and the hot-path helpers
+  (:func:`count`, :func:`observe`) that are true no-ops while
+  instrumentation is disabled (the default);
+* :mod:`repro.obs.spans` — hierarchical :func:`span` timing regions,
+  exportable to Chrome ``chrome://tracing`` / Perfetto JSON;
+* :mod:`repro.obs.explain` — :func:`explain` reports narrating every
+  run-time-stage decision a plan embodies (batch counter math,
+  pack-selector reasoning, tile decomposition, autotune sweeps, and
+  the cycle-model breakdown).
+
+Quick start::
+
+    from repro import IATF, obs
+    from repro.types import GemmProblem
+
+    iatf = IATF()
+    with obs.scoped() as reg:                 # enable + fresh registry
+        t = iatf.time_gemm(GemmProblem(8, 8, 8, "d", batch=16384))
+        print(reg.report())                   # counters & histograms
+        obs.write_chrome_trace("run.trace.json", registry=reg)
+
+    print(iatf.explain_gemm(GemmProblem(8, 8, 8, "d", batch=16384),
+                            deep=True).render())
+
+``python -m repro.obs --self-check`` exercises the whole subsystem.
+"""
+
+from .core import (Counter, Histogram, Registry, count, disable, enable,
+                   enabled, gauge, get_registry, observe, scoped,
+                   set_registry, tick, tock)
+from .explain import ExplainReport, explain
+from .spans import (SpanRecord, chrome_trace, span, validate_chrome_trace,
+                    write_chrome_trace)
+
+__all__ = [
+    "Counter", "Histogram", "Registry",
+    "count", "observe", "gauge", "tick", "tock",
+    "enabled", "enable", "disable", "scoped",
+    "get_registry", "set_registry",
+    "SpanRecord", "span", "chrome_trace", "write_chrome_trace",
+    "validate_chrome_trace",
+    "ExplainReport", "explain",
+]

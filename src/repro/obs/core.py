@@ -1,0 +1,285 @@
+"""Observability core: counters, histograms, and the process registry.
+
+The run-time stage makes input-aware decisions (batch counter group
+math, pack-vs-nopack selection, CMAR tile decomposition, autotune
+sweeps) that are invisible from the outside; this module is the ledger
+they report into.  Design constraints:
+
+* **zero overhead when off** — instrumentation sites call the
+  module-level helpers (:func:`count`, :func:`observe`, :func:`tick`),
+  which check one module global and return immediately when disabled
+  (the default).  No registry lookup, no allocation, no lock.
+* **thread-safe when on** — a multicore sweep or a threaded benchmark
+  may increment the same counter from several workers; every mutation
+  takes the owning object's lock.
+* **zero dependencies** — stdlib only.
+
+Usage::
+
+    from repro import obs
+    with obs.scoped() as reg:           # fresh registry, enabled
+        iatf.time_gemm(problem)
+        print(reg.report())
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+
+__all__ = ["Counter", "Histogram", "Registry", "get_registry",
+           "set_registry", "enabled", "enable", "disable", "scoped",
+           "count", "observe", "gauge", "tick", "tock"]
+
+_enabled: bool = False
+"""Process-wide instrumentation switch (off by default)."""
+
+
+class Counter:
+    """A named monotonically growing value (int or float increments)."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: "int | float" = 1) -> None:
+        with self._lock:
+            self.value += n
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """Summary statistics of observed values.
+
+    Keeps exact count/total/min/max plus a bounded sample of recent
+    observations for percentile estimates (the sample bound keeps
+    long-running processes from growing without limit).
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_sample", "_lock")
+
+    SAMPLE = 1024
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._sample: deque = deque(maxlen=self.SAMPLE)
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            self._sample.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimated q-th percentile (0..100) from the recent sample."""
+        with self._lock:
+            data = sorted(self._sample)
+        if not data:
+            return 0.0
+        idx = min(len(data) - 1, int(round(q / 100.0 * (len(data) - 1))))
+        return data[idx]
+
+    def summary(self) -> dict:
+        return {"count": self.count, "total": self.total,
+                "mean": self.mean,
+                "min": self.min if self.count else 0.0,
+                "max": self.max if self.count else 0.0,
+                "p50": self.percentile(50), "p95": self.percentile(95)}
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={self.count}, mean={self.mean:.3g})"
+
+
+class Registry:
+    """Named counters, histograms, and recorded spans for one scope."""
+
+    MAX_SPANS = 100_000
+    """Recorded-span cap; beyond it spans are dropped (and counted)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self.spans: list = []
+        self.dropped_spans = 0
+
+    # -- accessors (create on first use) --------------------------------
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            with self._lock:
+                c = self._counters.setdefault(name, Counter(name))
+        return c
+
+    def histogram(self, name: str) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            with self._lock:
+                h = self._histograms.setdefault(name, Histogram(name))
+        return h
+
+    def record_span(self, record) -> None:
+        with self._lock:
+            if len(self.spans) >= self.MAX_SPANS:
+                self.dropped_spans += 1
+                return
+            self.spans.append(record)
+
+    # -- inspection ------------------------------------------------------
+
+    def counters(self) -> dict[str, float]:
+        """Counter name -> value, sorted by name."""
+        with self._lock:
+            items = sorted(self._counters.items())
+        return {name: c.value for name, c in items}
+
+    def snapshot(self) -> dict:
+        """One JSON-able dict of everything recorded so far."""
+        with self._lock:
+            counters = sorted(self._counters.items())
+            histograms = sorted(self._histograms.items())
+            n_spans = len(self.spans)
+        return {
+            "counters": {name: c.value for name, c in counters},
+            "histograms": {name: h.summary() for name, h in histograms},
+            "spans": n_spans,
+            "dropped_spans": self.dropped_spans,
+        }
+
+    def report(self) -> str:
+        """Human-readable snapshot (the CLI's default output)."""
+        snap = self.snapshot()
+        lines = ["observability registry"]
+        lines.append(f"  spans recorded: {snap['spans']}"
+                     + (f" (+{snap['dropped_spans']} dropped)"
+                        if snap["dropped_spans"] else ""))
+        if snap["counters"]:
+            lines.append("  counters:")
+            width = max(len(n) for n in snap["counters"])
+            for name, value in snap["counters"].items():
+                shown = int(value) if float(value).is_integer() else value
+                lines.append(f"    {name:<{width}}  {shown}")
+        if snap["histograms"]:
+            lines.append("  histograms:")
+            for name, s in snap["histograms"].items():
+                lines.append(
+                    f"    {name}: n={s['count']} mean={s['mean']:.3g} "
+                    f"min={s['min']:.3g} max={s['max']:.3g} "
+                    f"p95={s['p95']:.3g}")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._histograms.clear()
+            self.spans.clear()
+            self.dropped_spans = 0
+
+
+_registry = Registry()
+
+
+def get_registry() -> Registry:
+    """The current process-wide registry."""
+    return _registry
+
+
+def set_registry(registry: Registry) -> Registry:
+    """Swap the process-wide registry; returns the previous one."""
+    global _registry
+    old, _registry = _registry, registry
+    return old
+
+
+def enabled() -> bool:
+    """Is instrumentation currently recording?"""
+    return _enabled
+
+
+def enable() -> None:
+    """Turn instrumentation on (process-wide)."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn instrumentation off (the default state)."""
+    global _enabled
+    _enabled = False
+
+
+@contextmanager
+def scoped(fresh: bool = True):
+    """Enable instrumentation within a block, yielding the registry.
+
+    With ``fresh`` (the default) a new empty :class:`Registry` is
+    swapped in so the block's measurements are isolated; the previous
+    registry and enabled-state are restored on exit.
+    """
+    global _enabled
+    old_enabled = _enabled
+    old_registry = set_registry(Registry()) if fresh else _registry
+    _enabled = True
+    try:
+        yield _registry
+    finally:
+        _enabled = old_enabled
+        if fresh:
+            set_registry(old_registry)
+
+
+# -- hot-path helpers (true no-ops when disabled) ------------------------
+
+def count(name: str, n: "int | float" = 1) -> None:
+    """Increment a counter iff instrumentation is enabled."""
+    if _enabled:
+        _registry.counter(name).inc(n)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a histogram observation iff instrumentation is enabled."""
+    if _enabled:
+        _registry.histogram(name).observe(value)
+
+
+def gauge(name: str, value: "int | float") -> None:
+    """Set a counter to an absolute level (last write wins) iff enabled.
+
+    For point-in-time quantities like cache size, where increments make
+    no sense but a snapshot should still show the latest value.
+    """
+    if _enabled:
+        _registry.counter(name).value = value
+
+
+def tick() -> float:
+    """Start a wall-clock measurement; 0.0 (and free) when disabled."""
+    return time.perf_counter() if _enabled else 0.0
+
+
+def tock(name: str, t0: float) -> None:
+    """Record elapsed milliseconds since :func:`tick` into a histogram."""
+    if _enabled and t0:
+        _registry.histogram(name).observe(
+            (time.perf_counter() - t0) * 1e3)

@@ -1,0 +1,170 @@
+"""Hierarchical spans and Chrome-trace export.
+
+A span brackets one region of work (``span("plan.gemm")``,
+``span("pack.A")``, ``span("engine.time_plan")``).  Spans nest via a
+per-thread stack, so a trace viewer shows plan generation containing
+kernel generation containing scheduling, exactly as the call tree runs.
+
+When instrumentation is disabled (the default), :func:`span` returns a
+shared no-op context manager — one global check, no allocation — so
+production hot paths pay effectively nothing.
+
+Recorded spans export to the Chrome ``chrome://tracing`` / Perfetto
+JSON format (an object with a ``traceEvents`` list of complete ``"X"``
+events, timestamps in microseconds)::
+
+    from repro import obs
+    with obs.scoped() as reg:
+        iatf.time_gemm(problem)
+        obs.write_chrome_trace("run.trace.json", registry=reg)
+
+Open the file at ``chrome://tracing`` or https://ui.perfetto.dev.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+from . import core
+
+__all__ = ["SpanRecord", "span", "chrome_trace", "write_chrome_trace",
+           "validate_chrome_trace"]
+
+
+@dataclass
+class SpanRecord:
+    """One completed span: flat, JSON-able, Chrome-event shaped."""
+
+    name: str
+    start_us: float               # perf_counter-based, microseconds
+    dur_us: float
+    tid: int
+    depth: int
+    args: dict = field(default_factory=dict)
+
+
+class _NullSpan:
+    """The disabled-path context manager: a shared, stateless no-op."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def set(self, **kwargs) -> None:
+        """Attribute setter, ignored when disabled."""
+
+
+_NULL_SPAN = _NullSpan()
+_stack = threading.local()
+
+
+class _Span:
+    """Live span: records start on enter, emits a SpanRecord on exit."""
+
+    __slots__ = ("name", "args", "_t0", "_depth")
+
+    def __init__(self, name: str, args: dict) -> None:
+        self.name = name
+        self.args = args
+
+    def set(self, **kwargs) -> None:
+        """Attach attributes discovered mid-span (shown in the viewer)."""
+        self.args.update(kwargs)
+
+    def __enter__(self):
+        depth = getattr(_stack, "depth", 0)
+        self._depth = depth
+        _stack.depth = depth + 1
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        t1 = time.perf_counter()
+        _stack.depth = self._depth
+        core.get_registry().record_span(SpanRecord(
+            name=self.name,
+            start_us=self._t0 * 1e6,
+            dur_us=(t1 - self._t0) * 1e6,
+            tid=threading.get_ident() & 0xFFFF,
+            depth=self._depth,
+            args=self.args,
+        ))
+        return False
+
+
+def span(name: str, **args):
+    """Context manager timing one named region (no-op when disabled)."""
+    if not core._enabled:
+        return _NULL_SPAN
+    return _Span(name, args)
+
+
+# -- Chrome trace export -------------------------------------------------
+
+def chrome_trace(registry: "core.Registry | None" = None) -> dict:
+    """Recorded spans as a Chrome/Perfetto trace-JSON object."""
+    reg = registry if registry is not None else core.get_registry()
+    pid = os.getpid()
+    events: list[dict] = [{
+        "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+        "args": {"name": "repro (IATF reproduction)"},
+    }]
+    for s in reg.spans:
+        events.append({
+            "name": s.name,
+            "cat": s.name.split(".", 1)[0],
+            "ph": "X",
+            "ts": s.start_us,
+            "dur": s.dur_us,
+            "pid": pid,
+            "tid": s.tid,
+            "args": s.args,
+        })
+    return {"displayTimeUnit": "ms", "traceEvents": events}
+
+
+def write_chrome_trace(path, registry: "core.Registry | None" = None) -> str:
+    """Write the trace JSON to ``path`` (conventionally ``*.trace.json``)."""
+    trace = chrome_trace(registry)
+    with open(path, "w") as f:
+        json.dump(trace, f, indent=1)
+    return str(path)
+
+
+def validate_chrome_trace(trace: dict) -> None:
+    """Schema-check a trace object; raises ``ValueError`` on violation.
+
+    Checks the subset of the Trace Event Format the exporter emits:
+    a ``traceEvents`` list whose ``"X"`` (complete) events carry
+    name/ts/dur/pid/tid with non-negative numeric timestamps.
+    """
+    if not isinstance(trace, dict):
+        raise ValueError("trace must be a JSON object")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace.traceEvents must be a list")
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValueError(f"event {i} is not an object")
+        ph = ev.get("ph")
+        if ph not in ("X", "M", "B", "E", "C", "i"):
+            raise ValueError(f"event {i} has unknown phase {ph!r}")
+        if not isinstance(ev.get("name"), str):
+            raise ValueError(f"event {i} has no string name")
+        if ph != "X":
+            continue
+        for k in ("ts", "dur"):
+            v = ev.get(k)
+            if not isinstance(v, (int, float)) or v < 0:
+                raise ValueError(f"event {i} field {k} invalid: {v!r}")
+        for k in ("pid", "tid"):
+            if not isinstance(ev.get(k), int):
+                raise ValueError(f"event {i} field {k} must be an int")

@@ -10,6 +10,7 @@ cache at a time."
 
 from __future__ import annotations
 
+from .. import obs
 from ..machine.machines import MachineConfig
 from ..types import GemmProblem, TrsmProblem
 
@@ -50,4 +51,11 @@ def groups_per_round(working_bytes_per_group: int,
     """
     if working_bytes_per_group <= 0:
         raise ValueError("working set must be positive")
-    return max(1, machine.l1.size // working_bytes_per_group)
+    g = max(1, machine.l1.size // working_bytes_per_group)
+    obs.count("batch_counter.calls")
+    if working_bytes_per_group > machine.l1.size:
+        obs.count("batch_counter.l1_overflow")
+    else:
+        obs.count("batch_counter.l1_fit")
+    obs.observe("batch_counter.groups_per_round", g)
+    return g

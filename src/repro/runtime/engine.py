@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..codegen import regs
 from ..codegen.templates_trsm import PX
 from ..errors import PlanError
@@ -127,28 +128,34 @@ class Engine:
         _check_compact("A", a, *p.a_shape, plan)
         _check_compact("B", b, *p.b_shape, plan)
         _check_compact("C", c, *p.c_shape, plan)
+        obs.count("engine.execute.gemm")
+        obs.count("engine.kernel_calls", len(plan.calls))
 
-        mem = MemorySpace()
-        strides = {"C": c.group_stride_bytes}
-        mem.bind("C", c.buffer)
-        m_tiles = plan.meta["m_tiles"]
-        n_tiles = plan.meta["n_tiles"]
-        if "packA" in plan.buffers:
-            pa = pack_gemm_a(a, p.transa, p.k, m_tiles)
-            mem.bind("packA", pa.data)
-            strides["packA"] = pa.group_stride_bytes
-        else:
-            mem.bind("A", a.buffer)
-            strides["A"] = a.group_stride_bytes
-        if "packB" in plan.buffers:
-            pb = pack_gemm_b(b, p.transb, p.k, n_tiles)
-            mem.bind("packB", pb.data)
-            strides["packB"] = pb.group_stride_bytes
-        else:
-            mem.bind("B", b.buffer)
-            strides["B"] = b.group_stride_bytes
+        with obs.span("engine.execute_gemm", groups=c.groups):
+            mem = MemorySpace()
+            strides = {"C": c.group_stride_bytes}
+            mem.bind("C", c.buffer)
+            m_tiles = plan.meta["m_tiles"]
+            n_tiles = plan.meta["n_tiles"]
+            if "packA" in plan.buffers:
+                with obs.span("pack.A"):
+                    pa = pack_gemm_a(a, p.transa, p.k, m_tiles)
+                mem.bind("packA", pa.data)
+                strides["packA"] = pa.group_stride_bytes
+            else:
+                mem.bind("A", a.buffer)
+                strides["A"] = a.group_stride_bytes
+            if "packB" in plan.buffers:
+                with obs.span("pack.B"):
+                    pb = pack_gemm_b(b, p.transb, p.k, n_tiles)
+                mem.bind("packB", pb.data)
+                strides["packB"] = pb.group_stride_bytes
+            else:
+                mem.bind("B", b.buffer)
+                strides["B"] = b.group_stride_bytes
 
-        self._run_calls(plan, mem, strides, c.groups)
+            with obs.span("engine.kernels", calls=len(plan.calls)):
+                self._run_calls(plan, mem, strides, c.groups)
         return c
 
     def execute_trsm(self, plan: ExecutionPlan, a: CompactBatch,
@@ -161,27 +168,37 @@ class Engine:
         _check_compact("B", b, *p.b_shape, plan)
         norm = plan.meta["norm"]
         blocks = plan.meta["blocks"]
+        obs.count("engine.execute.trsm")
+        obs.count("engine.kernel_calls", len(plan.calls))
 
-        mem = MemorySpace()
-        packed = pack_trsm_a(a, norm, blocks)
-        mem.bind("packT", packed.data)
-        strides = {"packT": packed.group_stride_bytes}
+        with obs.span("engine.execute_trsm", groups=b.groups):
+            mem = MemorySpace()
+            with obs.span("pack.T"):
+                packed = pack_trsm_a(a, norm, blocks)
+            mem.bind("packT", packed.data)
+            strides = {"packT": packed.group_stride_bytes}
 
-        if plan.meta["b_nopack"]:
-            mem.bind("B", b.buffer)
-            strides["B"] = b.group_stride_bytes
-            work = None
-        else:
-            # pad_cols_to is the final padded width: padded_count(n, n_pad)
-            # == n_pad whenever n_pad >= n, which the plan guarantees
-            work, _ = pack_trsm_b(b, norm, pad_cols_to=plan.meta["n_pad"])
-            mem.bind("workB", work)
-            strides["workB"] = plan.buffers["workB"].group_stride_bytes
+            if plan.meta["b_nopack"]:
+                mem.bind("B", b.buffer)
+                strides["B"] = b.group_stride_bytes
+                work = None
+            else:
+                # pad_cols_to is the final padded width: padded_count(n,
+                # n_pad) == n_pad whenever n_pad >= n, which the plan
+                # guarantees
+                with obs.span("pack.B"):
+                    work, _ = pack_trsm_b(b, norm,
+                                          pad_cols_to=plan.meta["n_pad"])
+                mem.bind("workB", work)
+                strides["workB"] = plan.buffers["workB"].group_stride_bytes
 
-        self._run_calls(plan, mem, strides, b.groups)
+            with obs.span("engine.kernels", calls=len(plan.calls)):
+                self._run_calls(plan, mem, strides, b.groups)
 
-        if work is not None:
-            unpack_trsm_b(work, b, norm, pad_cols_to=plan.meta["n_pad"])
+            if work is not None:
+                with obs.span("unpack.B"):
+                    unpack_trsm_b(work, b, norm,
+                                  pad_cols_to=plan.meta["n_pad"])
         return b
 
     # ------------------------------------------------------------------
@@ -198,48 +215,59 @@ class Engine:
         and loop control around the branch-free kernels).
         """
         machine = plan.machine
-        caches = machine.make_caches()
-        pipe = machine.make_pipeline(caches)
-        asp = AddressSpace()
-        for name, spec in plan.buffers.items():
-            stride = max(spec.group_stride_bytes, 64)
-            base = asp.place(name, 2 * stride)
-            if spec.warm == "l1":
-                caches.warm_range(base, 2 * spec.group_stride_bytes, "l1")
-            elif spec.warm == "l2":
-                caches.warm_range(base, 2 * spec.group_stride_bytes, "l2")
+        with obs.span("engine.time_plan", kind=plan.kind):
+            caches = machine.make_caches()
+            pipe = machine.make_pipeline(caches)
+            asp = AddressSpace()
+            for name, spec in plan.buffers.items():
+                stride = max(spec.group_stride_bytes, 64)
+                base = asp.place(name, 2 * stride)
+                if spec.warm == "l1":
+                    caches.warm_range(base, 2 * spec.group_stride_bytes, "l1")
+                elif spec.warm == "l2":
+                    caches.warm_range(base, 2 * spec.group_stride_bytes, "l2")
 
-        total: TimingResult | None = None
-        for group in (0, 1):
-            group_total: TimingResult | None = None
-            for call in plan.calls:
-                def addr(buf: str, off: int) -> int:
-                    return (asp.base(buf)
-                            + group * plan.buffers[buf].group_stride_bytes
-                            + off)
-                init = {
-                    regs.PA: addr(call.a_buf, call.a_off),
-                    regs.PB: addr(call.b_buf, call.b_off),
-                }
-                for j, off in enumerate(call.c_offsets):
-                    init[regs.pc(j)] = addr(call.c_buf, off)
-                if call.x_buf is not None:
-                    init[PX] = addr(call.x_buf, call.x_off)
-                r = pipe.simulate(call.program, init)
-                group_total = r if group_total is None else group_total + r
-            total = group_total
-        assert total is not None, "plan has no kernel calls"
-        setup = PER_KERNEL_CALL_SETUP_CYCLES * len(plan.calls)
-        total = TimingResult(total.cycles + setup, total.drain_cycles,
-                             total.instructions, total.stall_cycles,
-                             total.fp_issued, total.mem_issued,
-                             total.l1_misses, total.l2_misses)
+            total: TimingResult | None = None
+            for group in (0, 1):
+                group_total: TimingResult | None = None
+                for call in plan.calls:
+                    def addr(buf: str, off: int) -> int:
+                        return (asp.base(buf)
+                                + group * plan.buffers[buf].group_stride_bytes
+                                + off)
+                    init = {
+                        regs.PA: addr(call.a_buf, call.a_off),
+                        regs.PB: addr(call.b_buf, call.b_off),
+                    }
+                    for j, off in enumerate(call.c_offsets):
+                        init[regs.pc(j)] = addr(call.c_buf, off)
+                    if call.x_buf is not None:
+                        init[PX] = addr(call.x_buf, call.x_off)
+                    r = pipe.simulate(call.program, init)
+                    group_total = (r if group_total is None
+                                   else group_total + r)
+                total = group_total
+            assert total is not None, "plan has no kernel calls"
+            setup = PER_KERNEL_CALL_SETUP_CYCLES * len(plan.calls)
+            total = TimingResult(total.cycles + setup, total.drain_cycles,
+                                 total.instructions, total.stall_cycles,
+                                 total.fp_issued, total.mem_issued,
+                                 total.l1_misses, total.l2_misses)
 
-        return PlanTiming(
-            plan=plan,
-            kernel_cycles_per_group=total.cycles,
-            pack_cycles=plan.pack_cost.cycles(machine),
-            unpack_cycles=plan.unpack_cost.cycles(machine),
-            overhead_cycles=PLAN_GENERATION_OVERHEAD_CYCLES,
-            detail=total,
-        )
+            timing = PlanTiming(
+                plan=plan,
+                kernel_cycles_per_group=total.cycles,
+                pack_cycles=plan.pack_cost.cycles(machine),
+                unpack_cycles=plan.unpack_cost.cycles(machine),
+                overhead_cycles=PLAN_GENERATION_OVERHEAD_CYCLES,
+                detail=total,
+            )
+        obs.count("engine.timed_plans")
+        obs.count("engine.cycles.kernel", timing.kernel_cycles)
+        obs.count("engine.cycles.pack", timing.pack_cycles)
+        obs.count("engine.cycles.unpack", timing.unpack_cycles)
+        obs.count("engine.cycles.overhead", timing.overhead_cycles)
+        obs.count("engine.stall_cycles", total.stall_cycles)
+        obs.count("engine.l1_misses", total.l1_misses)
+        obs.count("engine.l2_misses", total.l2_misses)
+        return timing

@@ -15,8 +15,11 @@ over the batch.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
+from .. import obs
 from ..codegen.registry import KernelRegistry
 from ..errors import InvalidProblemError
 from ..layout.compact import CompactBatch
@@ -25,18 +28,67 @@ from ..types import BlasDType, Diag, GemmProblem, Side, Trans, TrsmProblem, UpLo
 from .engine import Engine, PlanTiming
 from .plan import ExecutionPlan, build_gemm_plan, build_trsm_plan
 
-__all__ = ["IATF"]
+__all__ = ["IATF", "PlanCache"]
+
+
+class PlanCache:
+    """Bounded LRU map from problem-configuration keys to plans.
+
+    The paper amortizes plan generation over the batch, so hits are the
+    common case; the bound exists so a long-lived service sweeping many
+    shapes cannot grow without limit.  Hit/miss/eviction totals are
+    kept unconditionally (plain ints, negligible cost) and mirrored
+    into the obs registry when instrumentation is enabled.
+    """
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        if maxsize < 1:
+            raise ValueError("plan cache needs room for at least one plan")
+        self.maxsize = maxsize
+        self._data: "OrderedDict[tuple, ExecutionPlan]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: tuple) -> "ExecutionPlan | None":
+        plan = self._data.get(key)
+        if plan is None:
+            self.misses += 1
+            obs.count("plan_cache.misses")
+        else:
+            self._data.move_to_end(key)
+            self.hits += 1
+            obs.count("plan_cache.hits")
+        return plan
+
+    def put(self, key: tuple, plan: ExecutionPlan) -> None:
+        self._data[key] = plan
+        self._data.move_to_end(key)
+        if len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+            obs.count("plan_cache.evictions")
+        obs.gauge("plan_cache.size", len(self._data))
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def stats(self) -> dict:
+        return {"size": len(self._data), "maxsize": self.maxsize,
+                "hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions}
 
 
 class IATF:
     """Input-aware tuning framework for compact batched GEMM/TRSM."""
 
     def __init__(self, machine: MachineConfig = KUNPENG_920, *,
-                 optimize_kernels: bool = True) -> None:
+                 optimize_kernels: bool = True,
+                 plan_cache_size: int = 1024) -> None:
         self.machine = machine
         self.registry = KernelRegistry(machine, optimize=optimize_kernels)
         self.engine = Engine(machine)
-        self._plan_cache: dict[tuple, ExecutionPlan] = {}
+        self._plan_cache = PlanCache(plan_cache_size)
 
     # -- install-time stage ---------------------------------------------
 
@@ -65,34 +117,56 @@ class IATF:
         plan = self._plan_cache.get(key)
         if plan is not None:
             return plan
-        if not autotune:
-            plan = build_gemm_plan(problem, self.machine, self.registry,
-                                   force_pack)
-        else:
-            candidates = (self.GEMM_TUNE_CANDIDATES_CPLX
-                          if problem.dtype.is_complex
-                          else self.GEMM_TUNE_CANDIDATES_REAL)
-            best, best_cycles = None, None
-            for main in candidates:
+        with obs.span("plan.gemm", autotune=autotune):
+            if not autotune:
+                plan = build_gemm_plan(problem, self.machine, self.registry,
+                                       force_pack)
+            else:
+                plan = self._autotune_gemm(problem, force_pack)
+        # meta is complete before the plan becomes visible to other
+        # callers through the cache
+        self._plan_cache.put(key, plan)
+        return plan
+
+    def _autotune_gemm(self, problem: GemmProblem,
+                       force_pack: bool) -> ExecutionPlan:
+        """Sweep candidate main kernels, timing each on the machine
+        model, and keep the fastest; the sweep results travel with the
+        chosen plan (``meta["autotune_sweep"]``) for explain reports."""
+        candidates = (self.GEMM_TUNE_CANDIDATES_CPLX
+                      if problem.dtype.is_complex
+                      else self.GEMM_TUNE_CANDIDATES_REAL)
+        sweep: list[dict] = []
+        best, best_cycles = None, None
+        for main in candidates:
+            with obs.span("plan.autotune_candidate", candidate=str(main)):
                 cand = build_gemm_plan(problem, self.machine, self.registry,
                                        force_pack, main_override=main)
                 cycles = self.engine.time_plan(cand).total_cycles
-                if best_cycles is None or cycles < best_cycles:
-                    best, best_cycles = cand, cycles
-            plan = best
-            plan.meta["autotuned"] = True
-        self._plan_cache[key] = plan
-        return plan
+            obs.count("autotune.candidates")
+            sweep.append({"candidate": main, "total_cycles": cycles})
+            if best_cycles is None or cycles < best_cycles:
+                best, best_cycles = cand, cycles
+        obs.count("autotune.sweeps")
+        best.meta["autotuned"] = True
+        best.meta["autotune_sweep"] = sweep
+        return best
 
     def plan_trsm(self, problem: TrsmProblem,
                   force_pack: bool = False) -> ExecutionPlan:
         key = ("trsm", problem, force_pack)
         plan = self._plan_cache.get(key)
         if plan is None:
-            plan = build_trsm_plan(problem, self.machine, self.registry,
-                                   force_pack)
-            self._plan_cache[key] = plan
+            with obs.span("plan.trsm"):
+                plan = build_trsm_plan(problem, self.machine, self.registry,
+                                       force_pack)
+            self._plan_cache.put(key, plan)
         return plan
+
+    @property
+    def plan_cache_stats(self) -> dict:
+        """Plan-cache size/hit/miss/eviction totals (always tracked)."""
+        return self._plan_cache.stats()
 
     # -- execution (compact-layout API) -----------------------------------
 
@@ -166,3 +240,18 @@ class IATF:
     def time_trsm(self, problem: TrsmProblem,
                   force_pack: bool = False) -> PlanTiming:
         return self.engine.time_plan(self.plan_trsm(problem, force_pack))
+
+    # -- observability ------------------------------------------------------
+
+    def explain_gemm(self, problem: GemmProblem, force_pack: bool = False,
+                     autotune: bool = False, deep: bool = False):
+        """Narrated run-time-stage decisions for one GEMM shape
+        (:class:`repro.obs.ExplainReport`)."""
+        plan = self.plan_gemm(problem, force_pack, autotune)
+        return obs.explain(plan, registry=self.registry, deep=deep)
+
+    def explain_trsm(self, problem: TrsmProblem, force_pack: bool = False,
+                     deep: bool = False):
+        """Narrated run-time-stage decisions for one TRSM shape."""
+        plan = self.plan_trsm(problem, force_pack)
+        return obs.explain(plan, registry=self.registry, deep=deep)

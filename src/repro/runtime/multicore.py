@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .. import obs
 from ..machine.machines import MachineConfig
 from ..types import GemmProblem, TrsmProblem
 from .engine import PLAN_GENERATION_OVERHEAD_CYCLES, PlanTiming
@@ -76,7 +77,12 @@ class MulticoreModel:
         pack = (t.pack_cycles + t.unpack_cycles) / bw_scale \
             * (per_core_groups * cores / max(groups, 1))
         cycles = kernel + pack + PLAN_GENERATION_OVERHEAD_CYCLES
-        return MulticoreTiming(cores=cores, single=t, cycles=cycles)
+        timing = MulticoreTiming(cores=cores, single=t, cycles=cycles)
+        obs.count("multicore.timings")
+        obs.count("multicore.active_workers", active)
+        obs.count("multicore.worker_groups", per_core_groups * active)
+        obs.observe("multicore.efficiency", timing.efficiency)
+        return timing
 
     def time_gemm(self, problem: GemmProblem) -> MulticoreTiming:
         return self._scale(self.iatf.time_gemm(problem))

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .. import obs
 from ..codegen.registry import KernelRegistry
 from ..packing.trsm_pack import NormalizedTrsm, normalize_trsm_mode
 from ..types import GemmProblem, Trans, TrsmProblem
@@ -62,10 +63,14 @@ def select_gemm_packing(problem: GemmProblem, m_tiles: list[int],
     * B is contiguous when transposed and covered by a single column
       tile (stored columns deliver the ``[l][j]`` order).
     """
+    obs.count("pack_selector.gemm.calls")
     if force_pack:
+        obs.count("pack_selector.gemm.forced")
         return GemmPackDecision(True, True, "forced", "forced")
     a_nopack = problem.transa is Trans.N and len(m_tiles) == 1
     b_nopack = problem.transb is Trans.T and len(n_tiles) == 1
+    obs.count("pack_selector.gemm.a." + ("nopack" if a_nopack else "pack"))
+    obs.count("pack_selector.gemm.b." + ("nopack" if b_nopack else "pack"))
     return GemmPackDecision(
         pack_a=not a_nopack,
         pack_b=not b_nopack,
@@ -85,12 +90,15 @@ def select_trsm_packing(problem: TrsmProblem, registry: KernelRegistry,
     neither a flip nor a transpose, with unit alpha, qualifies whenever
     the whole problem is solved by one triangular kernel (the blocked
     path needs the padded work panel regardless)."""
+    obs.count("pack_selector.trsm.calls")
     norm = normalize_trsm_mode(problem)
     whole = norm.d <= registry.max_tri(problem.dtype)
     if force_pack:
+        obs.count("pack_selector.trsm.forced")
         return TrsmPackDecision(norm, whole, True, "forced")
     nopack = (whole and not norm.flip and not norm.transpose_b
               and norm.alpha == 1)
+    obs.count("pack_selector.trsm.b." + ("nopack" if nopack else "pack"))
     if nopack:
         reason = "canonical orientation, unit alpha, in-register solve"
     elif not whole:

@@ -48,3 +48,71 @@ def test_format_trace_renders():
 
     short = format_trace(trace_program(KUNPENG_920, prog), max_rows=1)
     assert "more" in short
+
+
+def test_format_trace_exact_output_with_stall():
+    """Regression pin: the stall-gap line renders exactly once, between
+    the dependent rows, with the original column layout."""
+    prog = Program("t", [ldrv(0, 0, 0), fmul(1, 0, 0, ew=8)],
+                   ew=8, lanes=2)
+    entries = trace_program(KUNPENG_920, prog)
+    gap = KUNPENG_920.lat.load_use        # fmul issues at cycle load_use
+    assert entries == [(0, prog.instrs[0]), (gap, prog.instrs[1])]
+    assert format_trace(entries) == "\n".join([
+        " cycle  instruction",
+        "     0   ldrv  v0.2d, [x0, #0]",
+        f"        <- {gap - 1} stall cycle(s)",
+        f"     {gap}   fmul  v1.2d, v0.2d, v0.2d",
+    ])
+
+
+def test_format_trace_exact_output_coissue_no_stall():
+    """Adjacent cycles and co-issued pairs produce no gap line, and
+    co-issue is marked with '|'."""
+    i1, i2 = ldrv(0, 0, 0), fmul(8, 1, 1, ew=8)
+    text = format_trace([(0, i1), (0, i2)])
+    assert text == "\n".join([
+        " cycle  instruction",
+        "     0   ldrv  v0.2d, [x0, #0]",
+        "     0 | fmul  v8.2d, v1.2d, v1.2d",
+    ])
+    assert "stall" not in format_trace([(0, i1), (1, i2)])
+
+
+def test_format_trace_max_rows_truncation():
+    entries = [(i, prfm(0, 0)) for i in range(6)]
+    text = format_trace(entries, max_rows=2)
+    lines = text.splitlines()
+    assert lines[-1] == "... (4 more)"
+    assert sum("prfm" in line for line in lines) == 2
+    # max_rows >= len(entries) shows everything, no trailer
+    assert "more" not in format_trace(entries, max_rows=6)
+
+
+def test_trace_program_respects_explicit_pointer_init():
+    prog = Program("t", [ldrv(0, 0, 0), fmul(1, 0, 0, ew=8)],
+                   ew=8, lanes=2)
+    entries = trace_program(KUNPENG_920, prog, xreg_init={0: 1 << 20})
+    assert len(entries) == len(prog)
+
+
+def test_trace_program_cold_run_stalls_longer():
+    """warm=False leaves the caches cold, so the load's issue-to-use
+    gap grows past the warm load-use latency."""
+    prog = Program("t", [ldrv(0, 0, 0), fmul(1, 0, 0, ew=8)],
+                   ew=8, lanes=2)
+    warm = trace_program(KUNPENG_920, prog, warm=True)
+    cold = trace_program(KUNPENG_920, prog, warm=False)
+    warm_gap = warm[1][0] - warm[0][0]
+    cold_gap = cold[1][0] - cold[0][0]
+    assert cold_gap > warm_gap
+
+
+def test_issue_histogram_counts_sum_to_entries():
+    prog = schedule_program(
+        generate_gemm_kernel(3, 3, 4, "d", KUNPENG_920), KUNPENG_920)
+    entries = trace_program(KUNPENG_920, prog)
+    hist = issue_histogram(entries)
+    assert sum(hist.values()) == len(entries)
+    assert all(v >= 1 for v in hist.values())
+    assert set(hist) == {c for c, _ in entries}

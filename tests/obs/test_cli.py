@@ -1,0 +1,92 @@
+"""Tests for the `python -m repro.obs` command line."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.__main__ import main
+
+
+def test_self_check_flag(capsys):
+    assert main(["--self-check"]) == 0
+    assert "self-check OK" in capsys.readouterr().out
+
+
+def test_self_check_subcommand(capsys):
+    assert main(["self-check"]) == 0
+    assert "self-check OK" in capsys.readouterr().out
+
+
+def test_snapshot_dumps_registry(capsys):
+    assert main(["snapshot"]) == 0
+    out = capsys.readouterr().out
+    assert "plan_cache.misses" in out
+    assert "pack_selector" in out
+    assert "codegen.generated" in out
+
+
+def test_snapshot_writes_valid_trace(capsys, tmp_path):
+    path = tmp_path / "demo.trace.json"
+    assert main(["snapshot", "--trace-out", str(path)]) == 0
+    assert path.exists()
+    with open(path) as f:
+        obs.validate_chrome_trace(json.load(f))
+    assert "wrote" in capsys.readouterr().out
+
+
+def test_explain_gemm(capsys):
+    assert main(["explain", "gemm", "--m", "9", "--n", "9", "--k", "9",
+                 "--batch", "256"]) == 0
+    out = capsys.readouterr().out
+    assert "batch counter" in out
+    assert "pack selector" in out
+    assert "tile decomposition" in out
+
+
+def test_explain_trsm_deep(capsys):
+    assert main(["explain", "trsm", "--m", "4", "--n", "4",
+                 "--batch", "256", "--deep"]) == 0
+    out = capsys.readouterr().out
+    assert "mode normalization" in out
+    assert "timing breakdown" in out
+
+
+def test_explain_trsm_blas_mode_order(capsys):
+    """--mode letters follow BLAS order: side, uplo, trans, diag."""
+    assert main(["explain", "trsm", "--m", "4", "--n", "4",
+                 "--batch", "64", "--mode", "RUTU"]) == 0
+    out = capsys.readouterr().out
+    assert "Side.RIGHT" in out and "UpLo.UPPER" in out
+
+
+def test_explain_rejects_bad_mode_and_degenerate_problem(capsys):
+    assert main(["explain", "trsm", "--m", "4", "--n", "4",
+                 "--mode", "XX"]) == 2
+    assert "side/uplo/trans/diag" in capsys.readouterr().out
+    assert main(["explain", "gemm", "--m", "0", "--n", "4",
+                 "--k", "4"]) == 2
+    assert "error:" in capsys.readouterr().out
+
+
+def test_explain_autotune(capsys):
+    assert main(["explain", "gemm", "--m", "9", "--n", "9", "--k", "9",
+                 "--batch", "256", "--autotune"]) == 0
+    assert "autotune sweep" in capsys.readouterr().out
+
+
+def test_no_command_prints_help(capsys):
+    assert main([]) == 2
+    assert "usage" in capsys.readouterr().out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_cli_leaves_global_state_untouched():
+    before = obs.get_registry()
+    assert main(["--self-check"]) == 0
+    assert obs.get_registry() is before
+    assert not obs.enabled()

@@ -1,0 +1,112 @@
+"""Span recording and Chrome-trace export/schema tests."""
+
+import json
+
+import pytest
+
+from repro import obs
+
+
+class TestSpanRecording:
+    def test_span_records_name_and_duration(self):
+        with obs.scoped() as reg:
+            with obs.span("plan.gemm", autotune=False):
+                pass
+        assert len(reg.spans) == 1
+        s = reg.spans[0]
+        assert s.name == "plan.gemm"
+        assert s.dur_us >= 0
+        assert s.args == {"autotune": False}
+
+    def test_nesting_depth_tracked(self):
+        with obs.scoped() as reg:
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    pass
+        by_name = {s.name: s for s in reg.spans}
+        assert by_name["outer"].depth == 0
+        assert by_name["inner"].depth == 1
+
+    def test_inner_span_closes_first(self):
+        with obs.scoped() as reg:
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    pass
+        assert [s.name for s in reg.spans] == ["inner", "outer"]
+
+    def test_set_attaches_args_mid_span(self):
+        with obs.scoped() as reg:
+            with obs.span("s") as sp:
+                sp.set(result=42)
+        assert reg.spans[0].args["result"] == 42
+
+    def test_null_span_supports_same_protocol(self):
+        sp = obs.span("anything")           # disabled by default
+        with sp as s:
+            s.set(ignored=True)             # must not raise
+
+
+class TestChromeTrace:
+    def test_export_round_trips_json(self, tmp_path):
+        with obs.scoped() as reg:
+            with obs.span("plan.gemm"):
+                with obs.span("codegen.generate"):
+                    pass
+            path = tmp_path / "run.trace.json"
+            obs.write_chrome_trace(path, registry=reg)
+        with open(path) as f:
+            trace = json.load(f)
+        obs.validate_chrome_trace(trace)    # schema-checked
+        names = [e["name"] for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert names == ["codegen.generate", "plan.gemm"]
+
+    def test_events_carry_required_fields(self):
+        with obs.scoped() as reg:
+            with obs.span("x", detail="hi"):
+                pass
+            trace = obs.chrome_trace(reg)
+        ev = [e for e in trace["traceEvents"] if e["ph"] == "X"][0]
+        for key in ("name", "cat", "ph", "ts", "dur", "pid", "tid", "args"):
+            assert key in ev
+        assert ev["ts"] >= 0 and ev["dur"] >= 0
+        assert ev["args"] == {"detail": "hi"}
+
+    def test_category_is_name_prefix(self):
+        with obs.scoped() as reg:
+            with obs.span("engine.time_plan"):
+                pass
+            trace = obs.chrome_trace(reg)
+        ev = [e for e in trace["traceEvents"] if e["ph"] == "X"][0]
+        assert ev["cat"] == "engine"
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError):
+            obs.validate_chrome_trace([])
+
+    def test_rejects_missing_trace_events(self):
+        with pytest.raises(ValueError):
+            obs.validate_chrome_trace({"displayTimeUnit": "ms"})
+
+    def test_rejects_negative_timestamps(self):
+        bad = {"traceEvents": [{"name": "x", "ph": "X", "ts": -1.0,
+                                "dur": 0.0, "pid": 1, "tid": 1}]}
+        with pytest.raises(ValueError):
+            obs.validate_chrome_trace(bad)
+
+    def test_rejects_unknown_phase(self):
+        bad = {"traceEvents": [{"name": "x", "ph": "??"}]}
+        with pytest.raises(ValueError):
+            obs.validate_chrome_trace(bad)
+
+    def test_accepts_exporter_output_for_real_workload(self, tmp_path):
+        from repro import IATF
+        from repro.types import GemmProblem
+        with obs.scoped() as reg:
+            IATF().time_gemm(GemmProblem(4, 4, 4, "d", batch=32))
+            path = obs.write_chrome_trace(tmp_path / "w.trace.json",
+                                          registry=reg)
+        with open(path) as f:
+            obs.validate_chrome_trace(json.load(f))
+        assert len(reg.spans) > 0

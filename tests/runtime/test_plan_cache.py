@@ -1,0 +1,89 @@
+"""Bounded LRU plan cache: eviction order, stats, and obs counters."""
+
+from repro import IATF, KUNPENG_920, obs
+from repro.runtime.iatf import PlanCache
+from repro.types import GemmProblem
+
+import pytest
+
+
+class TestPlanCacheUnit:
+    def test_lru_eviction_order(self):
+        cache = PlanCache(maxsize=2)
+        cache.put(("a",), "A")
+        cache.put(("b",), "B")
+        assert cache.get(("a",)) == "A"     # refresh a
+        cache.put(("c",), "C")              # evicts b, the LRU entry
+        assert cache.get(("b",)) is None
+        assert cache.get(("a",)) == "A"
+        assert cache.get(("c",)) == "C"
+        assert cache.evictions == 1
+
+    def test_stats_track_hits_and_misses(self):
+        cache = PlanCache(maxsize=4)
+        cache.get(("x",))
+        cache.put(("x",), 1)
+        cache.get(("x",))
+        s = cache.stats()
+        assert s == {"size": 1, "maxsize": 4, "hits": 1, "misses": 1,
+                     "evictions": 0}
+
+    def test_rejects_degenerate_size(self):
+        with pytest.raises(ValueError):
+            PlanCache(maxsize=0)
+
+
+class TestIatfIntegration:
+    def test_default_cache_is_generous(self):
+        assert IATF(KUNPENG_920)._plan_cache.maxsize == 1024
+
+    def test_eviction_bound_respected(self):
+        iatf = IATF(KUNPENG_920, plan_cache_size=3)
+        plans = [iatf.plan_gemm(GemmProblem(2, 2, 2, "d", batch=b))
+                 for b in range(1, 6)]
+        assert len(iatf._plan_cache) == 3
+        assert iatf.plan_cache_stats["evictions"] == 2
+        # evicted plan is rebuilt, not resurrected
+        again = iatf.plan_gemm(GemmProblem(2, 2, 2, "d", batch=1))
+        assert again is not plans[0]
+
+    def test_hit_returns_same_object(self):
+        iatf = IATF(KUNPENG_920)
+        p = GemmProblem(3, 3, 3, "d", batch=7)
+        assert iatf.plan_gemm(p) is iatf.plan_gemm(p)
+        assert iatf.plan_cache_stats["hits"] >= 1
+
+    def test_counters_mirror_into_obs_registry(self):
+        iatf = IATF(KUNPENG_920)
+        p = GemmProblem(3, 3, 3, "d", batch=9)
+        with obs.scoped() as reg:
+            iatf.plan_gemm(p)
+            iatf.plan_gemm(p)
+            counters = reg.counters()
+        assert counters["plan_cache.misses"] == 1
+        assert counters["plan_cache.hits"] == 1
+        assert counters["plan_cache.size"] == 1
+
+    def test_autotune_meta_complete_before_insert(self):
+        """The cached plan must never be mutated after insertion: the
+        object coming out of the cache already carries its autotune
+        metadata."""
+        iatf = IATF(KUNPENG_920)
+        p = GemmProblem(9, 9, 9, "d", batch=64)
+        plan = iatf.plan_gemm(p, autotune=True)
+        assert plan.meta["autotuned"] is True
+        assert len(plan.meta["autotune_sweep"]) == \
+            len(IATF.GEMM_TUNE_CANDIDATES_REAL)
+        cached = iatf.plan_gemm(p, autotune=True)
+        assert cached is plan
+        assert cached.meta["autotune_sweep"] is plan.meta["autotune_sweep"]
+
+    def test_trsm_plans_share_the_cache(self):
+        from repro.types import TrsmProblem
+        iatf = IATF(KUNPENG_920, plan_cache_size=8)
+        tp = TrsmProblem(4, 4, "d", batch=32)
+        gp = GemmProblem(4, 4, 4, "d", batch=32)
+        iatf.plan_trsm(tp)
+        iatf.plan_gemm(gp)
+        assert len(iatf._plan_cache) == 2
+        assert iatf.plan_trsm(tp) is iatf.plan_trsm(tp)
