@@ -11,10 +11,13 @@ framework objects.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from ..layout.compact import CompactBatch
 from ..machine.machines import KUNPENG_920, MachineConfig
+from ..runtime.backends import ExecutorBackend, backend_name
 from ..runtime.iatf import IATF
 from ..types import (BlasDType, Diag, GemmProblem, Side, Trans, TrsmProblem,
                      UpLo)
@@ -22,16 +25,24 @@ from ..types import (BlasDType, Diag, GemmProblem, Side, Trans, TrsmProblem,
 __all__ = ["compact_from_batch", "compact_to_batch", "compact_gemm",
            "compact_trsm", "default_framework"]
 
-_FRAMEWORKS: dict[str, IATF] = {}
+# keyed by (machine name, backend name); guarded by _FRAMEWORKS_LOCK so
+# concurrent first calls cannot race to build two frameworks (each IATF
+# builds a kernel registry — losing one would leak the warm-up cost)
+_FRAMEWORKS: "dict[tuple[str, str], IATF]" = {}
+_FRAMEWORKS_LOCK = threading.Lock()
 
 
-def default_framework(machine: MachineConfig = KUNPENG_920) -> IATF:
-    """The shared per-machine IATF instance used by the free functions."""
-    fw = _FRAMEWORKS.get(machine.name)
-    if fw is None:
-        fw = IATF(machine)
-        _FRAMEWORKS[machine.name] = fw
-    return fw
+def default_framework(machine: MachineConfig = KUNPENG_920,
+                      backend: "str | ExecutorBackend | None" = None) -> IATF:
+    """The shared per-machine (and per-backend) IATF instance used by
+    the free functions."""
+    key = (machine.name, backend_name(backend))
+    with _FRAMEWORKS_LOCK:
+        fw = _FRAMEWORKS.get(key)
+        if fw is None:
+            fw = IATF(machine, backend=backend)
+            _FRAMEWORKS[key] = fw
+        return fw
 
 
 def compact_from_batch(matrices: np.ndarray,
@@ -50,21 +61,25 @@ def compact_to_batch(compact: CompactBatch) -> np.ndarray:
 def compact_gemm(a: CompactBatch, b: CompactBatch, c: CompactBatch,
                  alpha: complex = 1.0, beta: complex = 1.0,
                  transa: "Trans | str" = "N", transb: "Trans | str" = "N",
-                 machine: MachineConfig = KUNPENG_920) -> CompactBatch:
+                 machine: MachineConfig = KUNPENG_920,
+                 backend: "str | ExecutorBackend | None" = None
+                 ) -> CompactBatch:
     """``C = alpha op(A) op(B) + beta C`` on compact operands, in place."""
     ta, tb = Trans.from_any(transa), Trans.from_any(transb)
     m, n = c.rows, c.cols
     k = a.cols if ta is Trans.N else a.rows
     problem = GemmProblem(m, n, k, c.dtype, ta, tb, c.batch, alpha, beta)
-    return default_framework(machine).gemm_compact(problem, a, b, c)
+    return default_framework(machine, backend).gemm_compact(problem, a, b, c)
 
 
 def compact_trsm(a: CompactBatch, b: CompactBatch, alpha: complex = 1.0,
                  side: "Side | str" = "L", uplo: "UpLo | str" = "L",
                  transa: "Trans | str" = "N", diag: "Diag | str" = "N",
-                 machine: MachineConfig = KUNPENG_920) -> CompactBatch:
+                 machine: MachineConfig = KUNPENG_920,
+                 backend: "str | ExecutorBackend | None" = None
+                 ) -> CompactBatch:
     """Solve in place on compact operands; B becomes X."""
     problem = TrsmProblem(b.rows, b.cols, b.dtype, Side.from_any(side),
                           UpLo.from_any(uplo), Trans.from_any(transa),
                           Diag.from_any(diag), b.batch, alpha)
-    return default_framework(machine).trsm_compact(problem, a, b)
+    return default_framework(machine, backend).trsm_compact(problem, a, b)

@@ -23,7 +23,8 @@ from .reporting import ratio_summary, series_table
 
 SWEEP_EXPERIMENTS = ("fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
                      "headline")
-LOCAL_EXPERIMENTS = ("table1", "table2", "fig4", "fig5", "ablation")
+LOCAL_EXPERIMENTS = ("table1", "table2", "fig4", "fig5", "ablation",
+                     "backend")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -40,6 +41,11 @@ def main(argv: list[str] | None = None) -> int:
                         "(LNLN/...) mode for fig8/fig10")
     parser.add_argument("--full", action="store_true",
                         help="use the paper's full 1..33 size grid")
+    parser.add_argument("--backend", choices=["interpret", "compiled",
+                                              "both"], default="both",
+                        help="executor backend(s): the 'backend' "
+                        "experiment compares them head to head; sweep "
+                        "experiments run on the selected one")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -56,6 +62,12 @@ def main(argv: list[str] | None = None) -> int:
             print(experiments.fig4_tiling()["render"])
         elif args.experiment == "fig5":
             print(experiments.fig5_scheduling()["render"])
+        elif args.experiment == "backend":
+            backends = (("interpret", "compiled") if args.backend == "both"
+                        else (args.backend,))
+            dt = args.dtype or "s"
+            print(experiments.backend_showdown(dtype=dt,
+                                               backends=backends)["render"])
         else:
             print(experiments.ablation_scheduling()["render"])
             print()
@@ -63,7 +75,9 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     sizes = PAPER_SIZES if args.full else QUICK_SIZES
-    h = BenchHarness(sizes=sizes)
+    h = BenchHarness(sizes=sizes,
+                     backend=None if args.backend == "both"
+                     else args.backend)
     dtypes = [args.dtype] if args.dtype else ["s", "d", "c", "z"]
 
     if args.experiment == "headline":

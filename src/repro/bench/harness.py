@@ -62,11 +62,12 @@ class BenchHarness:
 
     def __init__(self, machine: MachineConfig = KUNPENG_920,
                  batch: int = PAPER_BATCH,
-                 sizes: tuple[int, ...] = PAPER_SIZES) -> None:
+                 sizes: tuple[int, ...] = PAPER_SIZES,
+                 backend: "str | None" = None) -> None:
         self.machine = machine
         self.batch = batch
         self.sizes = tuple(sizes)
-        self.iatf = IATF(machine)
+        self.iatf = IATF(machine, backend=backend)
         self.openblas = OpenBlasLoop(machine)
         self.armpl = ArmplBatch(machine)
         self.libxsmm = LibxsmmBatch(machine)

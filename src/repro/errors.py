@@ -40,5 +40,11 @@ class PlanError(ReproError):
     """The run-time stage could not build an execution plan."""
 
 
+class LoweringError(PlanError):
+    """A plan could not be lowered to a compiled command stream (or the
+    one-time lower-time validation caught what would have been a
+    run-time execution fault)."""
+
+
 class UnsupportedModeError(PlanError, NotImplementedError):
     """The requested mode combination has no kernel in the registry."""

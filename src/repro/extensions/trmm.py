@@ -25,17 +25,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..codegen import regs
 from ..codegen.registry import KernelRegistry
 from ..codegen.tiling import decompose_dim, tile_starts
 from ..layout.compact import CompactBatch
-from ..machine.executor import VectorExecutor
 from ..machine.machines import KUNPENG_920, MachineConfig
 from ..machine.memory import MemorySpace
 from ..packing.cost import PackCost
 from ..packing.trsm_pack import (NormalizedTrsm, _scale_planes,
                                  _stored_index, unpack_trsm_b)
 from ..runtime.engine import Engine, PlanTiming
+from ..runtime.lowering import CompiledPlan, lower_plan
 from ..runtime.plan import BufferSpec, ExecutionPlan, KernelCall
 from ..types import Diag, Side, Trans, TrmmProblem, TrsmProblem, UpLo
 
@@ -120,12 +119,14 @@ class CompactTrmm:
     """Planner/executor/timer for the compact TRMM extension."""
 
     def __init__(self, machine: MachineConfig = KUNPENG_920,
-                 registry: KernelRegistry | None = None) -> None:
+                 registry: KernelRegistry | None = None,
+                 backend: "str | None" = None) -> None:
         self.machine = machine
         self.registry = registry if registry is not None \
             else KernelRegistry(machine)
-        self.engine = Engine(machine)
+        self.engine = Engine(machine, backend=backend)
         self._plans: dict[TrmmProblem, ExecutionPlan] = {}
+        self._compiled: dict[TrmmProblem, CompiledPlan] = {}
 
     # -- planning -------------------------------------------------------
 
@@ -224,7 +225,13 @@ class CompactTrmm:
         mem.bind("workB", work)
         strides = {name: plan.buffers[name].group_stride_bytes
                    for name in ("packTA", "packBZ", "workB")}
-        self.engine._run_calls(plan, mem, strides, b.groups)
+        compiled = None
+        if self.engine.backend.needs_lowering:
+            compiled = self._compiled.get(problem)
+            if compiled is None:
+                compiled = lower_plan(plan)
+                self._compiled[problem] = compiled
+        self.engine.run_plan(plan, mem, strides, b.groups, compiled=compiled)
         # n_pad == n_rhs here (column tiles cover n exactly)
         unpack_trsm_b(work, b, norm, pad_cols_to=1)
         return b

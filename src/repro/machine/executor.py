@@ -9,6 +9,14 @@ loop, touch memory contiguously) while still executing the *actual*
 instruction stream the code generator produced — the same stream the
 pipeline model times.
 
+This interpreter is the ``interpret`` executor backend and the
+**bit-exact reference semantics** for every other backend: the
+run-time stage's lowering pass (:mod:`repro.runtime.lowering`)
+constant-folds the address resolution :meth:`VectorExecutor.step`
+performs per instruction, and the ``compiled`` backend must reproduce
+this executor's results bit for bit (the backend-equivalence suite
+enforces it).  Change execution semantics here first; lowering second.
+
 Semantics notes
 ---------------
 * Loads/stores move ``lanes`` consecutive real elements (the compact
@@ -98,7 +106,7 @@ class VectorExecutor:
         with np.errstate(all="ignore"):
             for pc, ins in enumerate(program.instrs):
                 try:
-                    self._step(ins, lanes, dtype)
+                    self.step(ins, lanes, dtype)
                 except ExecutionError as exc:
                     raise ExecutionError(
                         f"{program.name} @pc={pc} ({ins.asm()}): "
@@ -145,7 +153,8 @@ class VectorExecutor:
         else:
             self._vregs[dst] = np.ascontiguousarray(vals)
 
-    def _step(self, ins: Instr, lanes: int, dtype: np.dtype) -> None:
+    def step(self, ins: Instr, lanes: int, dtype: np.dtype) -> None:
+        """Execute one instruction (reference semantics for backends)."""
         op = ins.op
         if op is Op.LDRV:
             self._load_vec(ins, ins.dst[0], lanes, dtype)

@@ -79,6 +79,28 @@ class MemorySpace:
         self._buffers[name] = array
         return array
 
+    def group_view(self, name: str, groups: int,
+                   stride_elems: int) -> np.ndarray:
+        """A zero-copy ``(groups, stride_elems)`` view of a buffer.
+
+        Group base offsets are affine (``group * stride``), so batched
+        address resolution collapses to row indexing of this view; the
+        compiled executor backend addresses every memory operand as a
+        column slice of it.  Validates — once per buffer per execution,
+        not per instruction — that the buffer actually covers all
+        ``groups`` strides.
+        """
+        arr = self[name]
+        if stride_elems < 1:
+            raise MachineError(
+                f"buffer {name!r}: group stride must be >= 1 element")
+        need = groups * stride_elems
+        if arr.shape[0] < need:
+            raise MachineError(
+                f"buffer {name!r} has {arr.shape[0]} elements, needs "
+                f"{need} for {groups} groups of stride {stride_elems}")
+        return arr[:need].reshape(groups, stride_elems)
+
     def __getitem__(self, name: str) -> np.ndarray:
         try:
             return self._buffers[name]

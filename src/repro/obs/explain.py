@@ -205,12 +205,33 @@ def _timing_section(plan) -> "list[str]":
     return lines
 
 
-def explain(plan, *, registry=None, deep: bool = False) -> ExplainReport:
+def _backend_section(backend, compiled) -> "list[str]":
+    lines = [f"backend: {backend.name} "
+             + ("(replays the lowered command stream)"
+                if backend.needs_lowering
+                else "(interprets programs instruction by instruction)")]
+    if compiled is not None:
+        s = compiled.stats
+        lines.append(
+            f"lowered: {s['instructions']} instructions over "
+            f"{s['calls']} calls -> {compiled.num_commands} commands "
+            f"({s['mem_commands']} mem, {s['fp_commands']} fp)")
+        lines.append(
+            f"constant-folded at lower time: {s['folded_addi']} "
+            f"pointer-arithmetic instrs; dropped: {s['dropped']} "
+            f"prefetch/nop")
+    return lines
+
+
+def explain(plan, *, registry=None, deep: bool = False, backend=None,
+            compiled=None) -> ExplainReport:
     """Build the decision report for one :class:`ExecutionPlan`.
 
     ``deep`` additionally runs the cycle model: the pack-vs-nopack cost
     comparison (needs ``registry``, a :class:`KernelRegistry`, to build
     the alternative plan) and the full ``TimingResult`` breakdown.
+    ``backend`` (an executor backend) adds an execution-backend section,
+    with lowering statistics when its ``compiled`` plan is supplied.
     """
     report = ExplainReport(kind=plan.kind, problem=plan.problem,
                            machine_name=plan.machine.name)
@@ -221,6 +242,9 @@ def explain(plan, *, registry=None, deep: bool = False) -> ExplainReport:
          _pack_selector_section(plan, deep, registry)))
     report.sections.append(
         ("tile decomposition (Section 4 / autotune)", _tiles_section(plan)))
+    if backend is not None:
+        report.sections.append(
+            ("execution backend", _backend_section(backend, compiled)))
     if deep:
         report.sections.append(
             ("timing breakdown (cycle model)", _timing_section(plan)))

@@ -3,17 +3,25 @@
 Given the input matrix properties, the batch counter sizes batch rounds
 to keep working sets L1-resident, the pack selector picks packing or the
 no-packing fast path, and the execution-plan generator binds packing and
-compute kernels into a command queue.  The engine executes plans
-functionally (NumPy-vectorized across the whole batch) and times them on
+compute kernels into a command queue.  Plans are then *lowered* once to
+a flat command stream (:mod:`.lowering`) and executed by a pluggable
+backend (:mod:`.backends`): the ``interpret`` reference interpreter or
+the ``compiled`` replayer.  The engine drives either and times plans on
 the pipeline model.
 """
 
 from .batch_counter import groups_per_round
 from .plan import ExecutionPlan, KernelCall, BufferSpec, build_gemm_plan, build_trsm_plan
+from .lowering import CompiledPlan, CompiledCommand, BufferLayout, lower_plan
+from .backends import (ExecutorBackend, InterpretBackend, CompiledBackend,
+                       BACKENDS, DEFAULT_BACKEND, resolve_backend)
 from .engine import Engine, PlanTiming
-from .iatf import IATF
+from .iatf import IATF, PlanCache
 
 __all__ = [
     "groups_per_round", "ExecutionPlan", "KernelCall", "BufferSpec",
     "build_gemm_plan", "build_trsm_plan", "Engine", "PlanTiming", "IATF",
+    "PlanCache", "CompiledPlan", "CompiledCommand", "BufferLayout",
+    "lower_plan", "ExecutorBackend", "InterpretBackend", "CompiledBackend",
+    "BACKENDS", "DEFAULT_BACKEND", "resolve_backend",
 ]

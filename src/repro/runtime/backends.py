@@ -1,0 +1,258 @@
+"""Pluggable executor backends: how a bound plan's kernels actually run.
+
+The engine separates *what* to run (the plan), *how it was compiled*
+(the lowered command stream), and *what executes it* (a backend):
+
+``interpret``
+    The original :class:`~repro.machine.executor.VectorExecutor` walking
+    every program instruction by instruction.  It is the bit-exact
+    reference: every other backend must produce identical
+    :class:`~repro.layout.compact.CompactBatch` bytes.
+
+``compiled``
+    Replays a :class:`~repro.runtime.lowering.CompiledPlan`: one 2-D
+    ``(groups, stride_elems)`` view per buffer, a preallocated vector
+    register file, and a flat loop of slice copies and in-place ufuncs.
+    No pointer resolution, no alignment/bounds checks, no per-op
+    allocation — all of that happened once at lower time.
+
+Adding a backend means implementing the :class:`ExecutorBackend`
+protocol (``name``, ``needs_lowering``, ``run``) and registering it in
+``BACKENDS``; see ``docs/architecture.md`` for the contract.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+import numpy as np
+
+from .. import obs
+from ..codegen import regs
+from ..codegen.templates_trsm import PX
+from ..errors import ExecutionError, PlanError
+from ..machine.executor import VectorExecutor
+from ..machine.isa import NUM_VREGS
+from ..machine.memory import MemorySpace
+from .lowering import (K_FADD, K_FDIV, K_FIMM, K_FMAI, K_FMLA, K_FMLS,
+                       K_FMUL, K_FMULI, K_FSUB, K_LOAD, K_LOAD1R, K_LOAD2,
+                       K_LOAD_PART, K_LOADPAIR, K_STORE, K_STORE2,
+                       K_STOREPAIR, K_VMOV, K_VZERO, CompiledPlan, lower_plan)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .plan import ExecutionPlan
+
+__all__ = ["ExecutorBackend", "InterpretBackend", "CompiledBackend",
+           "BACKENDS", "DEFAULT_BACKEND", "resolve_backend", "backend_name"]
+
+DEFAULT_BACKEND = "compiled"
+
+
+@runtime_checkable
+class ExecutorBackend(Protocol):
+    """What the engine needs from an execution strategy."""
+
+    #: short identifier used in ``IATF(backend=...)``, obs counters, and
+    #: explain reports
+    name: str
+    #: True if :meth:`run` consumes a :class:`CompiledPlan` (the engine
+    #: lowers — or fetches the cached lowering — before calling)
+    needs_lowering: bool
+
+    def run(self, plan: "ExecutionPlan", mem: MemorySpace,
+            strides: "dict[str, int]", groups: int,
+            compiled: "CompiledPlan | None" = None) -> None:
+        """Execute every kernel call of the plan against bound buffers."""
+        ...
+
+
+class InterpretBackend:
+    """Per-instruction reference execution (the original engine path)."""
+
+    name = "interpret"
+    needs_lowering = False
+
+    def run(self, plan: "ExecutionPlan", mem: MemorySpace,
+            strides: "dict[str, int]", groups: int,
+            compiled: "CompiledPlan | None" = None) -> None:
+        ex = VectorExecutor(mem, groups=groups)
+        garange = np.arange(groups, dtype=np.int64)
+        bases = {name: garange * stride for name, stride in strides.items()}
+        for call in plan.calls:
+            ex.set_pointer(regs.PA, call.a_buf, bases[call.a_buf] + call.a_off)
+            ex.set_pointer(regs.PB, call.b_buf, bases[call.b_buf] + call.b_off)
+            for j, off in enumerate(call.c_offsets):
+                ex.set_pointer(regs.pc(j), call.c_buf,
+                               bases[call.c_buf] + off)
+            if call.x_buf is not None:
+                ex.set_pointer(PX, call.x_buf, bases[call.x_buf] + call.x_off)
+            ex.run(call.program)
+
+
+class CompiledBackend:
+    """Replays a lowered command stream with no per-instruction address
+    resolution — the compile-once / execute-many half of the paper's
+    run-time stage, extended from kernel selection down to execution."""
+
+    name = "compiled"
+    needs_lowering = True
+
+    def run(self, plan: "ExecutionPlan", mem: MemorySpace,
+            strides: "dict[str, int]", groups: int,
+            compiled: "CompiledPlan | None" = None) -> None:
+        if compiled is None:
+            compiled = lower_plan(plan)
+        if groups != compiled.groups:
+            raise ExecutionError(
+                f"compiled plan covers {compiled.groups} groups, "
+                f"execution asked for {groups}")
+        mats = self._bind(compiled, mem, strides, groups)
+        dtype = compiled.dtype
+        lanes = compiled.lanes
+        # one allocation for the whole register file; regs[i] are views
+        rfile = list(np.empty((NUM_VREGS, groups, lanes), dtype=dtype))
+        scratch = np.empty((groups, lanes), dtype=dtype)
+        # padding lanes legitimately hold zeros/garbage (same rationale
+        # as the interpreter)
+        with np.errstate(all="ignore"):
+            self._replay(compiled.commands, mats, rfile, scratch)
+
+    # -- binding -------------------------------------------------------
+
+    @staticmethod
+    def _bind(compiled: CompiledPlan, mem: MemorySpace,
+              strides: "dict[str, int]",
+              groups: int) -> "dict[str, np.ndarray]":
+        """One validated ``(groups, stride_elems)`` view per buffer.
+
+        This is the entire per-execution address-resolution cost: every
+        command's operand is a column slice of one of these views.
+        """
+        mats: dict[str, np.ndarray] = {}
+        for name, lay in compiled.buffers.items():
+            if name not in mem:
+                raise ExecutionError(
+                    f"compiled plan buffer {name!r} was not bound")
+            actual = strides.get(name)
+            if actual is not None and actual != lay.stride_bytes:
+                raise PlanError(
+                    f"buffer {name!r} stride {actual} B does not match the "
+                    f"lowered stride {lay.stride_bytes} B — the plan was "
+                    f"lowered for a different layout")
+            mats[name] = mem.group_view(name, groups, lay.stride_elems)
+        return mats
+
+    # -- replay --------------------------------------------------------
+
+    @staticmethod
+    def _replay(commands: "list[tuple]", mats: "dict[str, np.ndarray]",
+                rfile: "list[np.ndarray]", scratch: np.ndarray) -> None:
+        # Ordered roughly by dynamic frequency in GEMM/TRSM kernels.
+        for cmd in commands:
+            k = cmd[0]
+            if k == K_FMLA:
+                _, d, a, b = cmd
+                np.multiply(rfile[a], rfile[b], out=scratch)
+                np.add(rfile[d], scratch, out=rfile[d])
+            elif k == K_LOAD:
+                _, d, buf, first, n = cmd
+                np.copyto(rfile[d], mats[buf][:, first:first + n])
+            elif k == K_LOADPAIR:
+                _, d1, d2, buf, first, n = cmd
+                view = mats[buf][:, first:first + 2 * n]
+                np.copyto(rfile[d1], view[:, :n])
+                np.copyto(rfile[d2], view[:, n:])
+            elif k == K_STORE:
+                _, s, buf, first, n = cmd
+                np.copyto(mats[buf][:, first:first + n], rfile[s][:, :n])
+            elif k == K_STOREPAIR:
+                _, s1, s2, buf, first, n = cmd
+                view = mats[buf][:, first:first + 2 * n]
+                np.copyto(view[:, :n], rfile[s1])
+                np.copyto(view[:, n:], rfile[s2])
+            elif k == K_FMLS:
+                _, d, a, b = cmd
+                np.multiply(rfile[a], rfile[b], out=scratch)
+                np.subtract(rfile[d], scratch, out=rfile[d])
+            elif k == K_LOAD1R:
+                _, d, buf, first = cmd
+                np.copyto(rfile[d], mats[buf][:, first:first + 1])
+            elif k == K_LOAD2:
+                _, de, do, buf, first, n = cmd
+                reg = rfile[de]
+                reg[:, n:] = 0.0
+                reg[:, :n] = mats[buf][:, first:first + 2 * n:2]
+                reg = rfile[do]
+                reg[:, n:] = 0.0
+                reg[:, :n] = mats[buf][:, first + 1:first + 2 * n:2]
+            elif k == K_STORE2:
+                _, se, so, buf, first, n = cmd
+                np.copyto(mats[buf][:, first:first + 2 * n:2],
+                          rfile[se][:, :n])
+                np.copyto(mats[buf][:, first + 1:first + 2 * n:2],
+                          rfile[so][:, :n])
+            elif k == K_LOAD_PART:
+                _, d, buf, first, n = cmd
+                reg = rfile[d]
+                reg[:, n:] = 0.0
+                reg[:, :n] = mats[buf][:, first:first + n]
+            elif k == K_FMUL:
+                _, d, a, b = cmd
+                np.multiply(rfile[a], rfile[b], out=rfile[d])
+            elif k == K_FMAI:
+                _, d, a, imm = cmd
+                np.multiply(rfile[a], imm, out=scratch)
+                np.add(rfile[d], scratch, out=rfile[d])
+            elif k == K_FMULI:
+                _, d, a, imm = cmd
+                np.multiply(rfile[a], imm, out=rfile[d])
+            elif k == K_FADD:
+                _, d, a, b = cmd
+                np.add(rfile[a], rfile[b], out=rfile[d])
+            elif k == K_FSUB:
+                _, d, a, b = cmd
+                np.subtract(rfile[a], rfile[b], out=rfile[d])
+            elif k == K_FDIV:
+                _, d, a, b = cmd
+                np.divide(rfile[a], rfile[b], out=rfile[d])
+            elif k == K_VZERO:
+                rfile[cmd[1]].fill(0.0)
+            elif k == K_VMOV:
+                np.copyto(rfile[cmd[1]], rfile[cmd[2]])
+            elif k == K_FIMM:
+                rfile[cmd[1]].fill(cmd[2])
+            else:  # pragma: no cover - lowering emits only known kinds
+                raise ExecutionError(f"unknown compiled command kind {k}")
+
+
+BACKENDS: "dict[str, type]" = {
+    InterpretBackend.name: InterpretBackend,
+    CompiledBackend.name: CompiledBackend,
+}
+
+
+def backend_name(backend: "str | ExecutorBackend | None") -> str:
+    """Canonical name of a backend selector (None = the default)."""
+    if backend is None:
+        return DEFAULT_BACKEND
+    if isinstance(backend, str):
+        return backend
+    return backend.name
+
+
+def resolve_backend(backend: "str | ExecutorBackend | None" = None
+                    ) -> ExecutorBackend:
+    """Turn a backend name (or ready instance) into an instance."""
+    if backend is None:
+        backend = DEFAULT_BACKEND
+    if isinstance(backend, str):
+        cls = BACKENDS.get(backend)
+        if cls is None:
+            raise PlanError(
+                f"unknown executor backend {backend!r}; available: "
+                f"{', '.join(sorted(BACKENDS))}")
+        return cls()
+    if not isinstance(backend, ExecutorBackend):
+        raise PlanError(f"object {backend!r} does not implement the "
+                        f"ExecutorBackend protocol")
+    return backend

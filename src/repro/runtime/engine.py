@@ -1,34 +1,40 @@
 """Plan execution: functional (NumPy-vectorized) and timed (pipeline model).
 
-The engine is the run-time stage's backend.  ``execute_gemm`` /
-``execute_trsm`` run a plan's command queue bit-for-bit through the
-functional executor, one vectorized pass over all batch groups per
-instruction.  ``time_plan`` replays the same command queue for a single
+The engine is the run-time stage's backend, layered **plan → lower →
+execute**.  ``execute_gemm`` / ``execute_trsm`` validate operands, bind
+buffers (packing or aliasing the compact originals through one shared
+path), and hand the plan — plus, for backends that want it, its
+one-time :class:`~repro.runtime.lowering.CompiledPlan` — to the
+configured :class:`~repro.runtime.backends.ExecutorBackend`.
+``time_plan`` replays the same command queue for a single
 representative group on the scoreboard pipeline with the cache hierarchy
 initialized to the batch counter's residency verdicts, then scales by
 the group count and adds the bandwidth-model packing cost — valid
 because compact kernels are data-independent and each group touches its
-own (identically laid out) data.
+own (identically laid out) data.  (Timing models the simulated silicon,
+so it is backend-independent by construction.)
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
 from .. import obs
 from ..codegen import regs
-from ..codegen.templates_trsm import PX
 from ..errors import PlanError
 from ..layout.compact import CompactBatch
-from ..machine.executor import VectorExecutor
 from ..machine.machines import MachineConfig
 from ..machine.memory import MemorySpace
 from ..machine.pipeline import AddressSpace, TimingResult
+from ..codegen.templates_trsm import PX
 from ..packing.gemm_pack import pack_gemm_a, pack_gemm_b
 from ..packing.trsm_pack import pack_trsm_a, pack_trsm_b, unpack_trsm_b
 from ..types import GemmProblem, TrsmProblem
+from .backends import ExecutorBackend, resolve_backend
+from .lowering import CompiledPlan, lower_plan
 from .plan import ExecutionPlan, KernelCall
 
 __all__ = ["Engine", "PlanTiming", "PLAN_GENERATION_OVERHEAD_CYCLES"]
@@ -96,31 +102,63 @@ def _check_compact(name: str, cb: CompactBatch, rows: int, cols: int,
 
 
 class Engine:
-    """Executes and times execution plans on one machine."""
+    """Executes and times execution plans on one machine.
 
-    def __init__(self, machine: MachineConfig) -> None:
+    ``backend`` selects the functional-execution strategy: a name from
+    :data:`repro.runtime.backends.BACKENDS` (``"interpret"`` or
+    ``"compiled"``), a ready :class:`ExecutorBackend` instance, or
+    ``None`` for the default.  Timing is backend-independent.
+    """
+
+    def __init__(self, machine: MachineConfig,
+                 backend: "str | ExecutorBackend | None" = None) -> None:
         self.machine = machine
+        self.backend: ExecutorBackend = resolve_backend(backend)
 
     # ------------------------------------------------------------------
     # functional execution
     # ------------------------------------------------------------------
 
-    def _run_calls(self, plan: ExecutionPlan, mem: MemorySpace,
-                   strides: dict[str, int], groups: int) -> None:
-        ex = VectorExecutor(mem, groups=groups)
-        garange = np.arange(groups, dtype=np.int64)
-        bases = {name: garange * stride for name, stride in strides.items()}
-        for call in plan.calls:
-            ex.set_pointer(regs.PA, call.a_buf, bases[call.a_buf] + call.a_off)
-            ex.set_pointer(regs.PB, call.b_buf, bases[call.b_buf] + call.b_off)
-            for j, off in enumerate(call.c_offsets):
-                ex.set_pointer(regs.pc(j), call.c_buf, bases[call.c_buf] + off)
-            if call.x_buf is not None:
-                ex.set_pointer(PX, call.x_buf, bases[call.x_buf] + call.x_off)
-            ex.run(call.program)
+    def run_plan(self, plan: ExecutionPlan, mem: MemorySpace,
+                 strides: dict[str, int], groups: int,
+                 compiled: "CompiledPlan | None" = None) -> None:
+        """Run every kernel call of a bound plan through the backend.
+
+        ``compiled`` is the plan's cached lowering; when the backend
+        needs one and none is supplied (direct engine use, extensions
+        without their own cache) the plan is lowered on the spot.
+        """
+        backend = self.backend
+        if backend.needs_lowering and compiled is None:
+            compiled = lower_plan(plan)
+        obs.count(f"backend.{backend.name}.runs")
+        with obs.span("engine.kernels", calls=len(plan.calls),
+                      backend=backend.name):
+            backend.run(plan, mem, strides, groups, compiled)
+
+    @staticmethod
+    def _bind_operand(mem: MemorySpace, strides: dict[str, int],
+                      plan: ExecutionPlan, origin_name: str,
+                      origin: CompactBatch, packed_name: str,
+                      pack_fn: "Callable[[], tuple[np.ndarray, int]]",
+                      span_name: str) -> "np.ndarray | None":
+        """Bind one operand the way the plan decided: pack it (returning
+        the packed array) or alias the compact original (returning
+        ``None``).  This is the single buffer-binding path shared by the
+        GEMM and TRSM execute methods."""
+        if packed_name in plan.buffers:
+            with obs.span(span_name):
+                arr, stride = pack_fn()
+            mem.bind(packed_name, arr)
+            strides[packed_name] = stride
+            return arr
+        mem.bind(origin_name, origin.buffer)
+        strides[origin_name] = origin.group_stride_bytes
+        return None
 
     def execute_gemm(self, plan: ExecutionPlan, a: CompactBatch,
-                     b: CompactBatch, c: CompactBatch) -> CompactBatch:
+                     b: CompactBatch, c: CompactBatch,
+                     compiled: "CompiledPlan | None" = None) -> CompactBatch:
         """Run the plan; C is updated in place and returned."""
         if plan.kind != "gemm":
             raise PlanError(f"expected a gemm plan, got {plan.kind}")
@@ -137,29 +175,25 @@ class Engine:
             mem.bind("C", c.buffer)
             m_tiles = plan.meta["m_tiles"]
             n_tiles = plan.meta["n_tiles"]
-            if "packA" in plan.buffers:
-                with obs.span("pack.A"):
-                    pa = pack_gemm_a(a, p.transa, p.k, m_tiles)
-                mem.bind("packA", pa.data)
-                strides["packA"] = pa.group_stride_bytes
-            else:
-                mem.bind("A", a.buffer)
-                strides["A"] = a.group_stride_bytes
-            if "packB" in plan.buffers:
-                with obs.span("pack.B"):
-                    pb = pack_gemm_b(b, p.transb, p.k, n_tiles)
-                mem.bind("packB", pb.data)
-                strides["packB"] = pb.group_stride_bytes
-            else:
-                mem.bind("B", b.buffer)
-                strides["B"] = b.group_stride_bytes
 
-            with obs.span("engine.kernels", calls=len(plan.calls)):
-                self._run_calls(plan, mem, strides, c.groups)
+            def packed_a() -> "tuple[np.ndarray, int]":
+                pa = pack_gemm_a(a, p.transa, p.k, m_tiles)
+                return pa.data, pa.group_stride_bytes
+
+            def packed_b() -> "tuple[np.ndarray, int]":
+                pb = pack_gemm_b(b, p.transb, p.k, n_tiles)
+                return pb.data, pb.group_stride_bytes
+
+            self._bind_operand(mem, strides, plan, "A", a, "packA",
+                               packed_a, "pack.A")
+            self._bind_operand(mem, strides, plan, "B", b, "packB",
+                               packed_b, "pack.B")
+            self.run_plan(plan, mem, strides, c.groups, compiled)
         return c
 
     def execute_trsm(self, plan: ExecutionPlan, a: CompactBatch,
-                     b: CompactBatch) -> CompactBatch:
+                     b: CompactBatch,
+                     compiled: "CompiledPlan | None" = None) -> CompactBatch:
         """Run the plan; B is overwritten with X and returned."""
         if plan.kind != "trsm":
             raise PlanError(f"expected a trsm plan, got {plan.kind}")
@@ -173,27 +207,25 @@ class Engine:
 
         with obs.span("engine.execute_trsm", groups=b.groups):
             mem = MemorySpace()
-            with obs.span("pack.T"):
-                packed = pack_trsm_a(a, norm, blocks)
-            mem.bind("packT", packed.data)
-            strides = {"packT": packed.group_stride_bytes}
+            strides: dict[str, int] = {}
 
-            if plan.meta["b_nopack"]:
-                mem.bind("B", b.buffer)
-                strides["B"] = b.group_stride_bytes
-                work = None
-            else:
+            def packed_t() -> "tuple[np.ndarray, int]":
+                packed = pack_trsm_a(a, norm, blocks)
+                return packed.data, packed.group_stride_bytes
+
+            def packed_b() -> "tuple[np.ndarray, int]":
                 # pad_cols_to is the final padded width: padded_count(n,
                 # n_pad) == n_pad whenever n_pad >= n, which the plan
                 # guarantees
-                with obs.span("pack.B"):
-                    work, _ = pack_trsm_b(b, norm,
-                                          pad_cols_to=plan.meta["n_pad"])
-                mem.bind("workB", work)
-                strides["workB"] = plan.buffers["workB"].group_stride_bytes
+                work, _ = pack_trsm_b(b, norm,
+                                      pad_cols_to=plan.meta["n_pad"])
+                return work, plan.buffers["workB"].group_stride_bytes
 
-            with obs.span("engine.kernels", calls=len(plan.calls)):
-                self._run_calls(plan, mem, strides, b.groups)
+            self._bind_operand(mem, strides, plan, "A", a, "packT",
+                               packed_t, "pack.T")
+            work = self._bind_operand(mem, strides, plan, "B", b, "workB",
+                                      packed_b, "pack.B")
+            self.run_plan(plan, mem, strides, b.groups, compiled)
 
             if work is not None:
                 with obs.span("unpack.B"):

@@ -15,6 +15,7 @@ over the batch.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 import numpy as np
@@ -25,70 +26,106 @@ from ..errors import InvalidProblemError
 from ..layout.compact import CompactBatch
 from ..machine.machines import KUNPENG_920, MachineConfig
 from ..types import BlasDType, Diag, GemmProblem, Side, Trans, TrsmProblem, UpLo
+from .backends import ExecutorBackend
 from .engine import Engine, PlanTiming
+from .lowering import CompiledPlan, lower_plan
 from .plan import ExecutionPlan, build_gemm_plan, build_trsm_plan
 
 __all__ = ["IATF", "PlanCache"]
 
 
 class PlanCache:
-    """Bounded LRU map from problem-configuration keys to plans.
+    """Bounded, thread-safe LRU map from problem-configuration keys to
+    plans — and to their lowered :class:`CompiledPlan`, which rides in a
+    side slot of the same entry so one eviction drops both.
 
     The paper amortizes plan generation over the batch, so hits are the
     common case; the bound exists so a long-lived service sweeping many
     shapes cannot grow without limit.  Hit/miss/eviction totals are
     kept unconditionally (plain ints, negligible cost) and mirrored
-    into the obs registry when instrumentation is enabled.
+    into the obs registry when instrumentation is enabled.  All
+    operations take one re-entrant lock, making concurrent planning
+    from multiple threads safe (worst case: two threads race to build
+    the same plan and the second ``put`` wins — wasted work, never a
+    corrupt cache).
     """
 
     def __init__(self, maxsize: int = 1024) -> None:
         if maxsize < 1:
             raise ValueError("plan cache needs room for at least one plan")
         self.maxsize = maxsize
-        self._data: "OrderedDict[tuple, ExecutionPlan]" = OrderedDict()
+        # key -> [plan, compiled-or-None]
+        self._data: "OrderedDict[tuple, list]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def get(self, key: tuple) -> "ExecutionPlan | None":
-        plan = self._data.get(key)
-        if plan is None:
-            self.misses += 1
-            obs.count("plan_cache.misses")
-        else:
+        with self._lock:
+            entry = self._data.get(key)
+            if entry is None:
+                self.misses += 1
+                obs.count("plan_cache.misses")
+                return None
             self._data.move_to_end(key)
             self.hits += 1
             obs.count("plan_cache.hits")
-        return plan
+            return entry[0]
 
     def put(self, key: tuple, plan: ExecutionPlan) -> None:
-        self._data[key] = plan
-        self._data.move_to_end(key)
-        if len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
-            self.evictions += 1
-            obs.count("plan_cache.evictions")
-        obs.gauge("plan_cache.size", len(self._data))
+        with self._lock:
+            # a fresh plan invalidates any lowering cached for the key
+            self._data[key] = [plan, None]
+            self._data.move_to_end(key)
+            if len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+                obs.count("plan_cache.evictions")
+            obs.gauge("plan_cache.size", len(self._data))
+
+    def get_compiled(self, key: tuple) -> "CompiledPlan | None":
+        """The cached lowering for ``key``, if the plan is still cached
+        and has been lowered."""
+        with self._lock:
+            entry = self._data.get(key)
+            return None if entry is None else entry[1]
+
+    def put_compiled(self, key: tuple, compiled: "CompiledPlan") -> None:
+        """Attach a lowering to an already-cached plan (no-op if the
+        plan was evicted meanwhile)."""
+        with self._lock:
+            entry = self._data.get(key)
+            if entry is not None:
+                entry[1] = compiled
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def stats(self) -> dict:
-        return {"size": len(self._data), "maxsize": self.maxsize,
-                "hits": self.hits, "misses": self.misses,
-                "evictions": self.evictions}
+        with self._lock:
+            return {"size": len(self._data), "maxsize": self.maxsize,
+                    "hits": self.hits, "misses": self.misses,
+                    "evictions": self.evictions}
 
 
 class IATF:
     """Input-aware tuning framework for compact batched GEMM/TRSM."""
 
     def __init__(self, machine: MachineConfig = KUNPENG_920, *,
+                 backend: "str | ExecutorBackend | None" = None,
                  optimize_kernels: bool = True,
                  plan_cache_size: int = 1024) -> None:
         self.machine = machine
         self.registry = KernelRegistry(machine, optimize=optimize_kernels)
-        self.engine = Engine(machine)
+        self.engine = Engine(machine, backend=backend)
         self._plan_cache = PlanCache(plan_cache_size)
+
+    @property
+    def backend(self) -> ExecutorBackend:
+        """The executor backend plans run on (``iatf.backend.name``)."""
+        return self.engine.backend
 
     # -- install-time stage ---------------------------------------------
 
@@ -113,7 +150,7 @@ class IATF:
         decompositions (e.g. 9 = 3+3+3) occasionally beat the
         CMAR-greedy one (4+3+2); the ablation benchmark quantifies it.
         """
-        key = ("gemm", problem, force_pack, autotune)
+        key = self._gemm_key(problem, force_pack, autotune)
         plan = self._plan_cache.get(key)
         if plan is not None:
             return plan
@@ -154,7 +191,7 @@ class IATF:
 
     def plan_trsm(self, problem: TrsmProblem,
                   force_pack: bool = False) -> ExecutionPlan:
-        key = ("trsm", problem, force_pack)
+        key = self._trsm_key(problem, force_pack)
         plan = self._plan_cache.get(key)
         if plan is None:
             with obs.span("plan.trsm"):
@@ -162,6 +199,30 @@ class IATF:
                                        force_pack)
             self._plan_cache.put(key, plan)
         return plan
+
+    # -- lowering ---------------------------------------------------------
+
+    @staticmethod
+    def _gemm_key(problem: GemmProblem, force_pack: bool,
+                  autotune: bool) -> tuple:
+        return ("gemm", problem, force_pack, autotune)
+
+    @staticmethod
+    def _trsm_key(problem: TrsmProblem, force_pack: bool) -> tuple:
+        return ("trsm", problem, force_pack)
+
+    def _compiled_for(self, key: tuple,
+                      plan: ExecutionPlan) -> "CompiledPlan | None":
+        """The plan's cached lowering, lowering (and caching) on first
+        use.  ``None`` when the active backend executes plans directly.
+        """
+        if not self.engine.backend.needs_lowering:
+            return None
+        compiled = self._plan_cache.get_compiled(key)
+        if compiled is None:
+            compiled = lower_plan(plan)
+            self._plan_cache.put_compiled(key, compiled)
+        return compiled
 
     @property
     def plan_cache_stats(self) -> dict:
@@ -174,13 +235,16 @@ class IATF:
                      b: CompactBatch, c: CompactBatch) -> CompactBatch:
         """``C = alpha op(A) op(B) + beta C`` on compact operands, in place."""
         plan = self.plan_gemm(problem)
-        return self.engine.execute_gemm(plan, a, b, c)
+        compiled = self._compiled_for(self._gemm_key(problem, False, False),
+                                      plan)
+        return self.engine.execute_gemm(plan, a, b, c, compiled=compiled)
 
     def trsm_compact(self, problem: TrsmProblem, a: CompactBatch,
                      b: CompactBatch) -> CompactBatch:
         """Solve in place: B becomes X."""
         plan = self.plan_trsm(problem)
-        return self.engine.execute_trsm(plan, a, b)
+        compiled = self._compiled_for(self._trsm_key(problem, False), plan)
+        return self.engine.execute_trsm(plan, a, b, compiled=compiled)
 
     # -- execution (standard-layout convenience API) -----------------------
 
@@ -203,6 +267,19 @@ class IATF:
         m, n = c.shape[1], c.shape[2]
         k = a.shape[2] if ta is Trans.N else a.shape[1]
         problem = GemmProblem(m, n, k, dt, ta, tb, c.shape[0], alpha, beta)
+        # every operand must match the shape the problem derives — a
+        # wrong B under transb would otherwise fail deep in packing (or
+        # not at all)
+        if a.shape[1:] != problem.a_shape:
+            raise InvalidProblemError(
+                f"A is {a.shape[1]}x{a.shape[2]} but transa={ta.value} with "
+                f"C {m}x{n} requires {problem.a_shape[0]}x"
+                f"{problem.a_shape[1]}")
+        if b.shape[1:] != problem.b_shape:
+            raise InvalidProblemError(
+                f"B is {b.shape[1]}x{b.shape[2]} but transb={tb.value} with "
+                f"k={k}, n={n} requires {problem.b_shape[0]}x"
+                f"{problem.b_shape[1]}")
         lanes = self.machine.lanes(dt)
         ca = CompactBatch.from_matrices(a, lanes, dt)
         cb = CompactBatch.from_matrices(b, lanes, dt)
@@ -224,6 +301,13 @@ class IATF:
                               Side.from_any(side), UpLo.from_any(uplo),
                               Trans.from_any(transa), Diag.from_any(diag),
                               a.shape[0], alpha)
+        # A must be the square the side dictates: m x m for L, n x n for R
+        if a.shape[1] != a.shape[2] or a.shape[1] != problem.a_dim:
+            raise InvalidProblemError(
+                f"A is {a.shape[1]}x{a.shape[2]} but side="
+                f"{problem.side.value} with B "
+                f"{b.shape[1]}x{b.shape[2]} requires "
+                f"{problem.a_dim}x{problem.a_dim}")
         lanes = self.machine.lanes(dt)
         ca = CompactBatch.from_matrices(a, lanes, dt)
         cb = CompactBatch.from_matrices(b, lanes, dt)
@@ -248,10 +332,16 @@ class IATF:
         """Narrated run-time-stage decisions for one GEMM shape
         (:class:`repro.obs.ExplainReport`)."""
         plan = self.plan_gemm(problem, force_pack, autotune)
-        return obs.explain(plan, registry=self.registry, deep=deep)
+        compiled = self._compiled_for(
+            self._gemm_key(problem, force_pack, autotune), plan)
+        return obs.explain(plan, registry=self.registry, deep=deep,
+                           backend=self.engine.backend, compiled=compiled)
 
     def explain_trsm(self, problem: TrsmProblem, force_pack: bool = False,
                      deep: bool = False):
         """Narrated run-time-stage decisions for one TRSM shape."""
         plan = self.plan_trsm(problem, force_pack)
-        return obs.explain(plan, registry=self.registry, deep=deep)
+        compiled = self._compiled_for(self._trsm_key(problem, force_pack),
+                                      plan)
+        return obs.explain(plan, registry=self.registry, deep=deep,
+                           backend=self.engine.backend, compiled=compiled)

@@ -1,0 +1,371 @@
+"""Lowering: compile an :class:`ExecutionPlan` into a flat command stream.
+
+The plan layer produces a *command queue* — kernel calls whose programs
+the interpreting executor walks instruction by instruction, resolving
+every memory operand (pointer lookup, alignment check, bounds check,
+per-group index construction) on every call of every batch.  That
+per-instruction work is input-independent: offsets depend only on the
+problem shape, exactly like the plan itself.  Lowering therefore runs
+the whole resolution **once**, producing a :class:`CompiledPlan` the
+``compiled`` executor backend can replay with nothing but NumPy slice
+views and in-place ufuncs:
+
+* ADDI pointer-bump chains are constant-folded through a symbolic
+  scalar register file, so the compiled stream contains no address
+  arithmetic at all (PRFM/NOP timing fillers are dropped too);
+* every memory operand collapses to ``(buffer, first_element, count,
+  step)`` — because group base offsets are affine (``group *
+  stride``), the per-group element-index arrays the interpreter builds
+  per instruction become column slices of one ``(groups,
+  stride_elems)`` view per buffer (:meth:`CompiledCommand.gather_indices`
+  reconstructs the explicit index array for parity tests);
+* alignment, bounds, def-before-use, and dtype agreement are validated
+  a single time here, at lower time, instead of per instruction at run
+  time.
+
+Lowering is pure analysis: it never touches matrix data, so a
+``CompiledPlan`` is cached alongside its plan in the
+:class:`~repro.runtime.iatf.PlanCache` and reused for every batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import obs
+from ..codegen import regs
+from ..codegen.templates_trsm import PX
+from ..errors import LoweringError
+from ..machine.isa import NUM_VREGS, Op
+from .plan import ExecutionPlan, KernelCall
+
+__all__ = ["CompiledPlan", "CompiledCommand", "BufferLayout", "lower_plan",
+           "K_LOAD", "K_LOAD_PART", "K_LOADPAIR", "K_LOAD1R", "K_LOAD2",
+           "K_STORE", "K_STOREPAIR", "K_STORE2", "K_FMLA", "K_FMLS",
+           "K_FMUL", "K_FMAI", "K_FMULI", "K_FADD", "K_FSUB", "K_FDIV",
+           "K_VZERO", "K_VMOV", "K_FIMM"]
+
+# Command kinds.  Integers (not enums) so the replay loop dispatches on
+# a plain ``==`` against the tuple head.
+K_LOAD = 0        # (kind, dst, buf, first, n)           n == lanes
+K_LOAD_PART = 1   # (kind, dst, buf, first, n)           n < lanes, zero tail
+K_LOADPAIR = 2    # (kind, dst1, dst2, buf, first, n)    2n consecutive
+K_LOAD1R = 3      # (kind, dst, buf, first)              broadcast one elem
+K_LOAD2 = 4       # (kind, dste, dsto, buf, first, n)    deinterleave step 2
+K_STORE = 5       # (kind, src, buf, first, n)
+K_STOREPAIR = 6   # (kind, src1, src2, buf, first, n)
+K_STORE2 = 7      # (kind, srce, srco, buf, first, n)    interleave step 2
+K_FMLA = 8        # (kind, dst, a, b)                    dst += a * b
+K_FMLS = 9        # (kind, dst, a, b)                    dst -= a * b
+K_FMUL = 10       # (kind, dst, a, b)
+K_FMAI = 11       # (kind, dst, a, imm)                  dst += a * imm
+K_FMULI = 12      # (kind, dst, a, imm)
+K_FADD = 13       # (kind, dst, a, b)
+K_FSUB = 14       # (kind, dst, a, b)
+K_FDIV = 15       # (kind, dst, a, b)
+K_VZERO = 16      # (kind, dst)
+K_VMOV = 17       # (kind, dst, src)
+K_FIMM = 18       # (kind, dst, imm)
+
+_MEM_KINDS = frozenset((K_LOAD, K_LOAD_PART, K_LOADPAIR, K_LOAD1R, K_LOAD2,
+                        K_STORE, K_STOREPAIR, K_STORE2))
+
+
+@dataclass(frozen=True)
+class BufferLayout:
+    """Per-buffer geometry the compiled backend binds against."""
+
+    name: str
+    stride_elems: int             # elements between consecutive groups
+    itemsize: int                 # bytes per real element
+
+    @property
+    def stride_bytes(self) -> int:
+        return self.stride_elems * self.itemsize
+
+
+@dataclass(frozen=True)
+class CompiledCommand:
+    """Debug/reporting view of one lowered command (tests, explain)."""
+
+    kind: int
+    raw: tuple
+
+    @property
+    def is_mem(self) -> bool:
+        return self.kind in _MEM_KINDS
+
+    def access(self) -> "tuple[str, int, int, int]":
+        """Memory footprint as (buffer, first_element, count, step)."""
+        if not self.is_mem:
+            raise LoweringError(f"command kind {self.kind} touches no memory")
+        k = self.kind
+        if k in (K_LOAD, K_LOAD_PART, K_STORE):
+            _, _, buf, first, n = self.raw
+            return buf, first, n, 1
+        if k in (K_LOADPAIR, K_STOREPAIR):
+            _, _, _, buf, first, n = self.raw
+            return buf, first, 2 * n, 1
+        if k == K_LOAD1R:
+            _, _, buf, first = self.raw
+            return buf, first, 1, 1
+        # K_LOAD2 / K_STORE2: 2n elements at step 1, consumed pairwise
+        _, _, _, buf, first, n = self.raw
+        return buf, first, 2 * n, 1
+
+    def gather_indices(self, groups: int, stride_elems: int) -> np.ndarray:
+        """The explicit ``(groups, count)`` element-index array this
+        command's slice view stands for — bit-for-bit what the
+        interpreter's address resolution would build per call."""
+        _, first, count, _ = self.access()
+        base = np.arange(groups, dtype=np.int64) * stride_elems + first
+        return base[:, None] + np.arange(count, dtype=np.int64)[None, :]
+
+
+@dataclass
+class CompiledPlan:
+    """A plan lowered to a replayable flat command stream.
+
+    ``commands`` is a list of plain tuples headed by a ``K_*`` kind;
+    :class:`~repro.runtime.backends.CompiledBackend` replays them
+    against one 2-D ``(groups, stride_elems)`` view per buffer with a
+    preallocated vector-register file.  Everything input-dependent was
+    resolved at lower time; replay performs zero address arithmetic.
+    """
+
+    kind: str                     # "gemm" | "trsm" | "trmm"
+    groups: int
+    lanes: int
+    ew: int                       # element width in bytes (4 or 8)
+    buffers: dict[str, BufferLayout]
+    commands: list[tuple]
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return np.dtype(np.float32 if self.ew == 4 else np.float64)
+
+    @property
+    def num_commands(self) -> int:
+        return len(self.commands)
+
+    def command(self, i: int) -> CompiledCommand:
+        return CompiledCommand(self.commands[i][0], self.commands[i])
+
+    def mem_commands(self) -> "list[CompiledCommand]":
+        return [c for c in map(lambda t: CompiledCommand(t[0], t), self.commands)
+                if c.is_mem]
+
+    def describe(self) -> str:
+        s = self.stats
+        return (f"CompiledPlan[{self.kind}] {self.num_commands} commands "
+                f"({s.get('mem_commands', 0)} mem, {s.get('fp_commands', 0)} fp) "
+                f"from {s.get('calls', 0)} calls / "
+                f"{s.get('instructions', 0)} instructions; "
+                f"{s.get('folded_addi', 0)} ADDIs folded, "
+                f"{s.get('dropped', 0)} PRFM/NOP dropped")
+
+
+def _root_pointers(call: KernelCall) -> "dict[int, tuple[str, int]]":
+    """Initial scalar-register bindings, in the engine's binding order
+    (PX last, mirroring ``set_pointer`` overwrite semantics)."""
+    roots = {regs.PA: (call.a_buf, call.a_off),
+             regs.PB: (call.b_buf, call.b_off)}
+    for j, off in enumerate(call.c_offsets):
+        roots[regs.pc(j)] = (call.c_buf, off)
+    if call.x_buf is not None:
+        roots[PX] = (call.x_buf, call.x_off)
+    return roots
+
+
+def lower_plan(plan: ExecutionPlan) -> CompiledPlan:
+    """Lower a plan once; the result replays for every batch.
+
+    Raises :class:`LoweringError` on anything the interpreter would only
+    catch at run time (misalignment, out-of-group-bounds access,
+    register read-before-write) and on dtype/stride geometry the
+    compiled backend cannot replay — the error surfaces at plan time,
+    before any data is touched.
+    """
+    with obs.span("lower.plan", kind=plan.kind, calls=len(plan.calls)):
+        compiled = _lower(plan)
+    obs.count("lower.plans")
+    obs.count("lower.commands", compiled.num_commands)
+    obs.count("lower.folded_addi", compiled.stats["folded_addi"])
+    return compiled
+
+
+def _lower(plan: ExecutionPlan) -> CompiledPlan:
+    if not plan.calls:
+        raise LoweringError(f"{plan.kind} plan has no kernel calls")
+    ew = plan.calls[0].program.ew
+    lanes = plan.calls[0].program.lanes
+    isz = ew
+
+    layouts: dict[str, BufferLayout] = {}
+
+    def layout(buf: str) -> BufferLayout:
+        lay = layouts.get(buf)
+        if lay is None:
+            spec = plan.buffers.get(buf)
+            if spec is None:
+                raise LoweringError(f"plan addresses unknown buffer {buf!r}")
+            if spec.group_stride_bytes % isz:
+                raise LoweringError(
+                    f"buffer {buf!r} group stride {spec.group_stride_bytes} B "
+                    f"is not a multiple of the element width {isz}")
+            lay = BufferLayout(buf, spec.group_stride_bytes // isz, isz)
+            layouts[buf] = lay
+        return lay
+
+    commands: list[tuple] = []
+    folded = dropped = instructions = 0
+
+    for ci, call in enumerate(plan.calls):
+        prog = call.program
+        if prog.ew != ew or prog.lanes != lanes:
+            raise LoweringError(
+                f"{prog.name}: mixed element geometry in one plan "
+                f"(ew={prog.ew}/{ew}, lanes={prog.lanes}/{lanes})")
+        xstate = _root_pointers(call)
+        written: set[int] = set()
+        instructions += len(prog.instrs)
+
+        def err(pc: int, msg: str) -> LoweringError:
+            ins = prog.instrs[pc]
+            return LoweringError(
+                f"{prog.name} @pc={pc} ({ins.asm()}) [call {ci}]: {msg}")
+
+        def resolve(pc: int, n_elems: int) -> "tuple[str, int]":
+            """Fold the memory operand to (buffer, first element) and
+            run the one-time alignment/bounds validation."""
+            ins = prog.instrs[pc]
+            root = xstate.get(ins.base)
+            if root is None:
+                raise err(pc, f"scalar register x{ins.base} read before write")
+            buf, off = root
+            lay = layout(buf)
+            byte = off + ins.offset
+            if byte % isz:
+                raise err(pc, f"misaligned access into {buf!r} (offset "
+                              f"{byte} not a multiple of {isz})")
+            first = byte // isz
+            if first < 0 or first + n_elems > lay.stride_elems:
+                raise err(pc, f"access [{first}, {first + n_elems}) of "
+                              f"{buf!r} leaves the group stride "
+                              f"({lay.stride_elems} elements)")
+            return buf, first
+
+        def read_vregs(pc: int, vreg_ids: "tuple[int, ...]") -> None:
+            for r in vreg_ids:
+                if r not in written:
+                    raise err(pc, f"vector register v{r} read before write")
+
+        for pc, ins in enumerate(prog.instrs):
+            op = ins.op
+            if op is Op.ADDI:
+                root = xstate.get(ins.xsrc)
+                if root is None:
+                    raise err(pc, f"scalar register x{ins.xsrc} read "
+                                  f"before write")
+                xstate[ins.xdst] = (root[0], root[1] + ins.ximm)
+                folded += 1
+            elif op in (Op.PRFM, Op.NOP):
+                dropped += 1
+            elif op is Op.LDRV:
+                n = ins.nlanes if ins.nlanes is not None else lanes
+                buf, first = resolve(pc, n)
+                commands.append(((K_LOAD_PART if n < lanes else K_LOAD),
+                                 ins.dst[0], buf, first, n))
+                written.add(ins.dst[0])
+            elif op is Op.LDPV:
+                buf, first = resolve(pc, 2 * lanes)
+                commands.append((K_LOADPAIR, ins.dst[0], ins.dst[1], buf,
+                                 first, lanes))
+                written.update(ins.dst)
+            elif op is Op.LD1R:
+                buf, first = resolve(pc, 1)
+                commands.append((K_LOAD1R, ins.dst[0], buf, first))
+                written.add(ins.dst[0])
+            elif op is Op.LD2V:
+                n = ins.nlanes if ins.nlanes is not None else lanes
+                buf, first = resolve(pc, 2 * n)
+                commands.append((K_LOAD2, ins.dst[0], ins.dst[1], buf,
+                                 first, n))
+                written.update(ins.dst)
+            elif op is Op.ST2V:
+                n = ins.nlanes if ins.nlanes is not None else lanes
+                read_vregs(pc, ins.srcs)
+                buf, first = resolve(pc, 2 * n)
+                commands.append((K_STORE2, ins.srcs[0], ins.srcs[1], buf,
+                                 first, n))
+            elif op is Op.STRV:
+                n = ins.nlanes if ins.nlanes is not None else lanes
+                read_vregs(pc, ins.srcs)
+                buf, first = resolve(pc, n)
+                commands.append((K_STORE, ins.srcs[0], buf, first, n))
+            elif op is Op.STPV:
+                read_vregs(pc, ins.srcs)
+                buf, first = resolve(pc, 2 * lanes)
+                commands.append((K_STOREPAIR, ins.srcs[0], ins.srcs[1], buf,
+                                 first, lanes))
+            elif op is Op.FMLA:
+                read_vregs(pc, ins.reads)
+                commands.append((K_FMLA, ins.dst[0], ins.srcs[0], ins.srcs[1]))
+            elif op is Op.FMLS:
+                read_vregs(pc, ins.reads)
+                commands.append((K_FMLS, ins.dst[0], ins.srcs[0], ins.srcs[1]))
+            elif op is Op.FMUL:
+                read_vregs(pc, ins.reads)
+                commands.append((K_FMUL, ins.dst[0], ins.srcs[0], ins.srcs[1]))
+                written.add(ins.dst[0])
+            elif op is Op.FMAI:
+                read_vregs(pc, ins.reads)
+                commands.append((K_FMAI, ins.dst[0], ins.srcs[0],
+                                 _imm(ins.imm, ew)))
+            elif op is Op.FMULI:
+                read_vregs(pc, ins.reads)
+                commands.append((K_FMULI, ins.dst[0], ins.srcs[0],
+                                 _imm(ins.imm, ew)))
+                written.add(ins.dst[0])
+            elif op is Op.FADD:
+                read_vregs(pc, ins.reads)
+                commands.append((K_FADD, ins.dst[0], ins.srcs[0], ins.srcs[1]))
+                written.add(ins.dst[0])
+            elif op is Op.FSUB:
+                read_vregs(pc, ins.reads)
+                commands.append((K_FSUB, ins.dst[0], ins.srcs[0], ins.srcs[1]))
+                written.add(ins.dst[0])
+            elif op is Op.FDIV:
+                read_vregs(pc, ins.reads)
+                commands.append((K_FDIV, ins.dst[0], ins.srcs[0], ins.srcs[1]))
+                written.add(ins.dst[0])
+            elif op is Op.VZERO:
+                commands.append((K_VZERO, ins.dst[0]))
+                written.add(ins.dst[0])
+            elif op is Op.VMOV:
+                read_vregs(pc, ins.srcs)
+                commands.append((K_VMOV, ins.dst[0], ins.srcs[0]))
+                written.add(ins.dst[0])
+            elif op is Op.FIMM:
+                commands.append((K_FIMM, ins.dst[0], _imm(ins.imm, ew)))
+                written.add(ins.dst[0])
+            else:  # pragma: no cover - exhaustive over the ISA
+                raise err(pc, f"unimplemented opcode {op}")
+
+    mem_commands = sum(1 for c in commands if c[0] in _MEM_KINDS)
+    return CompiledPlan(
+        kind=plan.kind, groups=plan.groups, lanes=lanes, ew=ew,
+        buffers=layouts, commands=commands,
+        stats={"calls": len(plan.calls), "instructions": instructions,
+               "mem_commands": mem_commands,
+               "fp_commands": len(commands) - mem_commands,
+               "folded_addi": folded, "dropped": dropped})
+
+
+def _imm(value: float, ew: int):
+    """Immediates are pre-cast to the element dtype at lower time, so
+    replay rounds exactly like the interpreter's ``dtype.type(imm)``."""
+    return (np.float32 if ew == 4 else np.float64)(value)

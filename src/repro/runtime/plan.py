@@ -159,24 +159,22 @@ def build_gemm_plan(problem: GemmProblem, machine: MachineConfig,
                 c_buf="C", c_offsets=c_offs,
             ))
 
+    # one BufferSpec per operand, built once with its final residency:
+    # kernels stream straight from A/B only on the no-pack path, where
+    # those buffers inherit the packed-buffer warmth verdict
     a_shape = p.a_shape
     b_shape = p.b_shape
     buffers = {
         "A": BufferSpec("A", a_shape[0] * a_shape[1] * eb,
-                        warm="cold"),
-        "B": BufferSpec("B", b_shape[0] * b_shape[1] * eb, warm="cold"),
+                        warm=packed_warm if a_nopack else "cold"),
+        "B": BufferSpec("B", b_shape[0] * b_shape[1] * eb,
+                        warm=packed_warm if b_nopack else "cold"),
         "C": BufferSpec("C", p.m * p.n * eb, warm="cold"),
     }
     if not a_nopack:
         buffers["packA"] = BufferSpec("packA", a_stride, warm=packed_warm)
     if not b_nopack:
         buffers["packB"] = BufferSpec("packB", b_stride, warm=packed_warm)
-    if a_nopack:
-        buffers["A"] = BufferSpec("A", buffers["A"].group_stride_bytes,
-                                  warm=packed_warm)
-    if b_nopack:
-        buffers["B"] = BufferSpec("B", buffers["B"].group_stride_bytes,
-                                  warm=packed_warm)
 
     pack = PackCost(ew=dt.real_itemsize)
     if not a_nopack:

@@ -65,3 +65,35 @@ class TestCompactTrsm:
         compact_trsm(ca, cb, side="R", uplo="U")
         x = compact_to_batch(cb)
         assert np.abs(x @ np.triu(a) - b).max() < 1e-8
+
+
+class TestBackendSelection:
+    def test_frameworks_keyed_per_backend(self):
+        default = default_framework()
+        interp = default_framework(backend="interpret")
+        assert default is not interp
+        assert default is default_framework()
+        assert interp is default_framework(backend="interpret")
+        assert default.backend.name == "compiled"
+        assert interp.backend.name == "interpret"
+
+    def test_backends_agree_bit_for_bit(self, rng):
+        a = random_batch(rng, 9, 4, 6, "d")
+        b = random_batch(rng, 9, 6, 5, "d")
+        outs = []
+        for backend in ("interpret", "compiled"):
+            ca, cb = compact_from_batch(a), compact_from_batch(b)
+            cc = compact_from_batch(np.zeros((9, 4, 5)))
+            compact_gemm(ca, cb, cc, beta=0.0, backend=backend)
+            outs.append(cc.buffer)
+        assert np.array_equal(outs[0], outs[1])
+
+    def test_trsm_backend_param(self, rng):
+        a = random_triangular(rng, 5, 4, "d")
+        b = random_batch(rng, 5, 4, 3, "d")
+        outs = []
+        for backend in ("interpret", "compiled"):
+            ca, cb = compact_from_batch(a), compact_from_batch(b)
+            compact_trsm(ca, cb, backend=backend)
+            outs.append(cb.buffer)
+        assert np.array_equal(outs[0], outs[1])

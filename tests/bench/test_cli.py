@@ -61,3 +61,16 @@ def test_ablation_cli(capsys):
     assert main(["ablation"]) == 0
     out = capsys.readouterr().out
     assert "scheduler" in out.lower() or "optimizer" in out.lower()
+
+
+def test_backend_showdown_cli(capsys):
+    assert main(["backend"]) == 0
+    out = capsys.readouterr().out
+    assert "interpret" in out and "compiled" in out
+    assert "speedup" in out
+
+
+def test_backend_flag_restricts_backends(capsys):
+    assert main(["backend", "--backend", "compiled"]) == 0
+    out = capsys.readouterr().out
+    assert "compiled" in out and "interpret" not in out

@@ -119,4 +119,16 @@ class TestReportObject:
         plan = iatf.plan_gemm(p)
         via_fn = obs.explain(plan, registry=iatf.registry)
         via_method = iatf.explain_gemm(p)
-        assert via_fn.to_dict() == via_method.to_dict()
+        # the method knows the framework's backend and adds that section;
+        # everything else must agree with the plain free-function report
+        fn_d, method_d = via_fn.to_dict(), via_method.to_dict()
+        backend_section = method_d["sections"].pop("execution backend")
+        assert fn_d == method_d
+        assert any(iatf.backend.name in line for line in backend_section)
+
+    def test_explain_names_backend_and_lowering(self, iatf):
+        p = GemmProblem(4, 4, 4, "d", batch=64)
+        report = iatf.explain_gemm(p)
+        lines = report.section("execution backend")
+        assert any("compiled" in line for line in lines)
+        assert any("commands" in line for line in lines)

@@ -1,0 +1,287 @@
+"""Backend equivalence and lowering tests.
+
+The ``compiled`` backend must be *bit-identical* to the ``interpret``
+reference on every supported configuration — not merely within
+tolerance: both paths perform the same float operations in the same
+order, so their results are the same bytes.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError, LoweringError, PlanError
+from repro.layout import CompactBatch
+from repro.machine.machines import KUNPENG_920
+from repro.machine.memory import MemorySpace
+from repro.runtime.backends import (BACKENDS, DEFAULT_BACKEND,
+                                    CompiledBackend, ExecutorBackend,
+                                    InterpretBackend, resolve_backend)
+from repro.runtime.engine import Engine
+from repro.runtime.iatf import IATF
+from repro.runtime.lowering import lower_plan
+from repro.types import GemmProblem, TrsmProblem
+from tests.conftest import ALL_DTYPES, random_batch, random_triangular
+
+LANES = {"s": 4, "d": 2, "c": 4, "z": 2}
+
+
+@pytest.fixture(scope="module")
+def iatf():
+    return IATF(KUNPENG_920)
+
+
+def run_gemm_both(iatf, rng, problem, force_pack=False):
+    """Execute one GEMM plan on both backends; return the two C buffers."""
+    plan = iatf.plan_gemm(problem, force_pack=force_pack)
+    lanes = LANES[problem.dtype.value]
+    a = random_batch(rng, problem.batch, *problem.a_shape,
+                     problem.dtype.value)
+    b = random_batch(rng, problem.batch, *problem.b_shape,
+                     problem.dtype.value)
+    c = random_batch(rng, problem.batch, problem.m, problem.n,
+                     problem.dtype.value)
+    outs = []
+    for backend in ("interpret", "compiled"):
+        ca = CompactBatch.from_matrices(a, lanes)
+        cb = CompactBatch.from_matrices(b, lanes)
+        cc = CompactBatch.from_matrices(c, lanes)
+        Engine(KUNPENG_920, backend=backend).execute_gemm(plan, ca, cb, cc)
+        outs.append(cc.buffer)
+    return outs
+
+
+def run_trsm_both(iatf, rng, problem, force_pack=False):
+    plan = iatf.plan_trsm(problem, force_pack=force_pack)
+    lanes = LANES[problem.dtype.value]
+    a = random_triangular(rng, problem.batch, problem.a_dim,
+                          problem.dtype.value,
+                          problem.uplo.value)
+    b = random_batch(rng, problem.batch, problem.m, problem.n,
+                     problem.dtype.value)
+    outs = []
+    for backend in ("interpret", "compiled"):
+        ca = CompactBatch.from_matrices(a, lanes)
+        cb = CompactBatch.from_matrices(b, lanes)
+        Engine(KUNPENG_920, backend=backend).execute_trsm(plan, ca, cb)
+        outs.append(cb.buffer)
+    return outs
+
+
+class TestGemmEquivalence:
+    @pytest.mark.parametrize("dtype", ALL_DTYPES)
+    @pytest.mark.parametrize("mode", ["NN", "NT", "TN", "TT"])
+    def test_bit_identical_all_modes(self, iatf, rng, dtype, mode):
+        p = GemmProblem(9, 7, 5, dtype, mode[0], mode[1], 9, 1.25, 0.5)
+        got, want = run_gemm_both(iatf, rng, p)
+        assert np.array_equal(got, want)
+
+    @pytest.mark.parametrize("dtype", ALL_DTYPES)
+    @pytest.mark.parametrize("force_pack", [False, True])
+    def test_bit_identical_pack_paths(self, iatf, rng, dtype, force_pack):
+        p = GemmProblem(8, 8, 8, dtype, batch=13)
+        got, want = run_gemm_both(iatf, rng, p, force_pack=force_pack)
+        assert np.array_equal(got, want)
+
+    @pytest.mark.parametrize("m,n,k", [(1, 1, 1), (5, 5, 5), (13, 3, 17),
+                                       (33, 33, 33)])
+    def test_bit_identical_odd_shapes(self, iatf, rng, m, n, k):
+        p = GemmProblem(m, n, k, "d", batch=7)
+        got, want = run_gemm_both(iatf, rng, p)
+        assert np.array_equal(got, want)
+
+
+class TestTrsmEquivalence:
+    @pytest.mark.parametrize("dtype", ALL_DTYPES)
+    def test_bit_identical_whole_in_regs(self, iatf, rng, dtype):
+        p = TrsmProblem(4, 6, dtype, "L", "L", "N", "N", batch=9)
+        got, want = run_trsm_both(iatf, rng, p)
+        assert np.array_equal(got, want)
+
+    @pytest.mark.parametrize("dtype", ALL_DTYPES)
+    def test_bit_identical_blocked(self, iatf, rng, dtype):
+        p = TrsmProblem(12, 6, dtype, "L", "L", "N", "N", batch=9)
+        got, want = run_trsm_both(iatf, rng, p)
+        assert np.array_equal(got, want)
+
+    @pytest.mark.parametrize("side", ["L", "R"])
+    @pytest.mark.parametrize("force_pack", [False, True])
+    def test_bit_identical_sides_and_pack(self, iatf, rng, side,
+                                          force_pack):
+        p = TrsmProblem(7, 5, "d", side, "L", "N", "N", batch=6)
+        got, want = run_trsm_both(iatf, rng, p, force_pack=force_pack)
+        assert np.array_equal(got, want)
+
+
+class TestLowering:
+    def test_stream_has_no_address_arithmetic(self, iatf):
+        plan = iatf.plan_gemm(GemmProblem(8, 8, 8, "d", batch=8))
+        compiled = lower_plan(plan)
+        # every ADDI folded, every PRFM/NOP dropped: stream length plus
+        # folded/dropped accounts for every instruction of every call
+        s = compiled.stats
+        assert s["folded_addi"] > 0
+        assert (compiled.num_commands + s["folded_addi"] + s["dropped"]
+                == s["instructions"])
+
+    def test_gather_indices_matches_group_view(self, iatf, rng):
+        """The slice a command replays addresses exactly the elements the
+        interpreter's per-instruction index arrays would gather."""
+        plan = iatf.plan_gemm(GemmProblem(6, 6, 6, "d", batch=5))
+        compiled = lower_plan(plan)
+        groups = compiled.groups
+        mem = MemorySpace()
+        mats = {}
+        for name, lay in compiled.buffers.items():
+            arr = rng.standard_normal(groups * lay.stride_elems)
+            mem.bind(name, arr)
+            mats[name] = mem.group_view(name, groups, lay.stride_elems)
+        for cmd in compiled.mem_commands():
+            buf, first, count, step = cmd.access()
+            lay = compiled.buffers[buf]
+            idx = cmd.gather_indices(groups, lay.stride_elems)
+            assert idx.shape == (groups, count)
+            flat = mem[buf]
+            assert np.array_equal(flat[idx],
+                                  mats[buf][:, first:first + count])
+
+    def test_misaligned_offset_raises(self, iatf):
+        plan = iatf.plan_gemm(GemmProblem(4, 4, 4, "d", batch=4))
+        plan = _tampered(plan, a_off=3)     # not a multiple of ew=8
+        with pytest.raises(LoweringError, match="misaligned"):
+            lower_plan(plan)
+
+    def test_out_of_bounds_offset_raises(self, iatf):
+        plan = iatf.plan_gemm(GemmProblem(4, 4, 4, "d", batch=4))
+        plan = _tampered(plan, a_off=1 << 20)
+        with pytest.raises(LoweringError, match="group stride"):
+            lower_plan(plan)
+
+    def test_unknown_buffer_raises(self, iatf):
+        plan = iatf.plan_gemm(GemmProblem(4, 4, 4, "d", batch=4))
+        plan = _tampered(plan, a_buf="bogus")
+        with pytest.raises(LoweringError, match="bogus"):
+            lower_plan(plan)
+
+    def test_describe_mentions_folding(self, iatf):
+        compiled = lower_plan(iatf.plan_gemm(GemmProblem(4, 4, 4, "d",
+                                                         batch=4)))
+        text = compiled.describe()
+        assert "ADDIs folded" in text
+        assert "commands" in text
+
+    def test_immediates_precast_to_element_dtype(self, iatf):
+        plan = iatf.plan_gemm(GemmProblem(4, 4, 4, "s", batch=4,
+                                          alpha=1.1, beta=0.3))
+        compiled = lower_plan(plan)
+        from repro.runtime.lowering import K_FIMM, K_FMAI, K_FMULI
+        imms = [cmd[-1] for cmd in compiled.commands
+                if cmd[0] in (K_FIMM, K_FMAI, K_FMULI)]
+        assert imms, "scaled gemm should carry immediates"
+        assert all(isinstance(i, np.float32) for i in imms)
+
+
+def _tampered(plan, **repl):
+    """Copy of a plan with its first call's fields replaced."""
+    import copy
+    import dataclasses
+    plan = copy.copy(plan)
+    plan.calls = list(plan.calls)
+    plan.calls[0] = dataclasses.replace(plan.calls[0], **repl)
+    return plan
+
+
+class TestBackendSelection:
+    def test_default_is_compiled(self):
+        assert DEFAULT_BACKEND == "compiled"
+        assert Engine(KUNPENG_920).backend.name == "compiled"
+        assert IATF(KUNPENG_920).backend.name == "compiled"
+
+    def test_registry_contents(self):
+        assert set(BACKENDS) == {"interpret", "compiled"}
+        assert isinstance(resolve_backend("interpret"), InterpretBackend)
+        assert isinstance(resolve_backend("compiled"), CompiledBackend)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(PlanError, match="unknown executor backend"):
+            resolve_backend("jit")
+
+    def test_non_backend_object_raises(self):
+        with pytest.raises(PlanError, match="protocol"):
+            resolve_backend(42)
+
+    def test_instances_satisfy_protocol(self):
+        assert isinstance(InterpretBackend(), ExecutorBackend)
+        assert isinstance(CompiledBackend(), ExecutorBackend)
+
+    def test_custom_backend_instance_accepted(self, iatf, rng):
+        """A user-supplied object implementing the protocol plugs in."""
+        ran = []
+
+        class Recording:
+            name = "recording"
+            needs_lowering = False
+
+            def run(self, plan, mem, strides, groups, compiled=None):
+                ran.append(groups)
+                InterpretBackend().run(plan, mem, strides, groups)
+
+        fw = IATF(KUNPENG_920, backend=Recording())
+        assert fw.backend.name == "recording"
+        p = GemmProblem(4, 4, 4, "d", batch=4)
+        a = random_batch(rng, 4, 4, 4, "d")
+        got = fw.gemm(a, a, np.zeros_like(a), beta=0.0)
+        assert ran == [2]
+        assert np.allclose(got, a @ a, atol=1e-9)
+
+    def test_group_count_mismatch_raises(self, iatf, rng):
+        plan = iatf.plan_gemm(GemmProblem(4, 4, 4, "d", batch=4))
+        compiled = lower_plan(plan)
+        mem = MemorySpace()
+        with pytest.raises(ExecutionError, match="groups"):
+            CompiledBackend().run(plan, mem, {}, groups=7,
+                                  compiled=compiled)
+
+
+class TestObservability:
+    def test_backend_run_counter_and_lowering_span(self):
+        import repro.obs as obs
+        fw = IATF(KUNPENG_920)
+        p = GemmProblem(4, 4, 4, "d", batch=4)
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((4, 4, 4))
+        with obs.scoped() as reg:
+            fw.gemm(a, a, np.zeros_like(a), beta=0.0)
+            counters = reg.counters()
+            assert counters.get("backend.compiled.runs", 0) >= 1
+            assert counters.get("lower.plans", 0) >= 1
+            assert counters.get("lower.commands", 0) > 0
+            assert any(s.name == "lower.plan" for s in reg.spans)
+
+
+@pytest.mark.slow
+class TestPerfGuard:
+    def test_compiled_beats_interpret_on_large_batch(self, rng):
+        """The lowering payoff on the paper's headline batch size: the
+        compiled replay must beat per-instruction interpretation on
+        batch-16384 sgemm (m=n=k=8) wall clock."""
+        p = GemmProblem(8, 8, 8, "s", batch=16384)
+        a = random_batch(rng, p.batch, 8, 8, "s")
+        lanes = LANES["s"]
+        times = {}
+        for backend in ("interpret", "compiled"):
+            fw = IATF(KUNPENG_920, backend=backend)
+            ca = CompactBatch.from_matrices(a, lanes)
+            cb = CompactBatch.from_matrices(a, lanes)
+            cc = CompactBatch.from_matrices(np.zeros_like(a), lanes)
+            fw.gemm_compact(p, ca, cb, cc)       # warm: plan + lowering
+            best = float("inf")
+            for _ in range(3):
+                t0 = time.perf_counter()
+                fw.gemm_compact(p, ca, cb, cc)
+                best = min(best, time.perf_counter() - t0)
+            times[backend] = best
+        # bench/experiments.backend_showdown shows ~2x; guard a softer
+        # bound so background load cannot flake CI
+        assert times["compiled"] < 0.75 * times["interpret"], times

@@ -130,3 +130,48 @@ class TestAutotune:
                                  CompactBatch.from_matrices(a, 2),
                                  CompactBatch.from_matrices(b, 2), cc)
         assert np.abs(cc.to_matrices() - a @ b).max() < 1e-9
+
+
+class TestOperandShapeValidation:
+    """Every operand is checked against the shape the problem derives
+    before any planning or packing happens."""
+
+    def test_wrong_b_under_transb(self, rng):
+        iatf = IATF(KUNPENG_920)
+        a = random_batch(rng, 4, 5, 6, "d")       # m=5, k=6
+        b = random_batch(rng, 4, 6, 7, "d")       # stored (k, n): wrong for T
+        c = random_batch(rng, 4, 5, 7, "d")
+        with pytest.raises(InvalidProblemError,
+                           match=r"B is 6x7 .*transb=T.* 7x6"):
+            iatf.gemm(a, b, c, transb="T")
+
+    def test_wrong_a_rows(self, rng):
+        iatf = IATF(KUNPENG_920)
+        a = random_batch(rng, 4, 3, 6, "d")       # 3 rows, C wants m=5
+        b = random_batch(rng, 4, 6, 7, "d")
+        c = random_batch(rng, 4, 5, 7, "d")
+        with pytest.raises(InvalidProblemError, match=r"A is 3x6"):
+            iatf.gemm(a, b, c)
+
+    def test_valid_transposed_b_accepted(self, rng):
+        iatf = IATF(KUNPENG_920)
+        a = random_batch(rng, 4, 5, 6, "d")
+        b = random_batch(rng, 4, 7, 6, "d")       # stored (n, k) for T
+        c = np.zeros((4, 5, 7))
+        got = iatf.gemm(a, b, c, beta=0.0, transb="T")
+        want = a @ b.transpose(0, 2, 1)
+        assert np.abs(got - want).max() < 1e-9
+
+    def test_trsm_nonsquare_a(self, rng):
+        iatf = IATF(KUNPENG_920)
+        a = random_batch(rng, 4, 4, 5, "d")
+        b = random_batch(rng, 4, 4, 3, "d")
+        with pytest.raises(InvalidProblemError, match=r"A is 4x5"):
+            iatf.trsm(a, b)
+
+    def test_trsm_wrong_side_dimension(self, rng):
+        iatf = IATF(KUNPENG_920)
+        a = random_triangular(rng, 4, 4, "d")     # 4x4, but side=R wants n=3
+        b = random_batch(rng, 4, 4, 3, "d")
+        with pytest.raises(InvalidProblemError, match=r"side=R.* 3x3"):
+            iatf.trsm(a, b, side="R")

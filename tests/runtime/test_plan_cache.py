@@ -87,3 +87,104 @@ class TestIatfIntegration:
         iatf.plan_gemm(gp)
         assert len(iatf._plan_cache) == 2
         assert iatf.plan_trsm(tp) is iatf.plan_trsm(tp)
+
+
+class TestCompiledSideSlot:
+    def test_compiled_rides_with_the_plan(self):
+        cache = PlanCache(maxsize=2)
+        cache.put(("a",), "plan-a")
+        assert cache.get_compiled(("a",)) is None
+        cache.put_compiled(("a",), "compiled-a")
+        assert cache.get_compiled(("a",)) == "compiled-a"
+
+    def test_put_resets_compiled(self):
+        cache = PlanCache(maxsize=2)
+        cache.put(("a",), "plan-a")
+        cache.put_compiled(("a",), "compiled-a")
+        cache.put(("a",), "plan-a2")       # fresh plan -> stale lowering
+        assert cache.get_compiled(("a",)) is None
+
+    def test_eviction_drops_compiled(self):
+        cache = PlanCache(maxsize=1)
+        cache.put(("a",), "plan-a")
+        cache.put_compiled(("a",), "compiled-a")
+        cache.put(("b",), "plan-b")        # evicts a and its lowering
+        assert cache.get_compiled(("a",)) is None
+        # attaching to a missing key is a harmless no-op
+        cache.put_compiled(("a",), "late")
+        assert cache.get_compiled(("a",)) is None
+
+    def test_iatf_reuses_cached_lowering(self):
+        import numpy as np
+        iatf = IATF(KUNPENG_920)
+        p = GemmProblem(4, 4, 4, "d", batch=4)
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((4, 4, 4))
+        with obs.scoped() as reg:
+            iatf.gemm(a, a, np.zeros_like(a), beta=0.0)
+            iatf.gemm(a, a, np.zeros_like(a), beta=0.0)
+            counters = reg.counters()
+        assert counters["lower.plans"] == 1          # lowered once
+        assert counters["backend.compiled.runs"] == 2
+
+
+class TestThreadSafety:
+    def test_concurrent_put_get_never_corrupts(self):
+        import threading
+        cache = PlanCache(maxsize=16)
+        errors = []
+
+        def hammer(seed: int) -> None:
+            try:
+                for i in range(300):
+                    key = (seed, i % 23)
+                    cache.put(key, f"plan-{seed}-{i}")
+                    cache.put_compiled(key, f"compiled-{seed}-{i}")
+                    cache.get(key)
+                    cache.get_compiled((seed, (i + 7) % 23))
+                    cache.stats()
+                    len(cache)
+            except Exception as exc:          # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(t,))
+                   for t in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 16
+        s = cache.stats()
+        assert s["size"] == len(cache)
+
+    def test_concurrent_planning_through_one_framework(self):
+        """Many threads planning and executing distinct shapes through a
+        shared IATF must neither crash nor return wrong results."""
+        import threading
+
+        import numpy as np
+
+        iatf = IATF(KUNPENG_920, plan_cache_size=8)
+        rng = np.random.default_rng(3)
+        inputs = {2 + i: rng.standard_normal((4, 2 + i, 2 + i))
+                  for i in range(6)}     # generated up front: np.random
+        errors = []                      # generators are not thread-safe
+
+        def work(size: int) -> None:
+            try:
+                a = inputs[size]
+                for _ in range(5):
+                    got = iatf.gemm(a, a, np.zeros_like(a), beta=0.0)
+                    if not np.allclose(got, a @ a, atol=1e-9):
+                        raise AssertionError(f"wrong result at {size}")
+            except Exception as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work, args=(2 + i,))
+                   for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
