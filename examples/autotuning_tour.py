@@ -1,118 +1,136 @@
-"""A tour of the install-time and run-time stages of IATF.
+"""A tour of IATF's install-time autotuning subsystem.
 
-Walks through what the framework actually builds: the CMAR analysis
-that picks kernel sizes, a generated kernel's assembly before and after
-the optimizer, the Table 1 inventory, and the input-aware decisions the
-run-time stage makes for different problem shapes.
+Drives the real thing end to end: enumerate the candidate space for a
+problem shape, sweep it with the cycle model, persist the winners into
+a TuningDB, reload that DB in a runtime framework object, and watch a
+tuned decision change the execution plan — with full provenance in the
+explain report and hit/miss/fallback counters narrating every lookup.
 
 Run:  python examples/autotuning_tour.py
 """
 
-from repro import IATF, KUNPENG_920
-from repro.codegen.cmar import (cmar_complex, cmar_real, fits_registers,
-                                max_triangular_order, optimal_gemm_kernel)
-from repro.codegen.generator_gemm import generate_gemm_kernel
-from repro.codegen.optimizer import schedule_program
-from repro.codegen.registry import table1_inventory
-from repro.machine.pipeline import AddressSpace
+import os
+import tempfile
+
+from repro import IATF, KUNPENG_920, obs
+from repro.codegen.cmar import optimal_gemm_kernel
+from repro.runtime.engine import Engine
+from repro.tuning import (TuningDB, enumerate_gemm_space,
+                          feasible_gemm_mains, sweep, tune_problem)
 from repro.types import GemmProblem, TrsmProblem
 
 
-def show_cmar() -> None:
+def show_space() -> None:
     print("=" * 70)
-    print("1. CMAR analysis (paper Eqs. 2-3): pick the main kernel size")
+    print("1. The candidate space (repro.tuning.space)")
     print("=" * 70)
-    print(f"{'mc x nc':>8} {'regs':>5} {'CMAR(real)':>11}")
-    for mc, nc in [(2, 2), (3, 3), (4, 4), (4, 3), (5, 4), (6, 2)]:
-        fits = fits_registers(mc, nc, "d")
-        regs = 2 * mc + 2 * nc + mc * nc
-        mark = "" if fits else "  <- exceeds 32 registers"
-        print(f"{mc:>4}x{nc:<3} {regs:>5} {cmar_real(mc, nc):>11.2f}{mark}")
-    print(f"\noptimal real kernel:    {optimal_gemm_kernel('d')}")
-    print(f"optimal complex kernel: {optimal_gemm_kernel('z')} "
-          f"(CMAR {cmar_complex(3, 2):.2f})")
-    print(f"TRSM in-register bound: M <= {max_triangular_order('d')} real, "
-          f"M <= {max_triangular_order('z')} complex")
+    print(f"\nanalytic CMAR optimum for 'd': {optimal_gemm_kernel('d')}")
+    print(f"register-feasible mains, best CMAR first: "
+          f"{feasible_gemm_mains('d')}")
+    p = GemmProblem(9, 9, 9, "d", batch=16384)
+    space = enumerate_gemm_space(p, KUNPENG_920)
+    print(f"\ncandidates for dgemm 9x9x9 ({len(space)}):")
+    for cand in space:
+        mark = "  <- analytic choice" if cand is space[0] else ""
+        print(f"  {cand.label}{mark}")
 
 
-def show_kernel() -> None:
+def show_single_tune() -> None:
     print()
     print("=" * 70)
-    print("2. A generated kernel, before and after the optimizer (Fig. 5)")
+    print("2. Tuning one shape (repro.tuning.tuner)")
     print("=" * 70)
-    machine = KUNPENG_920
-    raw = generate_gemm_kernel(4, 4, 4, "d", machine)
-    opt = schedule_program(raw, machine)
-    print(f"\nfirst 14 instructions, template order "
-          f"({len(raw)} total):")
-    for ins in raw.instrs[:14]:
-        print("   ", ins.asm())
-    print("\nfirst 14 instructions after scheduling "
-          "(loads interleaved between FMAs):")
-    for ins in opt.instrs[:14]:
-        print("   ", ins.asm())
-
-    def cycles(p):
-        caches = machine.make_caches()
-        pipe = machine.make_pipeline(caches)
-        asp = AddressSpace()
-        aA = asp.place("pA", 4096)
-        aB = asp.place("pB", 4096)
-        aC = asp.place("C", 512)
-        for a in (aA, aB, aC):
-            caches.warm_range(a, 4096)
-        init = {0: aA, 1: aB}
-        init.update({2 + j: aC + j * 64 for j in range(4)})
-        return pipe.simulate(p, init).cycles
-
-    print(f"\ncycles on the Kunpeng 920 model: {cycles(raw)} raw -> "
-          f"{cycles(opt)} optimized")
+    p = GemmProblem(9, 9, 9, "d", batch=16384)
+    out = tune_problem(p, KUNPENG_920)
+    print(f"\n{out.describe()}\n")
+    print(f"{'candidate':<16} {'cycles':>12} {'GFLOPS':>8}")
+    best = min(row["cycles"] for row in out.sweep)
+    for row in out.sweep:
+        mark = "  <- winner" if row["cycles"] == best else ""
+        print(f"{row['candidate']:<16} {row['cycles']:>12.0f} "
+              f"{row['gflops']:>8.2f}{mark}")
+    print("\nThe analytic candidate is measured first and only a "
+          "*strictly* faster\ncandidate replaces it — tuned is never "
+          "worse than analytic.")
 
 
-def show_table1() -> None:
+def sweep_and_persist(path: str) -> None:
     print()
     print("=" * 70)
-    print("3. The install-time inventory (paper Table 1)")
+    print("3. The install-time sweep -> persistent TuningDB")
     print("=" * 70)
-    for fam, entry in table1_inventory().items():
-        print(f"  {fam:<14} main {entry['main']}, "
-              f"{len(entry['edge'])} edge kernels"
-              + (f", triangular {entry['tri']}" if "tri" in entry else ""))
+    db = TuningDB.load(path)          # missing file: empty, healthy
+    outcomes = sweep(db, KUNPENG_920, ops=("gemm", "trsm"),
+                     dtypes=("d",), sizes=(3, 6, 9, 12), batch=16384)
+    db.save()
+    improved = [o for o in outcomes if o.improved]
+    print(f"\nswept {len(outcomes)} shapes; "
+          f"{len(improved)} improved over analytic:")
+    for o in improved:
+        print(f"  {o.describe()}")
+    print(f"\nDB stats: {db.stats()}")
+    print(f"saved atomically to {os.path.basename(path)} "
+          f"(schema v{db.version})")
 
 
-def show_runtime_decisions() -> None:
+def runtime_with_db(path: str) -> None:
     print()
     print("=" * 70)
-    print("4. Run-time stage: input-aware decisions per problem shape")
+    print("4. The run-time stage consults the DB (hit / miss / fallback)")
     print("=" * 70)
-    iatf = IATF(KUNPENG_920)
-    cases = [
-        GemmProblem(4, 8, 8, "d", batch=16384),       # A fits one tile
-        GemmProblem(8, 8, 8, "d", batch=16384),       # A must pack
-        GemmProblem(8, 4, 8, "d", transb="T", batch=16384),  # B fast path
-        GemmProblem(3, 2, 5, "z", batch=16384),       # complex tiles
-    ]
-    for p in cases:
-        plan = iatf.plan_gemm(p)
-        print(f"\n  {p.dtype.value}gemm {p.m}x{p.n}x{p.k} mode {p.mode}: "
-              f"packing {plan.meta['packing']}, "
-              f"{plan.groups_per_round} groups/round, "
-              f"kernels {plan.kernels_used}")
-    tcases = [
-        TrsmProblem(4, 8, "d", batch=16384),          # in-register solve
-        TrsmProblem(4, 8, "d", uplo="U", batch=16384),  # flip => pack
-        TrsmProblem(12, 8, "d", batch=16384),         # blocked path
-    ]
-    for p in tcases:
-        plan = iatf.plan_trsm(p)
-        print(f"\n  {p.dtype.value}trsm {p.m}x{p.n} mode {p.mode}: "
-              f"blocks {plan.meta['blocks']}, "
-              f"B no-pack: {plan.meta['b_nopack']}, "
-              f"{len(plan.calls)} kernel calls/group")
+    engine = Engine(KUNPENG_920)
+    with obs.scoped() as reg:
+        tuned = IATF(KUNPENG_920, tuning_db=path)
+        plain = IATF(KUNPENG_920)
+        p = GemmProblem(9, 9, 9, "d", batch=16384)
+        tplan = tuned.plan_gemm(p)        # 9x9x9 was swept -> hit
+        pplan = plain.plan_gemm(p)
+        tuned.plan_gemm(GemmProblem(31, 31, 31, "d", batch=16384))  # miss
+        counters = {k: v for k, v in reg.snapshot()["counters"].items()
+                    if k.startswith("tuning.")}
+    print(f"\ntuned plan main kernel:    {tplan.meta['main_kernel']} "
+          f"(decision source: {tplan.meta['decision']['source']})")
+    print(f"analytic plan main kernel: {pplan.meta['main_kernel']} "
+          f"(decision source: {pplan.meta['decision']['source']})")
+    t = engine.time_plan(tplan).total_cycles
+    a = engine.time_plan(pplan).total_cycles
+    print(f"cycle model: tuned {t:.0f} vs analytic {a:.0f} "
+          f"({a / t:.3f}x)")
+    print(f"lookup counters: {counters}")
+
+    print("\nexplain report, decision-provenance section:")
+    report = tuned.explain_gemm(p)
+    for line in report.section("decision provenance (install-time tuning)"):
+        print(f"  {line}")
+
+    print("\nTRSM goes through the same path:")
+    trsm_plan = tuned.plan_trsm(TrsmProblem(6, 6, "d", batch=16384))
+    print(f"  decision source: {trsm_plan.meta['decision']['source']}, "
+          f"packing {trsm_plan.meta['packing']}")
+
+
+def corruption_is_graceful(path: str) -> None:
+    print()
+    print("=" * 70)
+    print("5. Corruption never crashes the runtime")
+    print("=" * 70)
+    with open(path, "w") as f:
+        f.write("{ a hand-mangled file")
+    with obs.scoped() as reg:
+        iatf = IATF(KUNPENG_920, tuning_db=path)
+        plan = iatf.plan_gemm(GemmProblem(9, 9, 9, "d", batch=16384))
+        fallbacks = reg.snapshot()["counters"].get("tuning.fallback", 0)
+    print(f"\nDB corrupt: {iatf.tuning_db.corrupt} "
+          f"({iatf.tuning_db.corrupt_reason})")
+    print(f"plan still built, source: {plan.meta['decision']['source']}; "
+          f"tuning.fallback counter: {fallbacks}")
 
 
 if __name__ == "__main__":
-    show_cmar()
-    show_kernel()
-    show_table1()
-    show_runtime_decisions()
+    show_space()
+    show_single_tune()
+    with tempfile.TemporaryDirectory() as tmp:
+        db_path = os.path.join(tmp, "kunpeng920.tuning.json")
+        sweep_and_persist(db_path)
+        runtime_with_db(db_path)
+        corruption_is_graceful(db_path)

@@ -20,8 +20,8 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-figure reproductions.
 """
 
-from . import (obs, machine, layout, codegen, packing, runtime, reference,
-               api, baselines, bench, extensions)
+from . import (obs, machine, layout, codegen, packing, runtime, tuning,
+               reference, api, baselines, bench, extensions)
 from .errors import ReproError
 from .layout.compact import CompactBatch
 from .machine.machines import KUNPENG_920, XEON_GOLD_6240, MachineConfig

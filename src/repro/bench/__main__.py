@@ -24,7 +24,7 @@ from .reporting import ratio_summary, series_table
 SWEEP_EXPERIMENTS = ("fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
                      "headline")
 LOCAL_EXPERIMENTS = ("table1", "table2", "fig4", "fig5", "ablation",
-                     "backend")
+                     "backend", "tuned")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -46,6 +46,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="executor backend(s): the 'backend' "
                         "experiment compares them head to head; sweep "
                         "experiments run on the selected one")
+    parser.add_argument("--tuning-db", metavar="PATH",
+                        help="TuningDB file (from 'python -m repro.tuning "
+                        "sweep'): IATF curves apply its install-time "
+                        "decisions; the 'tuned' experiment compares "
+                        "against it instead of sweeping in memory")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -68,6 +73,12 @@ def main(argv: list[str] | None = None) -> int:
             dt = args.dtype or "s"
             print(experiments.backend_showdown(dtype=dt,
                                                backends=backends)["render"])
+        elif args.experiment == "tuned":
+            sizes = (PAPER_SIZES if args.full else QUICK_SIZES)
+            dt = args.dtype or "d"
+            print(experiments.ablation_tuned(
+                sizes=sizes, dtype=dt,
+                tuning_db=args.tuning_db)["render"])
         else:
             print(experiments.ablation_scheduling()["render"])
             print()
@@ -77,7 +88,8 @@ def main(argv: list[str] | None = None) -> int:
     sizes = PAPER_SIZES if args.full else QUICK_SIZES
     h = BenchHarness(sizes=sizes,
                      backend=None if args.backend == "both"
-                     else args.backend)
+                     else args.backend,
+                     tuning_db=args.tuning_db)
     dtypes = [args.dtype] if args.dtype else ["s", "d", "c", "z"]
 
     if args.experiment == "headline":

@@ -63,11 +63,14 @@ class BenchHarness:
     def __init__(self, machine: MachineConfig = KUNPENG_920,
                  batch: int = PAPER_BATCH,
                  sizes: tuple[int, ...] = PAPER_SIZES,
-                 backend: "str | None" = None) -> None:
+                 backend: "str | None" = None,
+                 tuning_db=None) -> None:
         self.machine = machine
         self.batch = batch
         self.sizes = tuple(sizes)
-        self.iatf = IATF(machine, backend=backend)
+        # tuning_db (a path or TuningDB) makes the IATF curves use the
+        # install-time tuned decisions wherever the DB has a record
+        self.iatf = IATF(machine, backend=backend, tuning_db=tuning_db)
         self.openblas = OpenBlasLoop(machine)
         self.armpl = ArmplBatch(machine)
         self.libxsmm = LibxsmmBatch(machine)

@@ -68,12 +68,18 @@ def _batch_counter_section(plan) -> "list[str]":
     gpr = plan.groups_per_round
     rounds = math.ceil(plan.groups / gpr)
     round_set = work * min(gpr, plan.groups)
+    raw = max(1, machine.l1.size // work)
+    if gpr < raw:
+        gpr_line = (f"groups per round: {gpr} (clamped to the batch's "
+                    f"{plan.groups} groups; L1 alone would allow {raw})")
+    else:
+        gpr_line = (f"groups per round: {gpr} "
+                    f"(= max(1, L1 // working_set) = max(1, "
+                    f"{machine.l1.size} // {work}))")
     lines = [
         f"working set per group: {_fmt_bytes(work)}",
         f"L1 capacity: {_fmt_bytes(machine.l1.size)}",
-        f"groups per round: {gpr} "
-        f"(= max(1, L1 // working_set) = max(1, "
-        f"{machine.l1.size} // {work}))",
+        gpr_line,
         f"batch rounds: {rounds} x {gpr} groups covering "
         f"{plan.groups} groups",
     ]
@@ -180,6 +186,35 @@ def _tiles_section(plan) -> "list[str]":
     return lines
 
 
+def _decision_section(plan) -> "list[str]":
+    """Where the plan's decisions came from: the analytic CMAR rules,
+    a persisted install-time TuningDB record, or a run-time autotune
+    sweep — with the record's provenance when tuned."""
+    d = plan.meta.get("decision") or {"source": "analytic"}
+    source = d.get("source", "analytic")
+    if source == "tuned":
+        lines = [
+            f"source: tuned @ db v{d.get('db_schema')} "
+            f"(tuner v{d.get('tuner_version')}, "
+            f"{d.get('candidates')} candidates swept)",
+            f"record: {d.get('cycles'):.0f} cycles measured at batch "
+            f"{d.get('batch')}",
+        ]
+        main = d.get("main")
+        applied = [f"main={main[0]}x{main[1]}" if main is not None
+                   else "main=fixed",
+                   "pack=tuned" if d.get("force_pack") else "pack=analytic",
+                   "schedule=" + ("on" if d.get("schedule", True)
+                                  else "off")]
+        lines.append("applied: " + " ".join(applied))
+        return lines
+    if source == "runtime-autotune":
+        return [f"source: run-time autotune "
+                f"({d.get('candidates')} candidates timed on the "
+                f"machine model)"]
+    return ["source: analytic CMAR (no TuningDB record applied)"]
+
+
 def _timing_section(plan) -> "list[str]":
     from ..runtime.engine import Engine
     t = Engine(plan.machine).time_plan(plan)
@@ -242,6 +277,9 @@ def explain(plan, *, registry=None, deep: bool = False, backend=None,
          _pack_selector_section(plan, deep, registry)))
     report.sections.append(
         ("tile decomposition (Section 4 / autotune)", _tiles_section(plan)))
+    report.sections.append(
+        ("decision provenance (install-time tuning)",
+         _decision_section(plan)))
     if backend is not None:
         report.sections.append(
             ("execution backend", _backend_section(backend, compiled)))

@@ -41,17 +41,29 @@ def trsm_group_working_bytes(problem: TrsmProblem,
 
 
 def groups_per_round(working_bytes_per_group: int,
-                     machine: MachineConfig) -> int:
+                     machine: MachineConfig,
+                     total_groups: "int | None" = None) -> int:
     """Groups per batch round; always at least one.
 
     When even one group exceeds L1 the round degenerates to a single
     group and the cache model simply observes the L2 traffic — the same
     graceful degradation the paper's framework has for its largest
     sizes.
+
+    ``total_groups``, when given, clamps the answer to the problem's
+    actual group count: a tiny batch of tiny matrices would otherwise
+    report a round of hundreds of groups that the batch can never fill,
+    which skews the observed ``groups_per_round`` distribution and any
+    capacity math derived from it.
     """
     if working_bytes_per_group <= 0:
         raise ValueError("working set must be positive")
+    if total_groups is not None and total_groups < 1:
+        raise ValueError("total_groups must be at least one round's group")
     g = max(1, machine.l1.size // working_bytes_per_group)
+    if total_groups is not None and g > total_groups:
+        g = total_groups
+        obs.count("batch_counter.clamped")
     obs.count("batch_counter.calls")
     if working_bytes_per_group > machine.l1.size:
         obs.count("batch_counter.l1_overflow")

@@ -116,11 +116,31 @@ class IATF:
     def __init__(self, machine: MachineConfig = KUNPENG_920, *,
                  backend: "str | ExecutorBackend | None" = None,
                  optimize_kernels: bool = True,
-                 plan_cache_size: int = 1024) -> None:
+                 plan_cache_size: int = 1024,
+                 tuning_db=None) -> None:
         self.machine = machine
         self.registry = KernelRegistry(machine, optimize=optimize_kernels)
         self.engine = Engine(machine, backend=backend)
         self._plan_cache = PlanCache(plan_cache_size)
+        self._alt_registry: "KernelRegistry | None" = None
+        self._tuning_db = (self._load_tuning_db(tuning_db)
+                           if tuning_db is not None else None)
+
+    @staticmethod
+    def _load_tuning_db(source):
+        """Accept a path (loaded through the never-raises loader) or an
+        already-constructed :class:`repro.tuning.db.TuningDB`."""
+        # imported lazily: repro.tuning imports this module's siblings
+        from ..tuning.db import TuningDB
+
+        if isinstance(source, TuningDB):
+            return source
+        return TuningDB.load(source)
+
+    @property
+    def tuning_db(self):
+        """The attached TuningDB, or ``None`` (analytic-only planning)."""
+        return self._tuning_db
 
     @property
     def backend(self) -> ExecutorBackend:
@@ -143,6 +163,12 @@ class IATF:
                   autotune: bool = False) -> ExecutionPlan:
         """Build (and cache) the execution plan for a problem shape.
 
+        When a :class:`~repro.tuning.db.TuningDB` is attached, the
+        install-time record for this shape (if any) drives the main
+        kernel and pack decisions; a miss — or a corrupt DB — falls
+        back to the analytic CMAR choice, so tuning can only ever
+        *refine* planning, never break it.
+
         With ``autotune`` the run-time stage goes beyond the analytic
         CMAR choice: it builds a plan per candidate tile preference,
         *times each on the machine model*, and keeps the fastest — the
@@ -150,19 +176,93 @@ class IATF:
         decompositions (e.g. 9 = 3+3+3) occasionally beat the
         CMAR-greedy one (4+3+2); the ablation benchmark quantifies it.
         """
-        key = self._gemm_key(problem, force_pack, autotune)
+        return self._plan_gemm_keyed(problem, force_pack, autotune)[0]
+
+    def _plan_gemm_keyed(self, problem: GemmProblem, force_pack: bool,
+                         autotune: bool) -> "tuple[ExecutionPlan, tuple]":
+        record = (None if (force_pack or autotune)
+                  else self._tuned_record("gemm", problem))
+        key = self._gemm_key(problem, force_pack, autotune, record)
         plan = self._plan_cache.get(key)
         if plan is not None:
-            return plan
-        with obs.span("plan.gemm", autotune=autotune):
-            if not autotune:
+            return plan, key
+        with obs.span("plan.gemm", autotune=autotune,
+                      tuned=record is not None):
+            if autotune:
+                plan = self._autotune_gemm(problem, force_pack)
+            elif record is not None:
+                plan = self._apply_tuned_gemm(problem, record)
+            else:
                 plan = build_gemm_plan(problem, self.machine, self.registry,
                                        force_pack)
-            else:
-                plan = self._autotune_gemm(problem, force_pack)
+                plan.meta["decision"] = {"source": "analytic"}
         # meta is complete before the plan becomes visible to other
         # callers through the cache
         self._plan_cache.put(key, plan)
+        return plan, key
+
+    # -- TuningDB consultation --------------------------------------------
+
+    def _tuned_record(self, op: str, problem):
+        """The install-time record for this shape, or ``None`` — with
+        the ``tuning.hit`` / ``tuning.miss`` / ``tuning.fallback``
+        counters narrating which way each lookup went."""
+        db = self._tuning_db
+        if db is None:
+            return None
+        if db.corrupt:
+            obs.count("tuning.fallback")
+            return None
+        from ..tuning.db import TuningKey
+
+        if op == "gemm":
+            key = TuningKey.for_gemm(self.machine.name, problem)
+        else:
+            key = TuningKey.for_trsm(self.machine.name, problem)
+        record = db.get(key)
+        obs.count("tuning.hit" if record is not None else "tuning.miss")
+        return record
+
+    def _registry_for(self, schedule: bool) -> KernelRegistry:
+        """The main registry, or the alternate-schedule one a tuned
+        record may call for (built lazily, kept for reuse)."""
+        if schedule == self.registry.optimize:
+            return self.registry
+        if self._alt_registry is None:
+            self._alt_registry = KernelRegistry(self.machine,
+                                                optimize=schedule)
+        return self._alt_registry
+
+    def _decision_meta(self, record) -> dict:
+        db = self._tuning_db
+        return {
+            "source": "tuned",
+            "db_schema": db.version,
+            "tuner_version": record.tuner_version,
+            "candidates": record.candidates,
+            "cycles": record.cycles,
+            "batch": record.batch,
+            "main": record.main,
+            "force_pack": record.force_pack,
+            "schedule": record.schedule,
+        }
+
+    def _apply_tuned_gemm(self, problem: GemmProblem,
+                          record) -> ExecutionPlan:
+        try:
+            plan = build_gemm_plan(
+                problem, self.machine, self._registry_for(record.schedule),
+                main_override=record.main,
+                tuned_pack=record.force_pack or None)
+        except Exception:
+            # a hand-edited record can carry decisions the planner
+            # rejects (e.g. a main size the decomposer cannot use);
+            # degrade to analytic, never propagate
+            obs.count("tuning.fallback")
+            plan = build_gemm_plan(problem, self.machine, self.registry)
+            plan.meta["decision"] = {"source": "analytic"}
+            return plan
+        plan.meta["decision"] = self._decision_meta(record)
         return plan
 
     def _autotune_gemm(self, problem: GemmProblem,
@@ -187,29 +287,57 @@ class IATF:
         obs.count("autotune.sweeps")
         best.meta["autotuned"] = True
         best.meta["autotune_sweep"] = sweep
+        best.meta["decision"] = {"source": "runtime-autotune",
+                                 "candidates": len(sweep)}
         return best
 
     def plan_trsm(self, problem: TrsmProblem,
                   force_pack: bool = False) -> ExecutionPlan:
-        key = self._trsm_key(problem, force_pack)
+        return self._plan_trsm_keyed(problem, force_pack)[0]
+
+    def _plan_trsm_keyed(self, problem: TrsmProblem,
+                         force_pack: bool) -> "tuple[ExecutionPlan, tuple]":
+        record = (None if force_pack
+                  else self._tuned_record("trsm", problem))
+        key = self._trsm_key(problem, force_pack, record)
         plan = self._plan_cache.get(key)
-        if plan is None:
-            with obs.span("plan.trsm"):
+        if plan is not None:
+            return plan, key
+        with obs.span("plan.trsm", tuned=record is not None):
+            if record is not None:
+                plan = build_trsm_plan(
+                    problem, self.machine,
+                    self._registry_for(record.schedule),
+                    tuned_pack=record.force_pack or None)
+                plan.meta["decision"] = self._decision_meta(record)
+            else:
                 plan = build_trsm_plan(problem, self.machine, self.registry,
                                        force_pack)
-            self._plan_cache.put(key, plan)
-        return plan
+                plan.meta["decision"] = {"source": "analytic"}
+        self._plan_cache.put(key, plan)
+        return plan, key
 
     # -- lowering ---------------------------------------------------------
 
     @staticmethod
-    def _gemm_key(problem: GemmProblem, force_pack: bool,
-                  autotune: bool) -> tuple:
-        return ("gemm", problem, force_pack, autotune)
+    def _record_sig(record) -> "tuple | None":
+        # the cache key carries the applied record's decision triple, so
+        # replacing the DB (or its entry for a shape) can never serve a
+        # plan built from the old record
+        if record is None:
+            return None
+        return (record.main, record.force_pack, record.schedule)
 
-    @staticmethod
-    def _trsm_key(problem: TrsmProblem, force_pack: bool) -> tuple:
-        return ("trsm", problem, force_pack)
+    @classmethod
+    def _gemm_key(cls, problem: GemmProblem, force_pack: bool,
+                  autotune: bool, record=None) -> tuple:
+        return ("gemm", problem, force_pack, autotune,
+                cls._record_sig(record))
+
+    @classmethod
+    def _trsm_key(cls, problem: TrsmProblem, force_pack: bool,
+                  record=None) -> tuple:
+        return ("trsm", problem, force_pack, cls._record_sig(record))
 
     def _compiled_for(self, key: tuple,
                       plan: ExecutionPlan) -> "CompiledPlan | None":
@@ -234,16 +362,15 @@ class IATF:
     def gemm_compact(self, problem: GemmProblem, a: CompactBatch,
                      b: CompactBatch, c: CompactBatch) -> CompactBatch:
         """``C = alpha op(A) op(B) + beta C`` on compact operands, in place."""
-        plan = self.plan_gemm(problem)
-        compiled = self._compiled_for(self._gemm_key(problem, False, False),
-                                      plan)
+        plan, key = self._plan_gemm_keyed(problem, False, False)
+        compiled = self._compiled_for(key, plan)
         return self.engine.execute_gemm(plan, a, b, c, compiled=compiled)
 
     def trsm_compact(self, problem: TrsmProblem, a: CompactBatch,
                      b: CompactBatch) -> CompactBatch:
         """Solve in place: B becomes X."""
-        plan = self.plan_trsm(problem)
-        compiled = self._compiled_for(self._trsm_key(problem, False), plan)
+        plan, key = self._plan_trsm_keyed(problem, False)
+        compiled = self._compiled_for(key, plan)
         return self.engine.execute_trsm(plan, a, b, compiled=compiled)
 
     # -- execution (standard-layout convenience API) -----------------------
@@ -331,17 +458,15 @@ class IATF:
                      autotune: bool = False, deep: bool = False):
         """Narrated run-time-stage decisions for one GEMM shape
         (:class:`repro.obs.ExplainReport`)."""
-        plan = self.plan_gemm(problem, force_pack, autotune)
-        compiled = self._compiled_for(
-            self._gemm_key(problem, force_pack, autotune), plan)
+        plan, key = self._plan_gemm_keyed(problem, force_pack, autotune)
+        compiled = self._compiled_for(key, plan)
         return obs.explain(plan, registry=self.registry, deep=deep,
                            backend=self.engine.backend, compiled=compiled)
 
     def explain_trsm(self, problem: TrsmProblem, force_pack: bool = False,
                      deep: bool = False):
         """Narrated run-time-stage decisions for one TRSM shape."""
-        plan = self.plan_trsm(problem, force_pack)
-        compiled = self._compiled_for(self._trsm_key(problem, force_pack),
-                                      plan)
+        plan, key = self._plan_trsm_keyed(problem, force_pack)
+        compiled = self._compiled_for(key, plan)
         return obs.explain(plan, registry=self.registry, deep=deep,
                            backend=self.engine.backend, compiled=compiled)

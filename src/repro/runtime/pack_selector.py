@@ -54,7 +54,9 @@ class TrsmPackDecision:
 
 def select_gemm_packing(problem: GemmProblem, m_tiles: list[int],
                         n_tiles: list[int],
-                        force_pack: bool = False) -> GemmPackDecision:
+                        force_pack: bool = False,
+                        tuned_pack: "bool | None" = None
+                        ) -> GemmPackDecision:
     """The paper's rule: pack only when the kernel cannot already walk
     the operand contiguously in the compact layout.
 
@@ -62,11 +64,18 @@ def select_gemm_packing(problem: GemmProblem, m_tiles: list[int],
       tile (its stored k-columns *are* the kernel's per-k-step loads);
     * B is contiguous when transposed and covered by a single column
       tile (stored columns deliver the ``[l][j]`` order).
+
+    ``tuned_pack=True`` applies a TuningDB record that measured the
+    packed variant as faster for this shape — same outcome as
+    ``force_pack`` but attributed to the tuner, not the ablation flag.
     """
     obs.count("pack_selector.gemm.calls")
     if force_pack:
         obs.count("pack_selector.gemm.forced")
         return GemmPackDecision(True, True, "forced", "forced")
+    if tuned_pack:
+        obs.count("pack_selector.gemm.tuned")
+        return GemmPackDecision(True, True, "tuned", "tuned")
     a_nopack = problem.transa is Trans.N and len(m_tiles) == 1
     b_nopack = problem.transb is Trans.T and len(n_tiles) == 1
     obs.count("pack_selector.gemm.a." + ("nopack" if a_nopack else "pack"))
@@ -84,18 +93,26 @@ def select_gemm_packing(problem: GemmProblem, m_tiles: list[int],
 
 
 def select_trsm_packing(problem: TrsmProblem, registry: KernelRegistry,
-                        force_pack: bool = False) -> TrsmPackDecision:
+                        force_pack: bool = False,
+                        tuned_pack: "bool | None" = None
+                        ) -> TrsmPackDecision:
     """The paper's example: LNLN with M within the in-register bound
     skips the B pack.  Generalized: any mode whose normalization needs
     neither a flip nor a transpose, with unit alpha, qualifies whenever
     the whole problem is solved by one triangular kernel (the blocked
-    path needs the padded work panel regardless)."""
+    path needs the padded work panel regardless).
+
+    ``tuned_pack=True`` applies a TuningDB record that measured the
+    packed panel as faster for this shape."""
     obs.count("pack_selector.trsm.calls")
     norm = normalize_trsm_mode(problem)
     whole = norm.d <= registry.max_tri(problem.dtype)
     if force_pack:
         obs.count("pack_selector.trsm.forced")
         return TrsmPackDecision(norm, whole, True, "forced")
+    if tuned_pack:
+        obs.count("pack_selector.trsm.tuned")
+        return TrsmPackDecision(norm, whole, True, "tuned")
     nopack = (whole and not norm.flip and not norm.transpose_b
               and norm.alpha == 1)
     obs.count("pack_selector.trsm.b." + ("nopack" if nopack else "pack"))

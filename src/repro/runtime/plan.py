@@ -102,13 +102,14 @@ def _elem_bytes(dtype: BlasDType, machine: MachineConfig) -> int:
 def build_gemm_plan(problem: GemmProblem, machine: MachineConfig,
                     registry: KernelRegistry,
                     force_pack: bool = False,
-                    main_override: tuple[int, int] | None = None
-                    ) -> ExecutionPlan:
+                    main_override: tuple[int, int] | None = None,
+                    tuned_pack: "bool | None" = None) -> ExecutionPlan:
     """Plan a compact GEMM.
 
     ``force_pack`` disables the no-pack fast path (ablation benchmark);
     ``main_override`` forces a different main kernel preference for the
-    tile decomposition (the empirical autotuner sweeps these).
+    tile decomposition (the empirical autotuner and the install-time
+    tuner sweep these); ``tuned_pack`` applies a TuningDB pack override.
     """
     p = problem
     dt = p.dtype
@@ -122,7 +123,8 @@ def build_gemm_plan(problem: GemmProblem, machine: MachineConfig,
     m_starts = tile_starts(m_tiles)
     n_starts = tile_starts(n_tiles)
 
-    decision = select_gemm_packing(p, m_tiles, n_tiles, force_pack)
+    decision = select_gemm_packing(p, m_tiles, n_tiles, force_pack,
+                                   tuned_pack)
     a_nopack = not decision.pack_a
     b_nopack = not decision.pack_b
 
@@ -141,7 +143,7 @@ def build_gemm_plan(problem: GemmProblem, machine: MachineConfig,
     lanes = machine.lanes(dt)
     groups = padded_count(p.batch, lanes) // lanes
     work = gemm_group_working_bytes(p, machine)
-    gpr = groups_per_round(work, machine)
+    gpr = groups_per_round(work, machine, total_groups=groups)
     packed_warm = "l1" if work * min(gpr, groups) <= machine.l1.size else "l2"
 
     a_buf = "A" if a_nopack else "packA"
@@ -205,18 +207,19 @@ def build_gemm_plan(problem: GemmProblem, machine: MachineConfig,
 
 def build_trsm_plan(problem: TrsmProblem, machine: MachineConfig,
                     registry: KernelRegistry,
-                    force_pack: bool = False) -> ExecutionPlan:
+                    force_pack: bool = False,
+                    tuned_pack: "bool | None" = None) -> ExecutionPlan:
     """Plan a compact TRSM through the canonical lower-left orientation."""
     p = problem
     dt = p.dtype
     eb = _elem_bytes(dt, machine)
-    decision = select_trsm_packing(p, registry, force_pack)
+    decision = select_trsm_packing(p, registry, force_pack, tuned_pack)
     norm = decision.norm
     d, n_rhs = norm.d, norm.n_rhs
     lanes = machine.lanes(dt)
     groups = padded_count(p.batch, lanes) // lanes
     work = trsm_group_working_bytes(p, machine)
-    gpr = groups_per_round(work, machine)
+    gpr = groups_per_round(work, machine, total_groups=groups)
     packed_warm = "l1" if work * min(gpr, groups) <= machine.l1.size else "l2"
 
     whole_in_regs = decision.whole_in_regs

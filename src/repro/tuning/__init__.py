@@ -1,0 +1,51 @@
+"""repro.tuning — the install-time autotuning subsystem.
+
+The paper's install-time stage pre-builds kernels; this subsystem makes
+it *input-aware* end to end by empirically searching the run-time
+stage's decision space per machine and persisting the winners:
+
+* :mod:`repro.tuning.space` — enumerate the candidate space per
+  (op, dtype, size-class): register-feasible main kernels under the
+  CMAR budget, pack-vs-nopack, schedule variants, executor backend;
+* :mod:`repro.tuning.evaluate` — measure candidates on the machine
+  simulator's cycle model (optionally also compiled-backend wall
+  clock), with repeat/median controls;
+* :mod:`repro.tuning.db` — the schema-versioned, per-machine
+  :class:`TuningDB` (atomic writes, corruption -> graceful fallback);
+* :mod:`repro.tuning.tuner` — the sweep orchestrator with the
+  "tuned is never worse than analytic" selection invariant;
+* ``python -m repro.tuning`` — ``sweep`` / ``show`` / ``export`` /
+  ``self-check`` CLI.
+
+Quick start::
+
+    from repro import IATF
+    from repro.machine.machines import KUNPENG_920
+    from repro.tuning import TuningDB, sweep
+
+    db = TuningDB(path="kunpeng920.tuning.json")
+    sweep(db, KUNPENG_920, ops=("gemm",), dtypes=("d",),
+          sizes=range(1, 34))
+    db.save()
+
+    iatf = IATF(KUNPENG_920, tuning_db="kunpeng920.tuning.json")
+    plan = iatf.plan_gemm(...)     # tuned decisions, analytic fallback
+
+See ``docs/autotuning.md`` for the DB schema and design notes.
+"""
+
+from .db import (SCHEMA_VERSION, TUNER_VERSION, TuningDB, TuningKey,
+                 TuningRecord)
+from .evaluate import Evaluator, Measurement
+from .space import (Candidate, enumerate_gemm_space, enumerate_trsm_space,
+                    feasible_gemm_mains, size_class)
+from .tuner import TuneOutcome, sweep, tune_problem
+
+__all__ = [
+    "SCHEMA_VERSION", "TUNER_VERSION",
+    "TuningDB", "TuningKey", "TuningRecord",
+    "Evaluator", "Measurement",
+    "Candidate", "enumerate_gemm_space", "enumerate_trsm_space",
+    "feasible_gemm_mains", "size_class",
+    "TuneOutcome", "sweep", "tune_problem",
+]

@@ -1,0 +1,303 @@
+"""Command-line interface for the install-time autotuner.
+
+Usage::
+
+    python -m repro.tuning sweep --db kunpeng920.tuning.json \\
+        --op gemm --op trsm --dtype d --sizes 1:16 [--check]
+    python -m repro.tuning show --db kunpeng920.tuning.json
+    python -m repro.tuning export --db kunpeng920.tuning.json --format csv
+    python -m repro.tuning self-check
+
+``sweep`` is the install-time entry point: it measures every candidate
+per shape and upserts the winners into the DB atomically.  ``--check``
+re-runs the identical sweep in-process afterwards and verifies the
+serialized DB is bit-identical — the reproducibility guarantee CI
+leans on.  ``self-check`` exercises the whole subsystem end to end
+(sweep, save, reload, re-sweep, corruption handling, the "tuned never
+worse" invariant) against temp files and returns 0/1 for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import io
+import json
+import os
+import sys
+import tempfile
+
+from . import TuningDB, TuningKey, sweep, tune_problem
+
+__all__ = ["main"]
+
+MACHINES = {
+    "kunpeng920": "KUNPENG_920",
+    "xeon6240": "XEON_GOLD_6240",
+    "a64fx": "A64FX",
+}
+
+
+def _machine(name: str):
+    from ..machine import machines
+
+    return getattr(machines, MACHINES[name])
+
+
+def _parse_sizes(text: str) -> "tuple[int, ...]":
+    """``"1:16"`` (inclusive range) or ``"4,8,12"`` (explicit list)."""
+    text = text.strip()
+    if ":" in text:
+        lo, hi = text.split(":", 1)
+        lo_i, hi_i = int(lo), int(hi)
+        if lo_i < 1 or hi_i < lo_i:
+            raise ValueError(f"bad size range {text!r}")
+        return tuple(range(lo_i, hi_i + 1))
+    sizes = tuple(int(s) for s in text.split(",") if s.strip())
+    if not sizes or any(s < 1 for s in sizes):
+        raise ValueError(f"bad size list {text!r}")
+    return sizes
+
+
+def _cmd_sweep(args) -> int:
+    machine = _machine(args.machine)
+    try:
+        sizes = _parse_sizes(args.sizes)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    db = TuningDB.load(args.db)
+    if db.corrupt:
+        print(f"note: existing DB was corrupt ({db.corrupt_reason}); "
+              "starting fresh")
+    ops = tuple(args.op) if args.op else ("gemm", "trsm")
+    dtypes = tuple(args.dtype) if args.dtype else ("d",)
+
+    def progress(outcome):
+        if not args.quiet:
+            print("  " + outcome.describe())
+
+    print(f"sweeping {machine.name}: ops={','.join(ops)} "
+          f"dtypes={','.join(dtypes)} sizes={sizes[0]}..{sizes[-1]} "
+          f"({len(sizes)} shapes/op/dtype, batch={args.batch})")
+    outcomes = sweep(db, machine, ops=ops, dtypes=dtypes, sizes=sizes,
+                     batch=args.batch, repeats=args.repeats,
+                     schedule_variants=args.schedule_variants,
+                     wall_clock=args.wall_clock, progress=progress)
+    improved = sum(1 for o in outcomes if o.improved)
+    target = db.save(args.db)
+    print(f"swept {len(outcomes)} shapes ({improved} improved over "
+          f"analytic); {len(db)} entries -> {target}")
+
+    if args.check:
+        again = TuningDB.load(target)
+        if again.corrupt or again.to_json() != db.to_json():
+            print("reproducibility check FAILED: reloaded DB differs "
+                  "from the in-memory sweep")
+            return 1
+        sweep(again, machine, ops=ops, dtypes=dtypes, sizes=sizes,
+              batch=args.batch, repeats=args.repeats,
+              schedule_variants=args.schedule_variants)
+        if again.to_json() != db.to_json():
+            print("reproducibility check FAILED: re-running the sweep "
+                  "produced different records")
+            return 1
+        print("reproducibility check OK: reload + identical re-sweep "
+              "are bit-identical")
+    return 0
+
+
+def _cmd_show(args) -> int:
+    db = TuningDB.load(args.db)
+    if db.corrupt:
+        print(f"{args.db}: CORRUPT ({db.corrupt_reason}); runtime will "
+              "fall back to analytic selection")
+        return 1
+    stats = db.stats()
+    print(f"{args.db}: schema v{stats['schema']}, "
+          f"{stats['entries']} entries")
+    for bucket, count in sorted(stats["per_machine_op"].items()):
+        print(f"  {bucket}: {count}")
+    for key, rec in db.items():
+        main = (f"{rec.main[0]}x{rec.main[1]}" if rec.main is not None
+                else "fixed")
+        pack = "pack" if rec.force_pack else "auto"
+        sched = "" if rec.schedule else " unscheduled"
+        print(f"  {key.op} {key.dtype} {key.m}x{key.n}x{key.k} "
+              f"{key.mode}: {main}/{pack}{sched} "
+              f"{rec.cycles:.0f}cy {rec.gflops:.2f}GF "
+              f"(tuner v{rec.tuner_version}, {rec.candidates} cands, "
+              f"batch {rec.batch})")
+    return 0
+
+
+def _cmd_export(args) -> int:
+    db = TuningDB.load(args.db)
+    if db.corrupt:
+        print(f"error: {args.db} is corrupt ({db.corrupt_reason})")
+        return 1
+    if args.format == "json":
+        print(db.to_json())
+        return 0
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["machine", "op", "dtype", "m", "n", "k", "mode",
+                     "main", "force_pack", "schedule", "cycles", "gflops",
+                     "candidates", "tuner_version", "batch", "repeats"])
+    for key, rec in db.items():
+        writer.writerow([
+            key.machine, key.op, key.dtype, key.m, key.n, key.k, key.mode,
+            f"{rec.main[0]}x{rec.main[1]}" if rec.main is not None else "",
+            int(rec.force_pack), int(rec.schedule), rec.cycles, rec.gflops,
+            rec.candidates, rec.tuner_version, rec.batch, rec.repeats])
+    sys.stdout.write(out.getvalue())
+    return 0
+
+
+def _cmd_self_check(args) -> int:
+    from .. import obs
+    from ..machine.machines import KUNPENG_920
+    from ..types import GemmProblem
+
+    problems: list[str] = []
+    machine = KUNPENG_920
+    with obs.scoped() as reg, tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "self-check.tuning.json")
+
+        # sweep -> save -> reload must round-trip bit-identically
+        db = TuningDB.load(path)                  # missing file: healthy
+        if db.corrupt or len(db):
+            problems.append("missing DB file did not load empty/healthy")
+        outcomes = sweep(db, machine, ops=("gemm", "trsm"), dtypes=("d",),
+                         sizes=(3, 6, 9), batch=512)
+        db.save()
+        reloaded = TuningDB.load(path)
+        if reloaded.corrupt:
+            problems.append(f"reload marked corrupt: "
+                            f"{reloaded.corrupt_reason}")
+        if reloaded.to_json() != db.to_json():
+            problems.append("save/load round-trip not bit-identical")
+
+        # re-sweeping the same grid must reproduce every record exactly
+        sweep(reloaded, machine, ops=("gemm", "trsm"), dtypes=("d",),
+              sizes=(3, 6, 9), batch=512)
+        if reloaded.to_json() != db.to_json():
+            problems.append("identical re-sweep changed records "
+                            "(determinism broken)")
+
+        # "tuned never worse": winner cycles <= analytic candidate's
+        for outcome in outcomes:
+            if outcome.record.cycles > outcome.analytic_cycles:
+                problems.append(
+                    f"{outcome.key.encode()}: tuned "
+                    f"{outcome.record.cycles} cycles worse than analytic "
+                    f"{outcome.analytic_cycles}")
+
+        # a complex-dtype single-shape tune exercises the other budget
+        z = tune_problem(GemmProblem(6, 6, 6, "z", batch=256), machine)
+        if z.record.cycles > z.analytic_cycles:
+            problems.append("complex tune worse than analytic")
+
+        # corruption must degrade, never raise
+        bad = os.path.join(tmp, "bad.tuning.json")
+        with open(bad, "w") as f:
+            f.write("{ this is not json")
+        broken = TuningDB.load(bad)
+        if not broken.corrupt or len(broken):
+            problems.append("truncated JSON not flagged corrupt+empty")
+        with open(bad, "w") as f:
+            json.dump({"schema": 999, "entries": {}}, f)
+        future = TuningDB.load(bad)
+        if not future.corrupt:
+            problems.append("future schema not flagged corrupt")
+
+        # the runtime consults the DB and falls back gracefully
+        from ..runtime.iatf import IATF
+
+        iatf = IATF(machine, tuning_db=path)
+        iatf.plan_gemm(GemmProblem(6, 6, 6, "d", batch=512))   # hit
+        iatf.plan_gemm(GemmProblem(31, 31, 31, "d", batch=512))  # miss
+        broken_iatf = IATF(machine, tuning_db=bad)
+        broken_iatf.plan_gemm(GemmProblem(6, 6, 6, "d", batch=512))
+        counters = reg.snapshot()["counters"]
+        for want in ("tuning.sweep.problems", "tuning.eval.candidates",
+                     "tuning.db.saves", "tuning.db.loads",
+                     "tuning.hit", "tuning.miss", "tuning.fallback"):
+            if counters.get(want, 0) <= 0:
+                problems.append(f"counter {want} did not move")
+
+    if problems:
+        print("tuning self-check FAILED:")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    print("tuning self-check OK: sweep determinism, DB round-trip, "
+          "corruption fallback, and runtime hit/miss/fallback all healthy")
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Entry point of ``python -m repro.tuning``; returns the exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if "--self-check" in argv:            # CI-friendly flag spelling
+        argv = ["self-check"] + [a for a in argv if a != "--self-check"]
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tuning",
+        description="Install-time autotuner: sweep candidate plans on "
+        "the machine model and persist winners to a TuningDB.")
+    sub = parser.add_subparsers(dest="command")
+
+    p_sweep = sub.add_parser("sweep", help="tune a size grid and store "
+                             "winners in the DB")
+    p_sweep.add_argument("--db", required=True, metavar="PATH",
+                         help="TuningDB file to update (created if absent)")
+    p_sweep.add_argument("--machine", choices=sorted(MACHINES),
+                         default="kunpeng920")
+    p_sweep.add_argument("--op", action="append",
+                         choices=("gemm", "trsm"),
+                         help="repeatable; default both")
+    p_sweep.add_argument("--dtype", action="append",
+                         choices=("s", "d", "c", "z"),
+                         help="repeatable; default d")
+    p_sweep.add_argument("--sizes", default="1:16",
+                         help="inclusive range 'LO:HI' or list 'a,b,c' "
+                         "of square sizes (default 1:16)")
+    p_sweep.add_argument("--batch", type=int, default=16384)
+    p_sweep.add_argument("--repeats", type=int, default=1,
+                         help="measurement repeats (median)")
+    p_sweep.add_argument("--schedule-variants", action="store_true",
+                         help="also sweep unscheduled-kernel variants")
+    p_sweep.add_argument("--wall-clock", action="store_true",
+                         help="record compiled-backend host time as "
+                         "provenance (never the selection metric)")
+    p_sweep.add_argument("--check", action="store_true",
+                         help="verify reload + identical re-sweep are "
+                         "bit-identical (CI)")
+    p_sweep.add_argument("--quiet", action="store_true")
+
+    p_show = sub.add_parser("show", help="print DB stats and entries")
+    p_show.add_argument("--db", required=True, metavar="PATH")
+
+    p_exp = sub.add_parser("export", help="dump the DB as json or csv")
+    p_exp.add_argument("--db", required=True, metavar="PATH")
+    p_exp.add_argument("--format", choices=("json", "csv"), default="json")
+
+    sub.add_parser("self-check", help="end-to-end smoke test of the "
+                   "tuning subsystem (CI)")
+
+    args = parser.parse_args(argv)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "show":
+        return _cmd_show(args)
+    if args.command == "export":
+        return _cmd_export(args)
+    if args.command == "self-check":
+        return _cmd_self_check(args)
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

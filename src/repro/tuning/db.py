@@ -1,0 +1,284 @@
+"""The persistent, per-machine TuningDB.
+
+The install-time sweep (:mod:`repro.tuning.tuner`) measures every
+candidate plan on the machine model and stores only the *winners* here;
+the run-time stage (:class:`repro.runtime.iatf.IATF`) looks decisions
+up by problem key and falls back to the analytic CMAR choice on a miss.
+Design constraints, in order:
+
+* **never crash the caller** — a missing, truncated, hand-edited, or
+  future-schema file loads as an *empty* DB with ``corrupt`` set; the
+  runtime sees only misses (plus a ``tuning.fallback`` counter) and
+  keeps serving analytic plans;
+* **atomic persistence** — ``save`` writes a sibling temp file and
+  ``os.replace``\\ s it over the target, so a crashed sweep can never
+  leave a half-written DB for the next process to trip over;
+* **versioned schema** — the file carries ``schema`` (file format) and
+  each record carries ``tuner_version`` (search-procedure provenance),
+  so a reader can tell *how* a decision was produced;
+* **deterministic serialization** — keys are sorted and floats are
+  written as-is, so sweep -> save -> load -> save is byte-stable and
+  two identical sweeps produce identical files (the CI reproducibility
+  check relies on this).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+
+from .. import obs
+
+__all__ = ["SCHEMA_VERSION", "TUNER_VERSION", "TuningKey", "TuningRecord",
+           "TuningDB"]
+
+SCHEMA_VERSION = 1
+"""File-format version; a loader rejects files from a different major."""
+
+TUNER_VERSION = 1
+"""Search-procedure version stamped into every record's provenance."""
+
+
+@dataclass(frozen=True)
+class TuningKey:
+    """The lookup key: one problem configuration on one machine.
+
+    ``mode`` is the routine's full flag string ("NN".."TT" for GEMM;
+    side/trans/uplo/diag e.g. "LNLN" for TRSM); ``k`` is 0 for TRSM.
+    Batch size is deliberately *not* part of the key — decisions are
+    shape-driven and the record stores the batch it was tuned at as
+    provenance.
+    """
+
+    machine: str
+    op: str                       # "gemm" | "trsm"
+    dtype: str                    # "s" | "d" | "c" | "z"
+    m: int
+    n: int
+    k: int
+    mode: str
+
+    SEP = "|"
+
+    def encode(self) -> str:
+        """The stable string form used as the JSON dict key."""
+        return self.SEP.join((self.machine, self.op, self.dtype,
+                              str(self.m), str(self.n), str(self.k),
+                              self.mode))
+
+    @classmethod
+    def decode(cls, text: str) -> "TuningKey":
+        parts = text.split(cls.SEP)
+        # machine names may themselves contain the separator-free chars
+        # only; reject anything that does not split into exactly 7
+        if len(parts) != 7:
+            raise ValueError(f"malformed tuning key {text!r}")
+        machine, op, dtype, m, n, k, mode = parts
+        return cls(machine, op, dtype, int(m), int(n), int(k), mode)
+
+    @classmethod
+    def for_gemm(cls, machine_name: str, problem) -> "TuningKey":
+        return cls(machine_name, "gemm", problem.dtype.value,
+                   problem.m, problem.n, problem.k, problem.mode)
+
+    @classmethod
+    def for_trsm(cls, machine_name: str, problem) -> "TuningKey":
+        return cls(machine_name, "trsm", problem.dtype.value,
+                   problem.m, problem.n, 0, problem.mode)
+
+
+@dataclass(frozen=True)
+class TuningRecord:
+    """One stored decision plus the provenance that justifies it.
+
+    ``main`` is the winning main-kernel preference (``None`` for TRSM,
+    whose kernel family is fixed); ``force_pack`` is the winning
+    pack-selector override (``False`` means the analytic rule won).
+    Everything else is provenance: the winner's simulated cycles, how
+    big the swept space was, which tuner produced it, and the batch /
+    repeat settings it was measured under.
+    """
+
+    main: "tuple[int, int] | None"
+    force_pack: bool
+    schedule: bool
+    cycles: float
+    gflops: float
+    candidates: int
+    tuner_version: int
+    batch: int
+    repeats: int = 1
+
+    def to_dict(self) -> dict:
+        return {
+            "main": list(self.main) if self.main is not None else None,
+            "force_pack": self.force_pack,
+            "schedule": self.schedule,
+            "cycles": self.cycles,
+            "gflops": self.gflops,
+            "candidates": self.candidates,
+            "tuner_version": self.tuner_version,
+            "batch": self.batch,
+            "repeats": self.repeats,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TuningRecord":
+        if not isinstance(d, dict):
+            raise ValueError(f"tuning record must be an object, got {d!r}")
+        try:
+            main = d["main"]
+            if main is not None:
+                if (not isinstance(main, (list, tuple)) or len(main) != 2):
+                    raise ValueError(f"bad main kernel {main!r}")
+                main = (int(main[0]), int(main[1]))
+            return cls(
+                main=main,
+                force_pack=bool(d["force_pack"]),
+                schedule=bool(d["schedule"]),
+                cycles=float(d["cycles"]),
+                gflops=float(d["gflops"]),
+                candidates=int(d["candidates"]),
+                tuner_version=int(d["tuner_version"]),
+                batch=int(d["batch"]),
+                repeats=int(d.get("repeats", 1)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"invalid tuning record: {exc}") from exc
+
+
+@dataclass
+class TuningDB:
+    """Schema-versioned map from :class:`TuningKey` to the sweep winner."""
+
+    path: "str | os.PathLike | None" = None
+    corrupt: bool = False
+    """True when ``load`` found a file it could not trust; the runtime
+    treats every lookup against a corrupt DB as a fallback, never an
+    error."""
+    corrupt_reason: str = ""
+    version: int = SCHEMA_VERSION
+    _entries: "dict[str, TuningRecord]" = field(default_factory=dict)
+
+    # -- lookup / mutation -----------------------------------------------
+
+    def get(self, key: TuningKey) -> "TuningRecord | None":
+        return self._entries.get(key.encode())
+
+    def put(self, key: TuningKey, record: TuningRecord) -> None:
+        self._entries[key.encode()] = record
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: TuningKey) -> bool:
+        return key.encode() in self._entries
+
+    def items(self) -> "list[tuple[TuningKey, TuningRecord]]":
+        """(key, record) pairs in sorted key order."""
+        return [(TuningKey.decode(k), self._entries[k])
+                for k in sorted(self._entries)]
+
+    def stats(self) -> dict:
+        """Summary counts per (machine, op) for `show`/explain output."""
+        per: dict[str, int] = {}
+        for k in self._entries:
+            key = TuningKey.decode(k)
+            bucket = f"{key.machine}/{key.op}"
+            per[bucket] = per.get(bucket, 0) + 1
+        return {"entries": len(self._entries), "schema": self.version,
+                "corrupt": self.corrupt, "per_machine_op": per}
+
+    # -- persistence ------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Canonical serialized form (sorted keys, stable floats)."""
+        doc = {
+            "schema": self.version,
+            "tuner_version": TUNER_VERSION,
+            "entries": {k: self._entries[k].to_dict()
+                        for k in sorted(self._entries)},
+        }
+        return json.dumps(doc, indent=2, sort_keys=True)
+
+    def save(self, path: "str | os.PathLike | None" = None) -> str:
+        """Atomically persist to ``path`` (or the path loaded from).
+
+        Writes a temp file in the destination directory and
+        ``os.replace``\\ s it into place so readers never observe a
+        partial file, even across a crash mid-write.
+        """
+        target = os.fspath(path if path is not None else self.path)
+        if target is None:
+            raise ValueError("TuningDB has no path to save to")
+        directory = os.path.dirname(os.path.abspath(target))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(prefix=".tuningdb.", suffix=".tmp",
+                                   dir=directory)
+        try:
+            with os.fdopen(fd, "w") as f:
+                f.write(self.to_json())
+                f.write("\n")
+            os.replace(tmp, target)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.path = target
+        obs.count("tuning.db.saves")
+        return target
+
+    @classmethod
+    def load(cls, path: "str | os.PathLike") -> "TuningDB":
+        """Load a DB file; **never raises** on bad content.
+
+        A missing file is an empty (healthy) DB — the natural state
+        before the first install-time sweep.  Anything unparseable or
+        schema-incompatible yields an empty DB flagged ``corrupt``;
+        the runtime then counts ``tuning.fallback`` per lookup and
+        keeps using analytic selection.
+        """
+        db = cls(path=os.fspath(path))
+        try:
+            with open(path, "r") as f:
+                raw = f.read()
+        except FileNotFoundError:
+            obs.count("tuning.db.missing")
+            return db
+        except OSError as exc:
+            return db._mark_corrupt(f"unreadable: {exc}")
+        try:
+            doc = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            return db._mark_corrupt(f"invalid JSON: {exc}")
+        if not isinstance(doc, dict):
+            return db._mark_corrupt("top level is not an object")
+        schema = doc.get("schema")
+        if schema != SCHEMA_VERSION:
+            return db._mark_corrupt(
+                f"schema {schema!r} != supported {SCHEMA_VERSION}")
+        entries = doc.get("entries")
+        if not isinstance(entries, dict):
+            return db._mark_corrupt("'entries' is not an object")
+        loaded: dict[str, TuningRecord] = {}
+        try:
+            for k, v in entries.items():
+                TuningKey.decode(k)          # validates the key shape
+                loaded[k] = TuningRecord.from_dict(v)
+        except ValueError as exc:
+            return db._mark_corrupt(str(exc))
+        db._entries = loaded
+        obs.count("tuning.db.loads")
+        obs.gauge("tuning.db.entries", len(loaded))
+        return db
+
+    def _mark_corrupt(self, reason: str) -> "TuningDB":
+        self.corrupt = True
+        self.corrupt_reason = reason
+        self._entries = {}
+        obs.count("tuning.db.corrupt")
+        return self

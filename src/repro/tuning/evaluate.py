@@ -1,0 +1,158 @@
+"""Candidate measurement for the install-time sweep.
+
+The primary metric is the machine simulator's cycle model
+(:meth:`repro.runtime.engine.Engine.time_plan`): deterministic, exact,
+and the same model the run-time stage's empirical autotune uses, so
+tuned and analytic selections are compared on identical terms.
+Optionally a candidate is *also* replayed for wall-clock time on a real
+executor backend (the compiled command-stream replayer by default) over
+a small random batch — host-time provenance for the DB, never the
+selection metric (host timing is noisy; the cycle model is the
+simulated silicon).
+
+``repeats``/median controls exist for both paths.  They are a no-op for
+the cycle model (every repeat returns the same number — asserted by the
+self-check) and genuinely reduce variance for wall clock.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import obs
+from ..codegen.registry import KernelRegistry
+from ..machine.machines import MachineConfig
+from ..runtime.engine import Engine
+from ..runtime.plan import ExecutionPlan, build_gemm_plan, build_trsm_plan
+from ..types import GemmProblem, TrsmProblem
+from .space import Candidate
+
+__all__ = ["Measurement", "Evaluator"]
+
+WALL_CLOCK_BATCH_CAP = 512
+"""Wall-clock replays cap the batch: host time scales linearly with
+groups, so a small batch ranks candidates just as well."""
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One candidate's measured cost."""
+
+    cycles: float                 # simulated, whole batch (the metric)
+    gflops: float
+    repeats: int
+    wall_seconds: "float | None" = None
+
+
+class Evaluator:
+    """Builds and measures candidate plans for one machine.
+
+    Holds one :class:`KernelRegistry` per schedule variant so repeated
+    evaluations share generated kernels, and one timing engine (timing
+    is backend-independent, so a single engine serves every candidate).
+    """
+
+    def __init__(self, machine: MachineConfig, *, repeats: int = 1,
+                 wall_clock: bool = False, rng_seed: int = 20220829) -> None:
+        if repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        self.machine = machine
+        self.repeats = repeats
+        self.wall_clock = wall_clock
+        self._registries: "dict[bool, KernelRegistry]" = {}
+        self._engine = Engine(machine)
+        self._rng_seed = rng_seed
+
+    def registry(self, schedule: bool = True) -> KernelRegistry:
+        reg = self._registries.get(schedule)
+        if reg is None:
+            reg = KernelRegistry(self.machine, optimize=schedule)
+            self._registries[schedule] = reg
+        return reg
+
+    # -- plan construction ------------------------------------------------
+
+    def build_plan(self, problem, cand: Candidate) -> ExecutionPlan:
+        """The exact plan the run-time stage would build for this
+        candidate's decisions — same builders, same arguments, which is
+        what makes a reloaded DB reproduce decisions bit-identically."""
+        reg = self.registry(cand.schedule)
+        if isinstance(problem, GemmProblem):
+            return build_gemm_plan(problem, self.machine, reg,
+                                   force_pack=cand.force_pack,
+                                   main_override=cand.main)
+        if isinstance(problem, TrsmProblem):
+            return build_trsm_plan(problem, self.machine, reg,
+                                   force_pack=cand.force_pack)
+        raise TypeError(f"cannot tune {type(problem).__name__}")
+
+    # -- measurement ------------------------------------------------------
+
+    def evaluate(self, problem, cand: Candidate) -> Measurement:
+        """Measure one candidate; median over ``repeats``."""
+        with obs.span("tuning.evaluate", candidate=cand.label):
+            plan = self.build_plan(problem, cand)
+            cycle_samples = [self._engine.time_plan(plan).total_cycles
+                             for _ in range(self.repeats)]
+            cycles = statistics.median(cycle_samples)
+            gflops = self.machine.gflops(problem.flops, cycles)
+            wall = (self._measure_wall_clock(problem, plan, cand)
+                    if self.wall_clock else None)
+        obs.count("tuning.eval.candidates")
+        return Measurement(cycles=cycles, gflops=gflops,
+                           repeats=self.repeats, wall_seconds=wall)
+
+    def _measure_wall_clock(self, problem, plan: ExecutionPlan,
+                            cand: Candidate) -> float:
+        """Best-of-``repeats`` host seconds executing the plan on the
+        candidate's backend over a capped random batch."""
+        from ..layout.compact import CompactBatch
+
+        dt = problem.dtype
+        lanes = self.machine.lanes(dt)
+        small = min(problem.batch, WALL_CLOCK_BATCH_CAP)
+        rng = np.random.default_rng(self._rng_seed)
+
+        def batch_of(rows: int, cols: int, spd: bool = False) -> CompactBatch:
+            mats = rng.uniform(0.1, 1.0, (small, rows, cols))
+            if dt.is_complex:
+                mats = mats + 1j * rng.uniform(0.1, 1.0, mats.shape)
+            if spd:                      # well-conditioned triangular A
+                mats = np.tril(mats) + 3.0 * np.eye(rows)
+            return CompactBatch.from_matrices(mats.astype(dt.np_dtype),
+                                              lanes, dt)
+
+        engine = Engine(self.machine, backend=cand.backend)
+        if isinstance(problem, GemmProblem):
+            p = problem.with_batch(small)
+            reg = self.registry(cand.schedule)
+            small_plan = build_gemm_plan(p, self.machine, reg,
+                                         force_pack=cand.force_pack,
+                                         main_override=cand.main)
+            a = batch_of(*p.a_shape)
+            b = batch_of(*p.b_shape)
+            c = batch_of(*p.c_shape)
+            run = lambda: engine.execute_gemm(small_plan, a, b, c)
+        else:
+            p = TrsmProblem(problem.m, problem.n, dt, problem.side,
+                            problem.uplo, problem.transa, problem.diag,
+                            small, problem.alpha)
+            reg = self.registry(cand.schedule)
+            small_plan = build_trsm_plan(p, self.machine, reg,
+                                         force_pack=cand.force_pack)
+            a = batch_of(p.a_dim, p.a_dim, spd=True)
+            b = batch_of(*p.b_shape)
+            run = lambda: engine.execute_trsm(small_plan, a, b)
+
+        run()                            # warm: lowering + allocations
+        best = float("inf")
+        for _ in range(self.repeats):
+            t0 = time.perf_counter()
+            run()
+            best = min(best, time.perf_counter() - t0)
+        obs.observe("tuning.eval.wall_seconds", best)
+        return best

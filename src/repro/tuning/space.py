@@ -1,0 +1,144 @@
+"""Candidate-space enumeration for the install-time sweep.
+
+A *candidate* is one complete configuration of the run-time stage's
+tunable choices for a problem shape:
+
+* the main-kernel preference ``(mc, nc)``, drawn from the
+  register-feasible sizes the CMAR budget (:mod:`repro.codegen.cmar`)
+  allows and the tile decomposer supports;
+* the pack-selector override (``force_pack``: sweep the packed variant
+  even where the analytic rule would take the no-pack fast path);
+* the kernel-optimizer schedule variant (scheduled vs template order,
+  :mod:`repro.codegen.optimizer`) — optional, off by default because
+  the scheduled kernels win essentially always and the unscheduled
+  registry doubles generation cost;
+* the executor backend the optional wall-clock measurement replays on
+  (cycle-model measurements are backend-independent by construction).
+
+The first candidate returned is always the **analytic choice** — the
+CMAR-optimal main kernel with the analytic pack rule — and the tuner
+only replaces it on a *strictly* better measurement, which is what
+makes the tuned selection never worse than the analytic one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..codegen.cmar import cmar_complex, cmar_real, fits_registers
+from ..machine.machines import MachineConfig
+from ..types import BlasDType, GemmProblem, TrsmProblem
+
+__all__ = ["Candidate", "size_class", "feasible_gemm_mains",
+           "enumerate_gemm_space", "enumerate_trsm_space"]
+
+DECOMPOSABLE_MAINS = (2, 3, 4)
+"""Main-kernel sizes the tile decomposer accepts per dimension."""
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One point of the tuning space (see module docstring)."""
+
+    main: "tuple[int, int] | None"    # None for TRSM (fixed family)
+    force_pack: bool = False
+    schedule: bool = True
+    backend: str = "compiled"
+
+    @property
+    def label(self) -> str:
+        parts = []
+        if self.main is not None:
+            parts.append(f"{self.main[0]}x{self.main[1]}")
+        parts.append("pack" if self.force_pack else "auto")
+        if not self.schedule:
+            parts.append("unscheduled")
+        return "/".join(parts)
+
+    def describe(self) -> dict:
+        return {"main": self.main, "force_pack": self.force_pack,
+                "schedule": self.schedule, "backend": self.backend}
+
+
+def size_class(m: int, n: int, k: int = 0) -> str:
+    """Coarse shape bucket the sweep reports per entry.
+
+    The buckets track where each run-time decision can still move the
+    needle: ``micro`` problems are single-tile (packing and tiling are
+    mostly settled), ``small``/``medium`` have real tiling freedom, and
+    ``large`` shapes exceed the paper's 1..33 sweep where per-call
+    overheads vanish into the kernels.
+    """
+    top = max(m, n, k)
+    if top <= 4:
+        return "micro"
+    if top <= 12:
+        return "small"
+    if top <= 33:
+        return "medium"
+    return "large"
+
+
+def feasible_gemm_mains(dtype: "BlasDType | str",
+                        num_vregs: int = 32) -> "list[tuple[int, int]]":
+    """Register-feasible main-kernel preferences, best CMAR first.
+
+    Reuses the CMAR budget: a ping-ponged ``(mc, nc)`` kernel must fit
+    the register file, and both dimensions must be sizes the tile
+    decomposer can use as a main.  Sorting is by the dtype's CMAR
+    metric, tie-breaking toward the taller kernel exactly like
+    :func:`repro.codegen.cmar.optimal_gemm_kernel`, so the head of this
+    list *is* the analytic optimum whenever it lies on the grid.
+    """
+    dt = BlasDType.from_any(dtype)
+    metric = cmar_complex if dt.is_complex else cmar_real
+    mains = [(mc, nc)
+             for mc in DECOMPOSABLE_MAINS for nc in DECOMPOSABLE_MAINS
+             if fits_registers(mc, nc, dt, num_vregs)]
+    mains.sort(key=lambda p: (metric(*p), p[0], p[1]), reverse=True)
+    return mains
+
+
+def enumerate_gemm_space(problem: GemmProblem, machine: MachineConfig,
+                         schedule_variants: bool = False
+                         ) -> "list[Candidate]":
+    """All candidates the sweep measures for one GEMM shape.
+
+    Pack variants are pruned where they cannot change the plan: the
+    ``force_pack`` candidate only exists for mains whose analytic
+    decision leaves at least one operand on the no-pack fast path
+    (otherwise the two plans are identical and would waste a
+    measurement).  Schedule variants double the space and are opt-in.
+    """
+    from ..codegen.tiling import decompose_dim
+    from ..runtime.pack_selector import select_gemm_packing
+
+    out: list[Candidate] = []
+    for main in feasible_gemm_mains(problem.dtype, machine.num_vregs):
+        base = Candidate(main=main)
+        out.append(base)
+        decision = select_gemm_packing(
+            problem,
+            decompose_dim(problem.m, main[0]),
+            decompose_dim(problem.n, main[1]))
+        if not (decision.pack_a and decision.pack_b):
+            out.append(replace(base, force_pack=True))
+    if schedule_variants:
+        out.extend(replace(c, schedule=False) for c in list(out))
+    return out
+
+
+def enumerate_trsm_space(problem: TrsmProblem, machine: MachineConfig,
+                         schedule_variants: bool = False
+                         ) -> "list[Candidate]":
+    """Candidates for one TRSM shape.
+
+    The triangular/rectangular kernel family is fixed by the register
+    budget (Table 1), so the TRSM space is the pack-selector choice —
+    the analytic rule vs the forced panel pack — times the optional
+    schedule variants.
+    """
+    out = [Candidate(main=None), Candidate(main=None, force_pack=True)]
+    if schedule_variants:
+        out.extend(replace(c, schedule=False) for c in list(out))
+    return out

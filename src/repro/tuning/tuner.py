@@ -1,0 +1,154 @@
+"""The install-time sweep: enumerate, measure, persist winners.
+
+This is the paper's install-time stage made *empirical* (the IAAT
+direction): instead of trusting the closed-form CMAR argmax alone, the
+tuner times every register-feasible candidate plan on the machine model
+and records the winner — with full provenance — in the
+:class:`~repro.tuning.db.TuningDB` the run-time stage consults.
+
+Selection invariant: the analytic candidate (CMAR-optimal main kernel,
+analytic pack rule) is always measured, measured *first*, and only a
+**strictly** cheaper candidate replaces it.  Ties keep the analytic
+choice, so a tuned selection is never worse than the analytic one and
+the sweep is deterministic (the cycle model is exact, candidate order
+is fixed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import obs
+from ..machine.machines import MachineConfig
+from ..types import GemmProblem, TrsmProblem
+from .db import TUNER_VERSION, TuningDB, TuningKey, TuningRecord
+from .evaluate import Evaluator, Measurement
+from .space import (Candidate, enumerate_gemm_space, enumerate_trsm_space,
+                    size_class)
+
+__all__ = ["TuneOutcome", "tune_problem", "sweep"]
+
+
+@dataclass(frozen=True)
+class TuneOutcome:
+    """The result of tuning one problem shape."""
+
+    key: TuningKey
+    record: TuningRecord
+    sweep: "tuple[dict, ...]"      # every candidate with its measurement
+    improved: bool                 # a non-analytic candidate won strictly
+
+    @property
+    def analytic_cycles(self) -> float:
+        return self.sweep[0]["cycles"]
+
+    def describe(self) -> str:
+        head = (f"{self.key.op} {self.key.dtype} "
+                f"{self.key.m}x{self.key.n}x{self.key.k} {self.key.mode}: ")
+        win = self.record
+        label = Candidate(win.main, win.force_pack, win.schedule).label
+        if self.improved:
+            gain = self.analytic_cycles / win.cycles
+            return (head + f"tuned {label} wins "
+                    f"({win.cycles:.0f} cycles, {gain:.3f}x vs analytic, "
+                    f"{win.candidates} candidates)")
+        return (head + f"analytic {label} holds "
+                f"({win.cycles:.0f} cycles, {win.candidates} candidates)")
+
+
+def _space_for(problem, machine: MachineConfig,
+               schedule_variants: bool) -> "list[Candidate]":
+    if isinstance(problem, GemmProblem):
+        return enumerate_gemm_space(problem, machine, schedule_variants)
+    if isinstance(problem, TrsmProblem):
+        return enumerate_trsm_space(problem, machine, schedule_variants)
+    raise TypeError(f"cannot tune {type(problem).__name__}")
+
+
+def _key_for(problem, machine: MachineConfig) -> TuningKey:
+    if isinstance(problem, GemmProblem):
+        return TuningKey.for_gemm(machine.name, problem)
+    return TuningKey.for_trsm(machine.name, problem)
+
+
+def tune_problem(problem, machine: MachineConfig, *,
+                 evaluator: "Evaluator | None" = None,
+                 repeats: int = 1, schedule_variants: bool = False,
+                 wall_clock: bool = False) -> TuneOutcome:
+    """Sweep one problem shape and return the winner + full sweep."""
+    ev = evaluator or Evaluator(machine, repeats=repeats,
+                                wall_clock=wall_clock)
+    candidates = _space_for(problem, machine, schedule_variants)
+    klass = size_class(problem.m, problem.n,
+                       getattr(problem, "k", 0))
+    sweep_rows: list[dict] = []
+    best_cand: Candidate = candidates[0]
+    best: "Measurement | None" = None
+    with obs.span("tuning.tune_problem", op=_key_for(problem, machine).op,
+                  size_class=klass, candidates=len(candidates)):
+        for cand in candidates:
+            meas = ev.evaluate(problem, cand)
+            sweep_rows.append({"candidate": cand.label,
+                               **cand.describe(),
+                               "cycles": meas.cycles,
+                               "gflops": meas.gflops,
+                               "wall_seconds": meas.wall_seconds})
+            # strict improvement only: ties keep the earlier (analytic-
+            # first) candidate, making "tuned never worse" structural
+            if best is None or meas.cycles < best.cycles:
+                best, best_cand = meas, cand
+    assert best is not None
+    record = TuningRecord(
+        main=best_cand.main,
+        force_pack=best_cand.force_pack,
+        schedule=best_cand.schedule,
+        cycles=best.cycles,
+        gflops=best.gflops,
+        candidates=len(candidates),
+        tuner_version=TUNER_VERSION,
+        batch=problem.batch,
+        repeats=ev.repeats,
+    )
+    obs.count("tuning.sweep.problems")
+    improved = best_cand != candidates[0]
+    if improved:
+        obs.count("tuning.sweep.improved")
+    return TuneOutcome(key=_key_for(problem, machine), record=record,
+                       sweep=tuple(sweep_rows), improved=improved)
+
+
+def sweep(db: TuningDB, machine: MachineConfig, *,
+          ops=("gemm", "trsm"), dtypes=("d",), sizes=(4, 8, 16),
+          batch: int = 16384, repeats: int = 1,
+          schedule_variants: bool = False, wall_clock: bool = False,
+          progress=None) -> "list[TuneOutcome]":
+    """Tune square problems over a size grid and store winners in ``db``.
+
+    This is the "Table 1 sweep" entry point: for each requested op and
+    dtype it walks the square sizes (GEMM ``n x n x n`` NN, TRSM
+    ``n x n`` LNLN — the paper's protocol shapes) and upserts one
+    record per shape.  ``progress`` is an optional callable given each
+    :class:`TuneOutcome` as it lands (the CLI prints them live).
+    """
+    ev = Evaluator(machine, repeats=repeats, wall_clock=wall_clock)
+    outcomes: list[TuneOutcome] = []
+    with obs.span("tuning.sweep", ops=",".join(ops),
+                  dtypes=",".join(dtypes), sizes=len(sizes)):
+        for op in ops:
+            for dt in dtypes:
+                for n in sizes:
+                    if op == "gemm":
+                        problem = GemmProblem(n, n, n, dt, batch=batch)
+                    elif op == "trsm":
+                        problem = TrsmProblem(n, n, dt, batch=batch)
+                    else:
+                        raise ValueError(f"unknown op {op!r}")
+                    outcome = tune_problem(
+                        problem, machine, evaluator=ev,
+                        schedule_variants=schedule_variants)
+                    db.put(outcome.key, outcome.record)
+                    outcomes.append(outcome)
+                    if progress is not None:
+                        progress(outcome)
+    obs.count("tuning.sweeps")
+    return outcomes

@@ -58,6 +58,60 @@ class TestOptima:
         assert cmar_real(m2, n2) >= cmar_real(m1, n1)
 
 
+class TestNonDefaultRegisterFiles:
+    """The budget generalizes beyond ARMv8's 32 vregs: a 16-register
+    machine (AArch32-like) and a 64-register one (SVE-like) must give
+    the closed-form optima, and the brute force must agree."""
+
+    def test_real_16_vregs_optimum(self):
+        # feasible maxima: 2m+2n+mn <= 16 -> (3,2)/(2,3) at CMAR 1.2;
+        # the tie-break keeps the taller kernel
+        assert optimal_gemm_kernel("d", 16) == (3, 2)
+        assert register_cost(3, 2, "d") == 16          # exactly the budget
+        assert fits_registers(3, 2, "d", 16)
+        assert not fits_registers(3, 3, "d", 16)       # 21 > 16
+
+    def test_complex_16_vregs_optimum_and_tiebreak(self):
+        # (2,1) and (1,2) tie at CMAR 4/3; taller kernel wins
+        assert optimal_gemm_kernel("z", 16) == (2, 1)
+        assert cmar_complex(2, 1) == pytest.approx(cmar_complex(1, 2))
+        assert register_cost(2, 1, "z") == 16
+        assert not fits_registers(2, 2, "z", 16)       # 24 > 16
+
+    def test_real_64_vregs_optimum(self):
+        # (6,6) costs 60 <= 64 at CMAR 3.0; no feasible point beats it
+        assert optimal_gemm_kernel("d", 64) == (6, 6)
+        assert register_cost(6, 6, "d") == 60
+        assert not fits_registers(7, 6, "d", 64)       # 68 > 64
+
+    def test_complex_64_vregs_optimum(self):
+        # complex at 64 regs has the same feasible set as real at 32
+        # (every term doubles), so the optimum is 4x4 again
+        assert optimal_gemm_kernel("z", 64) == (4, 4)
+        assert register_cost(4, 4, "z") == 64
+
+    @pytest.mark.parametrize("dtype", ["d", "z"])
+    @pytest.mark.parametrize("num_vregs", [16, 64])
+    def test_bruteforce_agrees_with_feasibility(self, dtype, num_vregs):
+        """The returned optimum is feasible and no feasible point has a
+        strictly higher CMAR (ties resolved toward larger mc, then nc)."""
+        mc, nc = optimal_gemm_kernel(dtype, num_vregs)
+        metric = cmar_complex if dtype == "z" else cmar_real
+        assert fits_registers(mc, nc, dtype, num_vregs)
+        best = (metric(mc, nc), mc, nc)
+        for m in range(1, num_vregs + 1):
+            for n in range(1, num_vregs + 1):
+                if fits_registers(m, n, dtype, num_vregs):
+                    assert (metric(m, n), m, n) <= best
+
+    def test_triangular_bound_scales_with_registers(self):
+        assert max_triangular_order("d", 16) == 3   # M=4 needs 18 > 16
+        assert max_triangular_order("d", 64) == 9   # M=9 needs 63 <= 64
+        # verify the boundary arithmetic explicitly
+        assert 2 * 9 + 9 * 10 // 2 == 63 <= 64
+        assert 2 * 10 + 10 * 11 // 2 == 75 > 64
+
+
 class TestTriangularBound:
     @pytest.mark.parametrize("dtype", ["s", "d"])
     def test_real_bound_is_5(self, dtype):

@@ -54,3 +54,44 @@ class TestGroupsPerRound:
         ws = 1024
         assert groups_per_round(ws, XEON_GOLD_6240) < \
             groups_per_round(ws, KUNPENG_920)
+
+
+class TestTotalGroupsClamp:
+    """Regression: a round must never claim more groups than the batch
+    actually has — tiny batches of tiny matrices used to report rounds
+    of hundreds of phantom groups."""
+
+    def test_clamped_to_total_groups(self):
+        p = GemmProblem(2, 2, 2, "d")
+        ws = gemm_group_working_bytes(p, KUNPENG_920)
+        unclamped = groups_per_round(ws, KUNPENG_920)
+        assert unclamped > 4                 # tiny working set, big L1
+        assert groups_per_round(ws, KUNPENG_920, total_groups=4) == 4
+
+    def test_no_clamp_when_batch_is_larger(self):
+        ws = KUNPENG_920.l1.size // 8
+        assert groups_per_round(ws, KUNPENG_920, total_groups=1000) == 8
+
+    def test_clamp_never_below_one(self):
+        # one group over L1 still yields one group regardless of clamp
+        assert groups_per_round(10 * KUNPENG_920.l1.size, KUNPENG_920,
+                                total_groups=1) == 1
+
+    def test_default_is_unclamped(self):
+        ws = 1024
+        assert groups_per_round(ws, KUNPENG_920) == \
+            KUNPENG_920.l1.size // ws
+
+    def test_rejects_nonpositive_total(self):
+        with pytest.raises(ValueError):
+            groups_per_round(1024, KUNPENG_920, total_groups=0)
+
+    def test_plan_rounds_cover_batch_exactly(self):
+        """End to end: a plan for a tiny batch reports a round no larger
+        than its group count."""
+        from repro import IATF
+
+        iatf = IATF(KUNPENG_920)
+        plan = iatf.plan_gemm(GemmProblem(2, 2, 2, "d", batch=8))
+        assert plan.groups_per_round <= plan.groups
+        assert plan.groups_per_round == plan.groups  # clamp engaged here

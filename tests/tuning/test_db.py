@@ -1,0 +1,143 @@
+"""TuningDB: versioned persistence that can never crash the runtime."""
+
+import json
+import os
+
+import pytest
+
+from repro.tuning.db import (SCHEMA_VERSION, TUNER_VERSION, TuningDB,
+                             TuningKey, TuningRecord)
+from repro.types import GemmProblem, TrsmProblem
+
+
+def _record(main=(4, 4), force_pack=False, cycles=1000.0):
+    return TuningRecord(main=main, force_pack=force_pack, schedule=True,
+                        cycles=cycles, gflops=12.5, candidates=9,
+                        tuner_version=TUNER_VERSION, batch=16384)
+
+
+class TestKeys:
+    def test_encode_decode_roundtrip(self):
+        key = TuningKey("Kunpeng 920", "gemm", "d", 9, 9, 9, "NN")
+        assert TuningKey.decode(key.encode()) == key
+
+    def test_for_gemm_carries_mode(self):
+        p = GemmProblem(4, 6, 8, "z", transa="T", batch=64)
+        key = TuningKey.for_gemm("M", p)
+        assert (key.op, key.dtype, key.mode) == ("gemm", "z", "TN")
+        assert (key.m, key.n, key.k) == (4, 6, 8)
+
+    def test_for_trsm_has_zero_k_and_full_mode(self):
+        p = TrsmProblem(5, 7, "d", side="R", uplo="U", batch=64)
+        key = TuningKey.for_trsm("M", p)
+        assert key.k == 0
+        assert key.op == "trsm"
+        assert len(key.mode) == 4
+
+    def test_batch_not_in_key(self):
+        a = TuningKey.for_gemm("M", GemmProblem(4, 4, 4, "d", batch=64))
+        b = TuningKey.for_gemm("M", GemmProblem(4, 4, 4, "d", batch=4096))
+        assert a == b
+
+    def test_malformed_key_rejected(self):
+        with pytest.raises(ValueError):
+            TuningKey.decode("not|enough|parts")
+
+
+class TestRecords:
+    def test_roundtrip(self):
+        rec = _record()
+        assert TuningRecord.from_dict(rec.to_dict()) == rec
+
+    def test_none_main_roundtrip(self):
+        rec = _record(main=None)
+        assert TuningRecord.from_dict(rec.to_dict()).main is None
+
+    @pytest.mark.parametrize("mutate", [
+        lambda d: d.pop("cycles"),
+        lambda d: d.update(main=[1, 2, 3]),
+        lambda d: d.update(candidates="many"),
+    ])
+    def test_invalid_dict_raises_valueerror(self, mutate):
+        d = _record().to_dict()
+        mutate(d)
+        with pytest.raises(ValueError):
+            TuningRecord.from_dict(d)
+
+
+class TestPersistence:
+    def test_save_load_bit_identical(self, tmp_path):
+        db = TuningDB(path=str(tmp_path / "t.json"))
+        key = TuningKey("M", "gemm", "d", 9, 9, 9, "NN")
+        db.put(key, _record())
+        db.save()
+        again = TuningDB.load(db.path)
+        assert not again.corrupt
+        assert again.to_json() == db.to_json()
+        assert again.get(key) == _record()
+
+    def test_save_is_atomic_no_temp_residue(self, tmp_path):
+        db = TuningDB(path=str(tmp_path / "t.json"))
+        db.put(TuningKey("M", "gemm", "d", 4, 4, 4, "NN"), _record())
+        db.save()
+        db.save()                              # overwrite path too
+        assert sorted(os.listdir(tmp_path)) == ["t.json"]
+
+    def test_missing_file_loads_empty_healthy(self, tmp_path):
+        db = TuningDB.load(tmp_path / "absent.json")
+        assert not db.corrupt and len(db) == 0
+
+    def test_save_without_path_raises(self):
+        with pytest.raises((ValueError, TypeError)):
+            TuningDB().save()
+
+
+class TestCorruption:
+    """Every flavor of bad file must flag corrupt and never raise."""
+
+    @pytest.mark.parametrize("content", [
+        "{ not json",
+        "[]",
+        json.dumps({"entries": {}}),                        # no schema
+        json.dumps({"schema": SCHEMA_VERSION + 1, "entries": {}}),
+        json.dumps({"schema": SCHEMA_VERSION, "entries": [1]}),
+        json.dumps({"schema": SCHEMA_VERSION,
+                    "entries": {"badkey": {}}}),
+        json.dumps({"schema": SCHEMA_VERSION,
+                    "entries": {"M|gemm|d|4|4|4|NN": {"cycles": 1}}}),
+    ])
+    def test_bad_content_flags_corrupt(self, tmp_path, content):
+        path = tmp_path / "bad.json"
+        path.write_text(content)
+        db = TuningDB.load(path)
+        assert db.corrupt
+        assert db.corrupt_reason
+        assert len(db) == 0
+
+    def test_corrupt_counter_emitted(self, tmp_path):
+        from repro import obs
+
+        path = tmp_path / "bad.json"
+        path.write_text("garbage")
+        with obs.scoped() as reg:
+            TuningDB.load(path)
+        assert reg.snapshot()["counters"]["tuning.db.corrupt"] == 1
+
+
+class TestStats:
+    def test_stats_buckets(self):
+        db = TuningDB()
+        db.put(TuningKey("M", "gemm", "d", 4, 4, 4, "NN"), _record())
+        db.put(TuningKey("M", "gemm", "d", 8, 8, 8, "NN"), _record())
+        db.put(TuningKey("M", "trsm", "d", 4, 4, 0, "LNLN"),
+               _record(main=None))
+        s = db.stats()
+        assert s["entries"] == 3
+        assert s["per_machine_op"] == {"M/gemm": 2, "M/trsm": 1}
+
+    def test_items_sorted(self):
+        db = TuningDB()
+        db.put(TuningKey("M", "gemm", "d", 9, 9, 9, "NN"), _record())
+        db.put(TuningKey("M", "gemm", "d", 2, 2, 2, "NN"), _record())
+        keys = [k.encode() for k, _ in db.items()]
+        assert keys == sorted(keys)

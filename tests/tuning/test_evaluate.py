@@ -1,0 +1,73 @@
+"""Evaluator: cycle-model measurements, wall-clock provenance."""
+
+import pytest
+
+from repro.machine.machines import KUNPENG_920
+from repro.runtime.engine import Engine
+from repro.runtime.plan import build_gemm_plan
+from repro.tuning.evaluate import Evaluator, Measurement
+from repro.tuning.space import Candidate
+from repro.types import GemmProblem, TrsmProblem
+
+
+@pytest.fixture(scope="module")
+def ev():
+    return Evaluator(KUNPENG_920)
+
+
+class TestCycleModel:
+    def test_matches_engine_time_plan(self, ev):
+        """The evaluator's metric is exactly the runtime's cycle model
+        on exactly the runtime's plan — nothing bespoke in between."""
+        p = GemmProblem(6, 6, 6, "d", batch=256)
+        cand = Candidate(main=(3, 3))
+        meas = ev.evaluate(p, cand)
+        plan = build_gemm_plan(p, KUNPENG_920, ev.registry(True),
+                               main_override=(3, 3))
+        assert meas.cycles == Engine(KUNPENG_920).time_plan(plan).total_cycles
+
+    def test_deterministic_across_repeats(self):
+        p = GemmProblem(8, 8, 8, "d", batch=256)
+        one = Evaluator(KUNPENG_920, repeats=1).evaluate(p, Candidate((4, 4)))
+        five = Evaluator(KUNPENG_920, repeats=5).evaluate(p, Candidate((4, 4)))
+        assert one.cycles == five.cycles
+        assert five.repeats == 5
+
+    def test_trsm_candidates(self, ev):
+        p = TrsmProblem(4, 4, "d", batch=256)
+        auto = ev.evaluate(p, Candidate(None))
+        packed = ev.evaluate(p, Candidate(None, force_pack=True))
+        assert auto.cycles > 0 and packed.cycles > 0
+
+    def test_gflops_positive(self, ev):
+        meas = ev.evaluate(GemmProblem(4, 4, 4, "d", batch=256),
+                           Candidate((4, 4)))
+        assert meas.gflops > 0
+
+    def test_rejects_bad_repeats(self):
+        with pytest.raises(ValueError):
+            Evaluator(KUNPENG_920, repeats=0)
+
+    def test_registry_cached_per_schedule(self, ev):
+        assert ev.registry(True) is ev.registry(True)
+        assert ev.registry(True) is not ev.registry(False)
+
+
+class TestWallClock:
+    def test_wall_clock_recorded_as_provenance(self):
+        ev = Evaluator(KUNPENG_920, wall_clock=True)
+        meas = ev.evaluate(GemmProblem(4, 4, 4, "d", batch=64),
+                           Candidate((4, 4)))
+        assert meas.wall_seconds is not None
+        assert meas.wall_seconds > 0
+
+    def test_wall_clock_off_by_default(self):
+        meas = Evaluator(KUNPENG_920).evaluate(
+            GemmProblem(4, 4, 4, "d", batch=64), Candidate((4, 4)))
+        assert meas.wall_seconds is None
+
+    def test_trsm_wall_clock(self):
+        ev = Evaluator(KUNPENG_920, wall_clock=True)
+        meas = ev.evaluate(TrsmProblem(4, 4, "d", batch=64),
+                           Candidate(None))
+        assert meas.wall_seconds > 0

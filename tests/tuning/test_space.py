@@ -1,0 +1,106 @@
+"""Candidate-space enumeration: analytic first, feasible always."""
+
+import pytest
+
+from repro.codegen.cmar import fits_registers, optimal_gemm_kernel
+from repro.machine.machines import KUNPENG_920
+from repro.tuning.space import (Candidate, enumerate_gemm_space,
+                                enumerate_trsm_space, feasible_gemm_mains,
+                                size_class)
+from repro.types import GemmProblem, TrsmProblem
+
+
+class TestFeasibleMains:
+    @pytest.mark.parametrize("dtype", ["s", "d", "c", "z"])
+    def test_all_feasible_and_decomposable(self, dtype):
+        for mc, nc in feasible_gemm_mains(dtype):
+            assert fits_registers(mc, nc, dtype)
+            assert mc in (2, 3, 4) and nc in (2, 3, 4)
+
+    @pytest.mark.parametrize("dtype", ["s", "d", "c", "z"])
+    def test_head_is_analytic_optimum(self, dtype):
+        """The first candidate must be the CMAR argmax whenever that
+        argmax lies on the decomposable grid (it does for all four
+        dtypes at 32 vregs)."""
+        assert feasible_gemm_mains(dtype)[0] == optimal_gemm_kernel(dtype)
+
+    def test_real_has_nine_complex_three(self):
+        assert len(feasible_gemm_mains("d")) == 9
+        assert len(feasible_gemm_mains("z")) == 3
+
+    def test_reduced_register_file_shrinks_space(self):
+        assert len(feasible_gemm_mains("d", 16)) < \
+            len(feasible_gemm_mains("d", 32))
+
+
+class TestSizeClass:
+    @pytest.mark.parametrize("dims,klass", [
+        ((2, 2, 2), "micro"), ((4, 4, 4), "micro"),
+        ((5, 5, 5), "small"), ((12, 3, 3), "small"),
+        ((13, 13, 13), "medium"), ((33, 1, 1), "medium"),
+        ((34, 34, 34), "large"),
+    ])
+    def test_buckets(self, dims, klass):
+        assert size_class(*dims) == klass
+
+
+class TestGemmSpace:
+    def test_first_candidate_is_analytic(self):
+        p = GemmProblem(9, 9, 9, "d", batch=256)
+        space = enumerate_gemm_space(p, KUNPENG_920)
+        head = space[0]
+        assert head.main == optimal_gemm_kernel("d")
+        assert not head.force_pack
+        assert head.schedule
+
+    def test_pack_variant_only_where_nopack_possible(self):
+        # 4x9x4: A fits one row tile non-transposed -> no-pack possible
+        # for the (4, nc) mains, so those get a force_pack sibling
+        p = GemmProblem(4, 9, 4, "d", batch=256)
+        space = enumerate_gemm_space(p, KUNPENG_920)
+        packed = [c for c in space if c.force_pack]
+        assert packed                      # pruning kept some variants
+        mains_with_pack = {c.main for c in packed}
+        assert all(m[0] == 4 for m in mains_with_pack)
+
+    def test_fully_packed_shapes_have_no_pack_variants(self):
+        # 9x9: both dims need multiple tiles for every main except none;
+        # actually 9 = 3x3 tiles... multiple tiles -> both operands pack
+        p = GemmProblem(9, 9, 9, "d", transa="T", batch=256)
+        space = enumerate_gemm_space(p, KUNPENG_920)
+        assert all(not c.force_pack for c in space)
+
+    def test_schedule_variants_double_space(self):
+        p = GemmProblem(6, 6, 6, "d", batch=256)
+        base = enumerate_gemm_space(p, KUNPENG_920)
+        both = enumerate_gemm_space(p, KUNPENG_920, schedule_variants=True)
+        assert len(both) == 2 * len(base)
+        assert sum(1 for c in both if not c.schedule) == len(base)
+
+    def test_labels_unique(self):
+        p = GemmProblem(9, 9, 9, "d", batch=256)
+        space = enumerate_gemm_space(p, KUNPENG_920,
+                                     schedule_variants=True)
+        labels = [c.label for c in space]
+        assert len(labels) == len(set(labels))
+
+
+class TestTrsmSpace:
+    def test_pack_choice_is_the_space(self):
+        p = TrsmProblem(4, 4, "d", batch=256)
+        space = enumerate_trsm_space(p, KUNPENG_920)
+        assert [c.force_pack for c in space] == [False, True]
+        assert all(c.main is None for c in space)
+
+    def test_schedule_variants(self):
+        p = TrsmProblem(4, 4, "d", batch=256)
+        space = enumerate_trsm_space(p, KUNPENG_920,
+                                     schedule_variants=True)
+        assert len(space) == 4
+
+
+class TestCandidate:
+    def test_label_formats(self):
+        assert Candidate((3, 4)).label == "3x4/auto"
+        assert Candidate((2, 2), force_pack=True).label == "2x2/pack"
+        assert Candidate(None, schedule=False).label == "auto/unscheduled"

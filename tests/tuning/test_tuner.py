@@ -1,0 +1,114 @@
+"""Tuner invariants: determinism and never-worse-than-analytic."""
+
+import pytest
+
+from repro.machine.machines import A64FX, KUNPENG_920
+from repro.tuning import (TuningDB, Evaluator, sweep, tune_problem,
+                          TUNER_VERSION)
+from repro.tuning.db import TuningKey
+from repro.types import GemmProblem, TrsmProblem
+
+
+class TestTuneProblem:
+    def test_never_worse_than_analytic(self):
+        """Acceptance criterion: over the paper's size sweep, the tuned
+        selection's simulated cycles never exceed the analytic CMAR
+        choice's (ties keep analytic)."""
+        for n in (1, 2, 3, 5, 8, 9, 12, 16):
+            out = tune_problem(GemmProblem(n, n, n, "d", batch=512),
+                               KUNPENG_920)
+            assert out.record.cycles <= out.analytic_cycles
+
+    def test_ties_keep_analytic(self):
+        """Only a *strictly* cheaper candidate may replace the analytic
+        head: when the tuner reports no improvement, the stored record
+        must carry exactly the analytic candidate's decisions."""
+        out = tune_problem(GemmProblem(4, 4, 4, "d", batch=512),
+                           KUNPENG_920)
+        assert out.record.cycles <= out.analytic_cycles
+        if not out.improved:
+            head = out.sweep[0]
+            assert out.record.main == head["main"]
+            assert out.record.force_pack == head["force_pack"]
+
+    def test_deterministic(self):
+        p = GemmProblem(9, 9, 9, "d", batch=512)
+        a = tune_problem(p, KUNPENG_920)
+        b = tune_problem(p, KUNPENG_920)
+        assert a.record == b.record
+        assert a.sweep == b.sweep
+
+    def test_provenance_recorded(self):
+        out = tune_problem(GemmProblem(6, 6, 6, "d", batch=512),
+                           KUNPENG_920)
+        rec = out.record
+        assert rec.tuner_version == TUNER_VERSION
+        assert rec.candidates == len(out.sweep) >= 1
+        assert rec.batch == 512
+        assert rec.cycles > 0 and rec.gflops > 0
+
+    def test_trsm_tunes_pack_choice(self):
+        out = tune_problem(TrsmProblem(4, 4, "d", batch=512), KUNPENG_920)
+        assert out.record.main is None
+        assert out.record.candidates == 2
+        assert out.record.cycles <= out.analytic_cycles
+
+    def test_repeats_do_not_change_cycle_model(self):
+        p = GemmProblem(8, 8, 8, "d", batch=512)
+        one = tune_problem(p, KUNPENG_920,
+                           evaluator=Evaluator(KUNPENG_920, repeats=1))
+        three = tune_problem(p, KUNPENG_920,
+                             evaluator=Evaluator(KUNPENG_920, repeats=3))
+        assert one.record.cycles == three.record.cycles
+
+    def test_rejects_unknown_problem(self):
+        with pytest.raises(TypeError):
+            tune_problem(object(), KUNPENG_920)
+
+
+class TestSweep:
+    def test_populates_db_per_shape(self):
+        db = TuningDB()
+        outs = sweep(db, KUNPENG_920, ops=("gemm", "trsm"), dtypes=("d",),
+                     sizes=(3, 6), batch=256)
+        assert len(outs) == 4
+        assert len(db) == 4
+        key = TuningKey("Kunpeng 920", "gemm", "d", 3, 3, 3, "NN")
+        assert db.get(key) is not None
+
+    def test_sweep_keyed_by_machine(self):
+        db = TuningDB()
+        sweep(db, KUNPENG_920, ops=("gemm",), dtypes=("d",), sizes=(4,),
+              batch=256)
+        sweep(db, A64FX, ops=("gemm",), dtypes=("d",), sizes=(4,),
+              batch=256)
+        machines = {k.machine for k, _ in db.items()}
+        assert machines == {"Kunpeng 920", "Fujitsu A64FX"}
+
+    def test_resweep_is_idempotent(self):
+        db = TuningDB()
+        sweep(db, KUNPENG_920, ops=("gemm",), dtypes=("d",), sizes=(3, 9),
+              batch=256)
+        first = db.to_json()
+        sweep(db, KUNPENG_920, ops=("gemm",), dtypes=("d",), sizes=(3, 9),
+              batch=256)
+        assert db.to_json() == first
+
+    def test_progress_callback_sees_every_outcome(self):
+        seen = []
+        db = TuningDB()
+        sweep(db, KUNPENG_920, ops=("gemm",), dtypes=("d",), sizes=(2, 4),
+              batch=256, progress=seen.append)
+        assert len(seen) == 2
+        assert all(o.describe() for o in seen)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            sweep(TuningDB(), KUNPENG_920, ops=("syrk",), sizes=(4,))
+
+    def test_complex_dtype_sweeps(self):
+        db = TuningDB()
+        outs = sweep(db, KUNPENG_920, ops=("gemm",), dtypes=("z",),
+                     sizes=(4, 6), batch=128)
+        for o in outs:
+            assert o.record.cycles <= o.analytic_cycles
