@@ -15,7 +15,9 @@ the quick one the benchmark suite uses.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 
 from . import experiments
 from .harness import PAPER_SIZES, QUICK_SIZES, BenchHarness
@@ -24,7 +26,38 @@ from .reporting import ratio_summary, series_table
 SWEEP_EXPERIMENTS = ("fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
                      "headline")
 LOCAL_EXPERIMENTS = ("table1", "table2", "fig4", "fig5", "ablation",
-                     "backend", "tuned")
+                     "backend", "backends", "tuned")
+
+
+def _append_trajectory(path: str, result: dict) -> str:
+    """Append one backend-showdown measurement to a JSON list file.
+
+    The file is a perf trajectory: each CI run appends one point, so a
+    regression shows up as a dip in the series rather than a silently
+    overwritten number.  An unreadable or non-list file is restarted
+    rather than crashing the bench run.
+    """
+    try:
+        with open(path) as f:
+            points = json.load(f)
+        if not isinstance(points, list):
+            points = []
+    except (OSError, json.JSONDecodeError):
+        points = []
+    points.append({
+        "timestamp": time.time(),
+        "size": result["size"],
+        "dtype": result["dtype"],
+        "batch": result["batch"],
+        "repeats": result["repeats"],
+        "seconds": result["seconds"],
+        "fused_vs_compiled": result["fused_vs_compiled"],
+        "passes": result["passes"],
+    })
+    with open(path, "w") as f:
+        json.dump(points, f, indent=2)
+        f.write("\n")
+    return path
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -42,10 +75,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--full", action="store_true",
                         help="use the paper's full 1..33 size grid")
     parser.add_argument("--backend", choices=["interpret", "compiled",
-                                              "both"], default="both",
-                        help="executor backend(s): the 'backend' "
-                        "experiment compares them head to head; sweep "
-                        "experiments run on the selected one")
+                                              "fused", "parallel", "both"],
+                        default="both",
+                        help="executor backend(s): the 'backend'/"
+                        "'backends' experiments compare them head to "
+                        "head ('both' = every registered backend); "
+                        "sweep experiments run on the selected one")
+    parser.add_argument("--batch", type=int, default=16384,
+                        help="batch size for the 'backends' showdown "
+                        "(default: the paper's headline 16384)")
+    parser.add_argument("--json", nargs="?", const="BENCH_backends.json",
+                        metavar="PATH",
+                        help="append the 'backends' showdown result as a "
+                        "trajectory point to a JSON list file (default "
+                        "path: BENCH_backends.json)")
     parser.add_argument("--tuning-db", metavar="PATH",
                         help="TuningDB file (from 'python -m repro.tuning "
                         "sweep'): IATF curves apply its install-time "
@@ -67,12 +110,17 @@ def main(argv: list[str] | None = None) -> int:
             print(experiments.fig4_tiling()["render"])
         elif args.experiment == "fig5":
             print(experiments.fig5_scheduling()["render"])
-        elif args.experiment == "backend":
-            backends = (("interpret", "compiled") if args.backend == "both"
-                        else (args.backend,))
+        elif args.experiment in ("backend", "backends"):
+            backends = (("interpret", "compiled", "fused", "parallel")
+                        if args.backend == "both" else (args.backend,))
             dt = args.dtype or "s"
-            print(experiments.backend_showdown(dtype=dt,
-                                               backends=backends)["render"])
+            result = experiments.backend_showdown(dtype=dt,
+                                                  backends=backends,
+                                                  batch=args.batch)
+            print(result["render"])
+            if args.json:
+                path = _append_trajectory(args.json, result)
+                print(f"trajectory point appended to {path}")
         elif args.experiment == "tuned":
             sizes = (PAPER_SIZES if args.full else QUICK_SIZES)
             dt = args.dtype or "d"

@@ -245,6 +245,10 @@ def _backend_section(backend, compiled) -> "list[str]":
              + ("(replays the lowered command stream)"
                 if backend.needs_lowering
                 else "(interprets programs instruction by instruction)")]
+    inner = getattr(backend, "inner", None)
+    if inner is not None:
+        lines.append(f"sharding: group axis over {backend.workers} "
+                     f"workers, inner backend {inner.name!r}")
     if compiled is not None:
         s = compiled.stats
         lines.append(
@@ -255,6 +259,18 @@ def _backend_section(backend, compiled) -> "list[str]":
             f"constant-folded at lower time: {s['folded_addi']} "
             f"pointer-arithmetic instrs; dropped: {s['dropped']} "
             f"prefetch/nop")
+        p = s.get("passes")
+        if p:
+            lines.append(
+                f"pass pipeline: {p['commands_before']} -> "
+                f"{p['commands_after']} commands "
+                f"(dce -{p['dce_removed']}, fuse -{p['fuse_commands']}, "
+                f"coalesce -{p['coalesce_commands']})")
+            lines.append(
+                f"  fused chains: {p['fuse_chains']} "
+                f"(longest {p['fuse_max_chain']}); wide copies: "
+                f"{p['coalesce_loads']} load / {p['coalesce_stores']} "
+                f"store ({p['coalesce_vectorized']} vectorized 16-B)")
     return lines
 
 

@@ -5,16 +5,19 @@ to keep working sets L1-resident, the pack selector picks packing or the
 no-packing fast path, and the execution-plan generator binds packing and
 compute kernels into a command queue.  Plans are then *lowered* once to
 a flat command stream (:mod:`.lowering`) and executed by a pluggable
-backend (:mod:`.backends`): the ``interpret`` reference interpreter or
-the ``compiled`` replayer.  The engine drives either and times plans on
-the pipeline model.
+backend (:mod:`.backends`): the ``interpret`` reference interpreter,
+the ``compiled`` replayer, the ``fused`` replayer over the
+pass-optimized macro-op stream, or the ``parallel`` group-sharding
+wrapper.  The engine drives any of them and times plans on the
+pipeline model.
 """
 
 from .batch_counter import groups_per_round
 from .plan import ExecutionPlan, KernelCall, BufferSpec, build_gemm_plan, build_trsm_plan
 from .lowering import CompiledPlan, CompiledCommand, BufferLayout, lower_plan
 from .backends import (ExecutorBackend, InterpretBackend, CompiledBackend,
-                       BACKENDS, DEFAULT_BACKEND, resolve_backend)
+                       FusedBackend, ParallelBackend, BACKENDS,
+                       DEFAULT_BACKEND, DEFAULT_INNER, resolve_backend)
 from .engine import Engine, PlanTiming
 from .iatf import IATF, PlanCache
 
@@ -23,5 +26,6 @@ __all__ = [
     "build_gemm_plan", "build_trsm_plan", "Engine", "PlanTiming", "IATF",
     "PlanCache", "CompiledPlan", "CompiledCommand", "BufferLayout",
     "lower_plan", "ExecutorBackend", "InterpretBackend", "CompiledBackend",
-    "BACKENDS", "DEFAULT_BACKEND", "resolve_backend",
+    "FusedBackend", "ParallelBackend", "BACKENDS", "DEFAULT_BACKEND",
+    "DEFAULT_INNER", "resolve_backend",
 ]

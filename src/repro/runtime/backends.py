@@ -16,6 +16,23 @@ The engine separates *what* to run (the plan), *how it was compiled*
     No pointer resolution, no alignment/bounds checks, no per-op
     allocation — all of that happened once at lower time.
 
+``fused``
+    The same replay loop over the pass-*optimized* stream
+    (``CompiledPlan.fused_commands``): FMLA chains collapsed into
+    stacked ``K_MACC`` macro-ops, adjacent loads/stores merged into
+    wide copies, dead register writes eliminated.  Each macro-op is a
+    handful of large ufuncs instead of dozens of tiny ones, so the
+    dispatch-bound hot loop gets materially cheaper — with bit-exact
+    results by pass construction.
+
+``parallel``
+    A wrapper that shards the *group axis* across a
+    ``ThreadPoolExecutor``, running an inner backend (``fused`` by
+    default) on each contiguous shard.  Groups are fully independent
+    and NumPy releases the GIL inside ufuncs, so sharding is bit-exact
+    by construction and genuinely concurrent.  Configure via
+    ``IATF(backend="parallel", inner="fused", workers=N)``.
+
 Adding a backend means implementing the :class:`ExecutorBackend`
 protocol (``name``, ``needs_lowering``, ``run``) and registering it in
 ``BACKENDS``; see ``docs/architecture.md`` for the contract.
@@ -23,6 +40,9 @@ protocol (``name``, ``needs_lowering``, ``run``) and registering it in
 
 from __future__ import annotations
 
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 import numpy as np
@@ -36,16 +56,22 @@ from ..machine.isa import NUM_VREGS
 from ..machine.memory import MemorySpace
 from .lowering import (K_FADD, K_FDIV, K_FIMM, K_FMAI, K_FMLA, K_FMLS,
                        K_FMUL, K_FMULI, K_FSUB, K_LOAD, K_LOAD1R, K_LOAD2,
-                       K_LOAD_PART, K_LOADPAIR, K_STORE, K_STORE2,
-                       K_STOREPAIR, K_VMOV, K_VZERO, CompiledPlan, lower_plan)
+                       K_LOAD_PART, K_LOADPAIR, K_LOADW, K_MACC, K_STORE,
+                       K_STORE2, K_STOREPAIR, K_STOREW, K_VMOV, K_VZERO,
+                       CompiledPlan, lower_plan)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .plan import ExecutionPlan
 
 __all__ = ["ExecutorBackend", "InterpretBackend", "CompiledBackend",
-           "BACKENDS", "DEFAULT_BACKEND", "resolve_backend", "backend_name"]
+           "FusedBackend", "ParallelBackend", "BACKENDS", "DEFAULT_BACKEND",
+           "DEFAULT_INNER", "resolve_backend", "backend_name"]
 
 DEFAULT_BACKEND = "compiled"
+
+DEFAULT_INNER = "fused"
+"""The inner backend a ``parallel`` wrapper shards over when none is
+named — the optimized replayer, so the two tentpole halves compose."""
 
 
 @runtime_checkable
@@ -97,6 +123,12 @@ class CompiledBackend:
     name = "compiled"
     needs_lowering = True
 
+    @staticmethod
+    def _stream(compiled: CompiledPlan) -> "tuple[list[tuple], int]":
+        """The command stream to replay and the macro-op stack depth it
+        needs (0 = no macro-ops, no stack scratch allocated)."""
+        return compiled.commands, 0
+
     def run(self, plan: "ExecutionPlan", mem: MemorySpace,
             strides: "dict[str, int]", groups: int,
             compiled: "CompiledPlan | None" = None) -> None:
@@ -109,13 +141,19 @@ class CompiledBackend:
         mats = self._bind(compiled, mem, strides, groups)
         dtype = compiled.dtype
         lanes = compiled.lanes
-        # one allocation for the whole register file; regs[i] are views
-        rfile = list(np.empty((NUM_VREGS, groups, lanes), dtype=dtype))
+        commands, max_stack = self._stream(compiled)
+        # one allocation for the whole register file; rfile[i] are views
+        # of rbank, so macro-op selectors can slice/gather the bank
+        rbank = np.empty((NUM_VREGS, groups, lanes), dtype=dtype)
+        rfile = list(rbank)
         scratch = np.empty((groups, lanes), dtype=dtype)
+        stacks = (np.empty((2, max_stack, groups, lanes), dtype=dtype)
+                  if max_stack else None)
         # padding lanes legitimately hold zeros/garbage (same rationale
         # as the interpreter)
         with np.errstate(all="ignore"):
-            self._replay(compiled.commands, mats, rfile, scratch)
+            self._replay(commands, mats, rfile, rbank, scratch, stacks,
+                         None, None)
 
     # -- binding -------------------------------------------------------
 
@@ -146,14 +184,87 @@ class CompiledBackend:
 
     @staticmethod
     def _replay(commands: "list[tuple]", mats: "dict[str, np.ndarray]",
-                rfile: "list[np.ndarray]", scratch: np.ndarray) -> None:
-        # Ordered roughly by dynamic frequency in GEMM/TRSM kernels.
+                rfile: "list[np.ndarray]", rbank: np.ndarray,
+                scratch: np.ndarray, stacks: "np.ndarray | None",
+                matsC: "dict | None", rbankC: "np.ndarray | None") -> None:
+        # Ordered roughly by dynamic frequency in GEMM/TRSM kernels
+        # (raw streams are FMLA-heavy; fused streams lead with macro-ops).
         for cmd in commands:
             k = cmd[0]
             if k == K_FMLA:
                 _, d, a, b = cmd
                 np.multiply(rfile[a], rfile[b], out=scratch)
                 np.add(rfile[d], scratch, out=rfile[d])
+            elif k == K_MACC:
+                # per-member multiplies straight out of the register
+                # file (sources repeat, a stacked multiply would need a
+                # full gather copy), then ONE vectorized accumulate —
+                # bit-exact because accumulators are distinct with a
+                # uniform sign (see lowering.K_MACC)
+                _, dsel, aids, bids, neg, n = cmd
+                prod = stacks[0, :n]
+                for i in range(n):
+                    np.multiply(rfile[aids[i]], rfile[bids[i]],
+                                out=prod[i])
+                if type(dsel) is slice:
+                    acc = rbank[dsel]
+                    if neg:
+                        np.subtract(acc, prod, out=acc)
+                    else:
+                        np.add(acc, prod, out=acc)
+                else:
+                    acc = np.take(rbank, dsel, axis=0, out=stacks[1, :n])
+                    if neg:
+                        np.subtract(acc, prod, out=acc)
+                    else:
+                        np.add(acc, prod, out=acc)
+                    rbank[dsel] = acc
+            elif k == K_LOADW:
+                # count consecutive column slices -> count registers in
+                # one copy; cfirst >= 0 means both sides reinterpret as
+                # 16-byte units (complex128) so the copy is one C-level
+                # elementwise loop instead of a segmented float copy
+                _, dsel, buf, first, n, count, cfirst = cmd
+                if cfirst >= 0:
+                    vb = rbankC.shape[2]
+                    src = matsC[buf][:, cfirst:cfirst + count * vb]
+                    if count == 1:
+                        d = dsel.start if type(dsel) is slice else dsel[0]
+                        np.copyto(rbankC[d], src)
+                    else:
+                        src = src.reshape(-1, count, vb).transpose(1, 0, 2)
+                        if type(dsel) is slice:
+                            np.copyto(rbankC[dsel], src)
+                        else:
+                            rbankC[dsel] = src
+                else:
+                    src = mats[buf][:, first:first + count * n]
+                    src = src.reshape(-1, count, n).transpose(1, 0, 2)
+                    if type(dsel) is slice:
+                        np.copyto(rbank[dsel], src)
+                    else:
+                        rbank[dsel] = src
+            elif k == K_STOREW:
+                _, ssel, buf, first, n, count, cfirst = cmd
+                if cfirst >= 0:
+                    vb = rbankC.shape[2]
+                    dst = matsC[buf][:, cfirst:cfirst + count * vb]
+                    if count == 1:
+                        s = ssel.start if type(ssel) is slice else ssel[0]
+                        np.copyto(dst, rbankC[s])
+                    else:
+                        gs = rbankC[ssel]   # fancy-index copy is fine: read-only
+                        np.copyto(dst.reshape(-1, count, vb),
+                                  gs.transpose(1, 0, 2))
+                else:
+                    if type(ssel) is slice:
+                        gs = rbank[ssel]
+                    else:
+                        gs = np.take(rbank, ssel, axis=0,
+                                     out=stacks[0, :count])
+                    dst = mats[buf][:, first:first + count * n]
+                    np.copyto(dst.reshape(-1, count, n),
+                              gs[:, :, :n].transpose(1, 0, 2))
             elif k == K_LOAD:
                 _, d, buf, first, n = cmd
                 np.copyto(rfile[d], mats[buf][:, first:first + n])
@@ -225,9 +336,189 @@ class CompiledBackend:
                 raise ExecutionError(f"unknown compiled command kind {k}")
 
 
+class FusedBackend(CompiledBackend):
+    """Replays the pass-optimized stream (``fused_commands``) in
+    L2-resident group blocks.
+
+    Two compounding effects versus ``compiled``: macro-ops (fused FMLA
+    chains, coalesced wide copies, dead writes gone) cut the Python
+    dispatches per block roughly in half, which is what makes small
+    blocks affordable; and blocking keeps the whole register bank hot
+    in L2, so the dispatches that remain run at cache speed instead of
+    memory bandwidth.  Groups are independent, so blocking is bit-exact
+    by construction — the equivalence suite enforces it.
+    """
+
+    name = "fused"
+
+    @staticmethod
+    def _stream(compiled: CompiledPlan) -> "tuple[list[tuple], int]":
+        fused = compiled.fused_commands
+        if not fused:
+            # a CompiledPlan built outside lower_plan (tests, tools) may
+            # carry no optimized stream; the raw one is always valid
+            return compiled.commands, 0
+        return fused, compiled.stats.get("passes", {}).get("max_stack", 0)
+
+    @staticmethod
+    def _block_groups(l2_bytes: int, lanes: int, itemsize: int) -> int:
+        """Largest group block whose register bank fits half of L2 (the
+        other half is left to the operand panels streaming through);
+        the floor keeps per-ufunc work from degenerating into pure
+        dispatch overhead on machines modelled with tiny caches."""
+        block = (l2_bytes // 2) // (NUM_VREGS * lanes * itemsize)
+        return max(64, block)
+
+    def run(self, plan: "ExecutionPlan", mem: MemorySpace,
+            strides: "dict[str, int]", groups: int,
+            compiled: "CompiledPlan | None" = None) -> None:
+        if compiled is None:
+            compiled = lower_plan(plan)
+        if groups != compiled.groups:
+            raise ExecutionError(
+                f"compiled plan covers {compiled.groups} groups, "
+                f"execution asked for {groups}")
+        mats = self._bind(compiled, mem, strides, groups)
+        dtype = compiled.dtype
+        lanes = compiled.lanes
+        commands, max_stack = self._stream(compiled)
+        block = min(groups, self._block_groups(
+            plan.machine.l2.size, lanes, np.dtype(dtype).itemsize))
+        rbank = np.empty((NUM_VREGS, block, lanes), dtype=dtype)
+        scratch = np.empty((block, lanes), dtype=dtype)
+        stacks = (np.empty((2, max_stack, block, lanes), dtype=dtype)
+                  if max_stack else None)
+        # 16-byte-unit reinterpretations for the vectorized wide copies
+        # (commands carry cfirst >= 0 only for buffers whose stride
+        # passed the lower-time eligibility check)
+        rbankC = (rbank.view(np.complex128)
+                  if (lanes * rbank.itemsize) % 16 == 0 else None)
+        matsC = {name: (v.view(np.complex128)
+                        if (v.shape[1] * v.itemsize) % 16 == 0 else None)
+                 for name, v in mats.items()}
+        names = list(mats)
+        with np.errstate(all="ignore"):
+            for start in range(0, groups, block):
+                n = min(block, groups - start)
+                stop = start + n
+                bmats = {name: mats[name][start:stop] for name in names}
+                bmatsC = {name: (None if v is None else v[start:stop])
+                          for name, v in matsC.items()}
+                rb = rbank if n == block else rbank[:, :n]
+                rbC = (None if rbankC is None
+                       else (rbankC if n == block else rbankC[:, :n]))
+                self._replay(commands, bmats, list(rb), rb, scratch[:n],
+                             stacks[:, :, :n] if stacks is not None
+                             else None, bmatsC, rbC)
+
+
+def _default_workers() -> int:
+    """Worker-count default: the host's cores, capped — oversubscribing
+    tiny per-shard workloads with threads only adds overhead."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+class ParallelBackend:
+    """Shards the group axis across a thread pool, one inner-backend
+    run per contiguous shard.
+
+    Groups are independent by construction (each owns a disjoint
+    ``stride_elems`` slice of every buffer), so per-shard
+    :class:`MemorySpace` views over disjoint slices of the same arrays
+    produce bit-identical bytes to a single whole-batch run — in any
+    execution order.  NumPy releases the GIL inside ufuncs, so shards
+    genuinely overlap.  The pool is created lazily and reused across
+    runs; the inner backend must be shard-agnostic (every registered
+    backend is — per-run state only).
+    """
+
+    name = "parallel"
+
+    def __init__(self, inner: "str | ExecutorBackend | None" = None,
+                 workers: "int | None" = None) -> None:
+        self.inner = resolve_backend(DEFAULT_INNER if inner is None
+                                     else inner)
+        if self.inner.name == self.name:
+            raise PlanError("parallel backend cannot wrap itself")
+        self.workers = _default_workers() if workers is None else int(workers)
+        if self.workers < 1:
+            raise PlanError("parallel backend needs workers >= 1")
+        self._pool: "ThreadPoolExecutor | None" = None
+        self._pool_lock = threading.Lock()
+
+    @property
+    def needs_lowering(self) -> bool:
+        return self.inner.needs_lowering
+
+    @staticmethod
+    def shard_ranges(groups: int, shards: int) -> "list[tuple[int, int]]":
+        """Contiguous, balanced ``[start, stop)`` group ranges (never
+        more shards than groups; sizes differ by at most one)."""
+        shards = max(1, min(shards, groups))
+        base, extra = divmod(groups, shards)
+        ranges, start = [], 0
+        for i in range(shards):
+            count = base + (1 if i < extra else 0)
+            ranges.append((start, start + count))
+            start += count
+        return ranges
+
+    def _pool_get(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            with self._pool_lock:
+                if self._pool is None:
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=self.workers,
+                        thread_name_prefix="repro-parallel")
+        return self._pool
+
+    def run(self, plan: "ExecutionPlan", mem: MemorySpace,
+            strides: "dict[str, int]", groups: int,
+            compiled: "CompiledPlan | None" = None) -> None:
+        if self.inner.needs_lowering and compiled is None:
+            compiled = lower_plan(plan)
+        ranges = self.shard_ranges(groups, self.workers)
+        obs.count("backend.parallel.shards", len(ranges))
+        if len(ranges) == 1:
+            self.inner.run(plan, mem, strides, groups, compiled)
+            return
+        pool = self._pool_get()
+        futures = []
+        for idx, (start, stop) in enumerate(ranges):
+            smem = self._shard_memory(mem, strides, start, stop)
+            count = stop - start
+            scompiled = (compiled.for_groups(count)
+                         if compiled is not None else None)
+            futures.append(pool.submit(self._run_shard, idx, start, plan,
+                                       smem, strides, count, scompiled))
+        for f in futures:
+            f.result()          # re-raises any shard failure
+
+    @staticmethod
+    def _shard_memory(mem: MemorySpace, strides: "dict[str, int]",
+                      start: int, stop: int) -> MemorySpace:
+        """A MemorySpace whose buffers are zero-copy slices covering
+        groups ``[start, stop)`` — writes land in the caller's arrays."""
+        smem = MemorySpace()
+        for name, stride_bytes in strides.items():
+            arr = mem[name]
+            se = stride_bytes // arr.dtype.itemsize
+            smem.bind(name, arr[start * se:stop * se])
+        return smem
+
+    def _run_shard(self, idx: int, start: int, plan: "ExecutionPlan",
+                   smem: MemorySpace, strides: "dict[str, int]",
+                   count: int, compiled: "CompiledPlan | None") -> None:
+        with obs.span("backend.parallel.shard", shard=idx, start=start,
+                      groups=count, inner=self.inner.name):
+            self.inner.run(plan, smem, strides, count, compiled)
+
+
 BACKENDS: "dict[str, type]" = {
     InterpretBackend.name: InterpretBackend,
     CompiledBackend.name: CompiledBackend,
+    FusedBackend.name: FusedBackend,
+    ParallelBackend.name: ParallelBackend,
 }
 
 
@@ -237,12 +528,39 @@ def backend_name(backend: "str | ExecutorBackend | None") -> str:
         return DEFAULT_BACKEND
     if isinstance(backend, str):
         return backend
-    return backend.name
+    name = getattr(backend, "name", None)
+    if not isinstance(name, str):
+        raise PlanError(f"object {backend!r} does not implement the "
+                        f"ExecutorBackend protocol (no 'name')")
+    return name
 
 
-def resolve_backend(backend: "str | ExecutorBackend | None" = None
-                    ) -> ExecutorBackend:
-    """Turn a backend name (or ready instance) into an instance."""
+#: shared instances per configuration — backends are stateless across
+#: runs (the parallel pool is reused deliberately), so every
+#: ``Engine``/``IATF`` resolving the same name shares one object
+#: instead of constructing a fresh backend per resolution
+_INSTANCES: "dict[tuple, ExecutorBackend]" = {}
+
+
+def _conforms(backend: object) -> bool:
+    """Structural protocol check usable *before* first use: the three
+    members exist and ``run`` is callable (``isinstance`` against a
+    runtime_checkable Protocol only probes attribute presence)."""
+    return (isinstance(backend, ExecutorBackend)
+            and callable(getattr(backend, "run", None)))
+
+
+def resolve_backend(backend: "str | ExecutorBackend | None" = None, *,
+                    inner: "str | ExecutorBackend | None" = None,
+                    workers: "int | None" = None) -> ExecutorBackend:
+    """Turn a backend name (or ready instance) into an instance.
+
+    Named backends are cached per configuration, so repeated
+    resolutions share one instance; an explicit instance passes through
+    untouched (never cached, never reconfigured).  ``inner`` and
+    ``workers`` configure the ``parallel`` wrapper and are rejected for
+    anything else — a silently ignored option would read as applied.
+    """
     if backend is None:
         backend = DEFAULT_BACKEND
     if isinstance(backend, str):
@@ -251,8 +569,30 @@ def resolve_backend(backend: "str | ExecutorBackend | None" = None
             raise PlanError(
                 f"unknown executor backend {backend!r}; available: "
                 f"{', '.join(sorted(BACKENDS))}")
-        return cls()
-    if not isinstance(backend, ExecutorBackend):
+        if backend == ParallelBackend.name:
+            if inner is not None and not isinstance(inner, str):
+                # instance-configured wrapper: build fresh, don't cache
+                return ParallelBackend(inner=inner, workers=workers)
+            key = (backend, DEFAULT_INNER if inner is None else inner,
+                   workers)
+            instance = _INSTANCES.get(key)
+            if instance is None:
+                instance = _INSTANCES.setdefault(
+                    key, ParallelBackend(inner=inner, workers=workers))
+            return instance
+        if inner is not None or workers is not None:
+            raise PlanError(
+                f"inner=/workers= configure the 'parallel' backend; "
+                f"{backend!r} takes neither")
+        instance = _INSTANCES.get((backend,))
+        if instance is None:
+            instance = _INSTANCES.setdefault((backend,), cls())
+        return instance
+    if inner is not None or workers is not None:
+        raise PlanError("inner=/workers= cannot reconfigure a ready "
+                        "backend instance")
+    if not _conforms(backend):
         raise PlanError(f"object {backend!r} does not implement the "
-                        f"ExecutorBackend protocol")
+                        f"ExecutorBackend protocol (name, needs_lowering, "
+                        f"run)")
     return backend

@@ -105,15 +105,21 @@ class Engine:
     """Executes and times execution plans on one machine.
 
     ``backend`` selects the functional-execution strategy: a name from
-    :data:`repro.runtime.backends.BACKENDS` (``"interpret"`` or
-    ``"compiled"``), a ready :class:`ExecutorBackend` instance, or
-    ``None`` for the default.  Timing is backend-independent.
+    :data:`repro.runtime.backends.BACKENDS` (``"interpret"``,
+    ``"compiled"``, ``"fused"``, or ``"parallel"``), a ready
+    :class:`ExecutorBackend` instance, or ``None`` for the default.
+    ``inner`` and ``workers`` configure the ``parallel`` wrapper (which
+    backend runs each group shard, and across how many threads); they
+    are rejected for any other backend.  Timing is backend-independent.
     """
 
     def __init__(self, machine: MachineConfig,
-                 backend: "str | ExecutorBackend | None" = None) -> None:
+                 backend: "str | ExecutorBackend | None" = None, *,
+                 inner: "str | ExecutorBackend | None" = None,
+                 workers: "int | None" = None) -> None:
         self.machine = machine
-        self.backend: ExecutorBackend = resolve_backend(backend)
+        self.backend: ExecutorBackend = resolve_backend(
+            backend, inner=inner, workers=workers)
 
     # ------------------------------------------------------------------
     # functional execution

@@ -115,12 +115,15 @@ class IATF:
 
     def __init__(self, machine: MachineConfig = KUNPENG_920, *,
                  backend: "str | ExecutorBackend | None" = None,
+                 inner: "str | ExecutorBackend | None" = None,
+                 workers: "int | None" = None,
                  optimize_kernels: bool = True,
                  plan_cache_size: int = 1024,
                  tuning_db=None) -> None:
         self.machine = machine
         self.registry = KernelRegistry(machine, optimize=optimize_kernels)
-        self.engine = Engine(machine, backend=backend)
+        self.engine = Engine(machine, backend=backend, inner=inner,
+                             workers=workers)
         self._plan_cache = PlanCache(plan_cache_size)
         self._alt_registry: "KernelRegistry | None" = None
         self._tuning_db = (self._load_tuning_db(tuning_db)
@@ -245,6 +248,7 @@ class IATF:
             "main": record.main,
             "force_pack": record.force_pack,
             "schedule": record.schedule,
+            "backend": record.backend,
         }
 
     def _apply_tuned_gemm(self, problem: GemmProblem,

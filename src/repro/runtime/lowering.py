@@ -26,6 +26,29 @@ views and in-place ufuncs:
 Lowering is pure analysis: it never touches matrix data, so a
 ``CompiledPlan`` is cached alongside its plan in the
 :class:`~repro.runtime.iatf.PlanCache` and reused for every batch.
+
+After validation an **optimizing pass pipeline** (:func:`optimize_commands`)
+rewrites a second copy of the stream into macro-ops the ``fused``
+backend replays with far fewer ufunc dispatches:
+
+1. *dead-code elimination* — commands whose written registers are never
+   read before being overwritten (or before the stream ends) are
+   dropped; stores always survive (memory is the observable output);
+2. *FMLA-chain fusion* — dependence-free runs of ``K_FMLA``/``K_FMLS``
+   collapse into one ``K_MACC`` macro-op: a single stacked ``(chain,
+   groups, lanes)`` multiply followed by accumulation that is bit-exact
+   by construction (repeated accumulators keep the original
+   left-to-right sequential ``add``/``subtract`` order; provably
+   independent accumulators may accumulate as one vectorized op);
+3. *load/store coalescing* — adjacent full-lane loads (stores) from
+   contiguous memory merge into one wide ``K_LOADW`` (``K_STOREW``)
+   strided copy.
+
+Every pass preserves bit-identical memory effects, so the equivalence
+contract (same bytes as ``interpret``) holds for the optimized stream
+too.  The raw stream is kept alongside (``commands`` vs
+``fused_commands``) so ``compiled`` and ``fused`` share one cached
+lowering.
 """
 
 from __future__ import annotations
@@ -42,10 +65,11 @@ from ..machine.isa import NUM_VREGS, Op
 from .plan import ExecutionPlan, KernelCall
 
 __all__ = ["CompiledPlan", "CompiledCommand", "BufferLayout", "lower_plan",
+           "optimize_commands", "FUSE_MIN_CHAIN",
            "K_LOAD", "K_LOAD_PART", "K_LOADPAIR", "K_LOAD1R", "K_LOAD2",
            "K_STORE", "K_STOREPAIR", "K_STORE2", "K_FMLA", "K_FMLS",
            "K_FMUL", "K_FMAI", "K_FMULI", "K_FADD", "K_FSUB", "K_FDIV",
-           "K_VZERO", "K_VMOV", "K_FIMM"]
+           "K_VZERO", "K_VMOV", "K_FIMM", "K_MACC", "K_LOADW", "K_STOREW"]
 
 # Command kinds.  Integers (not enums) so the replay loop dispatches on
 # a plain ``==`` against the tuple head.
@@ -69,8 +93,38 @@ K_VZERO = 16      # (kind, dst)
 K_VMOV = 17       # (kind, dst, src)
 K_FIMM = 18       # (kind, dst, imm)
 
+# Macro-op kinds produced only by the pass pipeline (never by _lower);
+# they appear in ``CompiledPlan.fused_commands`` exclusively.
+K_MACC = 19       # (kind, dsel, aids, bids, neg, n)
+#   n multiplies of (a, b) register pairs into a product stack, then ONE
+#   vectorized add/subtract (neg=True for an FMLS chain) of the stack
+#   into rbank[dsel] (slice or index array).  ``aids``/``bids`` are
+#   plain int tuples: sources repeat across members (the microkernel
+#   broadcast registers), so they can never form a slice — replaying
+#   them as per-member multiplies out of the register file avoids the
+#   full-bandwidth gather copy a stacked multiply would need.  Fusion
+#   only emits chains whose accumulators are distinct with one uniform
+#   sign, so the vectorized accumulate touches each element exactly
+#   once — bit-identical to the raw left-to-right replay.
+K_LOADW = 20      # (kind, dsel, buf, first, n, count, cfirst)
+K_STOREW = 21     # (kind, ssel, buf, first, n, count, cfirst)
+#   count registers of n consecutive columns each in one copy.  When
+#   the geometry allows (vector, offset and group stride all multiples
+#   of 16 bytes) ``cfirst`` holds the offset in 16-byte units and the
+#   copy runs elementwise over a complex128 reinterpretation of both
+#   sides: one C-level strided loop moving 16 B per element, instead of
+#   a segmented float copy paying per-16-B-segment loop overhead — the
+#   bytes moved are identical, so the result is too.  ``cfirst`` is -1
+#   when the fallback float path must be used.
+
 _MEM_KINDS = frozenset((K_LOAD, K_LOAD_PART, K_LOADPAIR, K_LOAD1R, K_LOAD2,
                         K_STORE, K_STOREPAIR, K_STORE2))
+
+FUSE_MIN_CHAIN = 4
+"""Shortest FMLA/FMLS segment worth fusing: ``c`` raw commands cost
+``2c`` ufunc dispatches (multiply + accumulate each), the macro-op
+``c + 1`` plus the accumulate's stack traffic — the crossover is at
+about 4 members."""
 
 
 @dataclass(frozen=True)
@@ -141,6 +195,9 @@ class CompiledPlan:
     ew: int                       # element width in bytes (4 or 8)
     buffers: dict[str, BufferLayout]
     commands: list[tuple]
+    fused_commands: list = field(default_factory=list)
+    """The pass-optimized stream (macro-ops allowed) the ``fused``
+    backend replays; ``commands`` stays the validated raw stream."""
     stats: dict = field(default_factory=dict)
 
     @property
@@ -158,14 +215,34 @@ class CompiledPlan:
         return [c for c in map(lambda t: CompiledCommand(t[0], t), self.commands)
                 if c.is_mem]
 
+    def for_groups(self, groups: int) -> "CompiledPlan":
+        """A shallow copy covering a different group count.
+
+        Commands and buffer layouts are group-independent (group base
+        offsets are affine), so sharding the group axis — the
+        ``parallel`` backend's whole job — only needs the count
+        adjusted; the command streams are shared, never copied.
+        """
+        if groups == self.groups:
+            return self
+        from dataclasses import replace
+        return replace(self, groups=groups)
+
     def describe(self) -> str:
         s = self.stats
-        return (f"CompiledPlan[{self.kind}] {self.num_commands} commands "
+        text = (f"CompiledPlan[{self.kind}] {self.num_commands} commands "
                 f"({s.get('mem_commands', 0)} mem, {s.get('fp_commands', 0)} fp) "
                 f"from {s.get('calls', 0)} calls / "
                 f"{s.get('instructions', 0)} instructions; "
                 f"{s.get('folded_addi', 0)} ADDIs folded, "
                 f"{s.get('dropped', 0)} PRFM/NOP dropped")
+        p = s.get("passes")
+        if p:
+            text += (f"; optimized {p['commands_before']} -> "
+                     f"{p['commands_after']} ({p['fuse_chains']} fused "
+                     f"chains, {p['coalesce_loads'] + p['coalesce_stores']} "
+                     f"wide copies, {p['dce_removed']} dead)")
+        return text
 
 
 def _root_pointers(call: KernelCall) -> "dict[int, tuple[str, int]]":
@@ -194,6 +271,11 @@ def lower_plan(plan: ExecutionPlan) -> CompiledPlan:
     obs.count("lower.plans")
     obs.count("lower.commands", compiled.num_commands)
     obs.count("lower.folded_addi", compiled.stats["folded_addi"])
+    passes = compiled.stats["passes"]
+    obs.count("lower.dce.removed", passes["dce_removed"])
+    obs.count("lower.fuse.chains", passes["fuse_chains"])
+    obs.count("lower.fuse.commands", passes["fuse_commands"])
+    obs.count("lower.coalesce.merged", passes["coalesce_commands"])
     return compiled
 
 
@@ -356,13 +438,312 @@ def _lower(plan: ExecutionPlan) -> CompiledPlan:
                 raise err(pc, f"unimplemented opcode {op}")
 
     mem_commands = sum(1 for c in commands if c[0] in _MEM_KINDS)
+    fused_commands, passes = optimize_commands(
+        commands, lanes, ew,
+        {name: lay.stride_bytes for name, lay in layouts.items()})
     return CompiledPlan(
         kind=plan.kind, groups=plan.groups, lanes=lanes, ew=ew,
-        buffers=layouts, commands=commands,
+        buffers=layouts, commands=commands, fused_commands=fused_commands,
         stats={"calls": len(plan.calls), "instructions": instructions,
                "mem_commands": mem_commands,
                "fp_commands": len(commands) - mem_commands,
-               "folded_addi": folded, "dropped": dropped})
+               "folded_addi": folded, "dropped": dropped,
+               "passes": passes})
+
+
+# ---------------------------------------------------------------------------
+# the optimizing pass pipeline (raw stream -> fused stream)
+# ---------------------------------------------------------------------------
+
+def _rw(cmd: tuple) -> "tuple[tuple, tuple]":
+    """(registers read, registers written) of one raw command.
+
+    FMLA/FMLS/FMAI read their destination (read-modify-write), so DCE
+    can never treat the accumulated-into value as dead.
+    """
+    k = cmd[0]
+    if k in (K_LOAD, K_LOAD_PART, K_LOAD1R):
+        return (), (cmd[1],)
+    if k in (K_LOADPAIR, K_LOAD2):
+        return (), (cmd[1], cmd[2])
+    if k == K_STORE:
+        return (cmd[1],), ()
+    if k in (K_STOREPAIR, K_STORE2):
+        return (cmd[1], cmd[2]), ()
+    if k in (K_FMLA, K_FMLS):
+        return (cmd[1], cmd[2], cmd[3]), (cmd[1],)
+    if k == K_FMAI:
+        return (cmd[1], cmd[2]), (cmd[1],)
+    if k in (K_FMUL, K_FADD, K_FSUB, K_FDIV):
+        return (cmd[2], cmd[3]), (cmd[1],)
+    if k in (K_FMULI, K_VMOV):
+        return (cmd[2],), (cmd[1],)
+    if k in (K_VZERO, K_FIMM):
+        return (), (cmd[1],)
+    raise LoweringError(f"unknown command kind {k} in pass pipeline")
+
+
+def _dce(commands: "list[tuple]") -> "tuple[list[tuple], int]":
+    """Drop commands none of whose written registers are ever read
+    again (before overwrite or stream end).  Memory writes are the
+    stream's observable output, so stores are always live; every
+    surviving command's memory effect is untouched — bit-exact."""
+    live: set[int] = set()
+    kept: list[tuple] = []
+    removed = 0
+    for cmd in reversed(commands):
+        reads, writes = _rw(cmd)
+        if writes and not (live & set(writes)):
+            removed += 1
+            continue
+        live.difference_update(writes)
+        live.update(reads)
+        kept.append(cmd)
+    kept.reverse()
+    return kept, removed
+
+
+def _sel(ids: "list[int]"):
+    """Register selector: a slice when the ids are consecutive
+    ascending (zero-copy view of the register bank), else an index
+    array for one gather."""
+    if all(ids[i + 1] == ids[i] + 1 for i in range(len(ids) - 1)):
+        return slice(ids[0], ids[-1] + 1)
+    return np.array(ids, dtype=np.intp)
+
+
+def _make_macc(members: "list[tuple]") -> tuple:
+    """Build one K_MACC from segment members ``(is_fmls, dst, a, b)``.
+
+    Callers guarantee distinct accumulators and one uniform sign (see
+    :func:`_segment_run`), so the accumulate is a single vectorized
+    add/subtract: each element is touched exactly once, making the
+    macro-op bit-identical to the raw left-to-right replay — never a
+    tree reduction, never a reassociation.
+    """
+    n = len(members)
+    dsel = _sel([d for _, d, _, _ in members])
+    aids = tuple(a for _, _, a, _ in members)
+    bids = tuple(b for _, _, _, b in members)
+    return (K_MACC, dsel, aids, bids, members[0][0], n)
+
+
+def _segment_run(members: "list[tuple]") -> "list[tuple[int, int]]":
+    """Split one FMLA/FMLS run into maximal ``[start, stop)`` segments
+    with all-distinct accumulators and a uniform sign.
+
+    A chain that revisits an accumulator (a microkernel's next k-step)
+    or flips between FMLA and FMLS cannot be one vectorized accumulate;
+    cutting at exactly those points keeps every segment vectorizable
+    while preserving the raw order segment-to-segment — the sequential
+    dependency ``d += p1; d += p2`` lands in two consecutive macro-ops.
+    """
+    segments: list[tuple[int, int]] = []
+    start = 0
+    dsts: set[int] = set()
+    for i, (is_fmls, d, _, _) in enumerate(members):
+        if i > start and (d in dsts or is_fmls != members[start][0]):
+            segments.append((start, i))
+            start = i
+            dsts = set()
+        dsts.add(d)
+    segments.append((start, len(members)))
+    return segments
+
+
+def _fuse_fmla_chains(commands: "list[tuple]") -> "tuple[list[tuple], dict]":
+    """Collapse dependence-free FMLA/FMLS runs into K_MACC macro-ops.
+
+    The generated kernels interleave one FMLA per accumulator per
+    k-step with the next step's operand loads, so a run is formed
+    *across* intervening commands: a non-FMLA command is hoisted ahead
+    of the open run when it cannot conflict (its writes touch neither
+    the run's sources nor its accumulators, its reads touch no
+    accumulator); otherwise the run seals.  A new member seals the run
+    first if one of its sources was accumulated into by the run (its
+    product must see the pre-run value no longer available at macro-op
+    time).  Hoisting is sound because the macro-op reads all sources
+    and writes all accumulators at the seal point, and the checks
+    guarantee no hoisted command reads or writes either set in between.
+    """
+    out: list[tuple] = []
+    members: list[tuple] = []       # (is_fmls, dst, a, b)
+    raw: list[tuple] = []
+    accs: set[int] = set()
+    srcs: set[int] = set()
+    chains = fused_away = max_chain = 0
+
+    def seal() -> None:
+        nonlocal chains, fused_away, max_chain
+        if len(members) >= FUSE_MIN_CHAIN:
+            for start, stop in _segment_run(members):
+                if stop - start >= FUSE_MIN_CHAIN:
+                    out.append(_make_macc(members[start:stop]))
+                    chains += 1
+                    fused_away += (stop - start) - 1
+                    max_chain = max(max_chain, stop - start)
+                else:
+                    out.extend(raw[start:stop])
+        else:
+            out.extend(raw)
+        members.clear()
+        raw.clear()
+        accs.clear()
+        srcs.clear()
+
+    for cmd in commands:
+        k = cmd[0]
+        if k in (K_FMLA, K_FMLS):
+            _, d, a, b = cmd
+            if members and (a in accs or b in accs):
+                seal()
+            members.append((k == K_FMLS, d, a, b))
+            raw.append(cmd)
+            accs.add(d)
+            srcs.update((a, b))
+            continue
+        if members:
+            reads, writes = _rw(cmd)
+            ws = set(writes)
+            if (accs & ws) or (srcs & ws) or (accs & set(reads)):
+                seal()
+        out.append(cmd)
+    seal()
+    return out, {"chains": chains, "commands": fused_away,
+                 "max_chain": max_chain}
+
+
+def _coalesce_mem(commands: "list[tuple]", ew: int,
+                  strides: "dict[str, int]") -> "tuple[list[tuple], dict]":
+    """Merge adjacent contiguous column loads/stores into wide copies.
+
+    A LOADPAIR/STOREPAIR counts as two full-lane pieces.  Loads merge
+    only while destinations stay distinct (a repeated destination would
+    make the single gather-assign order-ambiguous); stores merge while
+    the memory runs on contiguously, which rules out overlap.
+
+    ``ew``/``strides`` feed the 16-byte-unit eligibility check (see the
+    K_LOADW layout note): an eligible run is emitted wide even when it
+    is a single command — the complex128 replay beats the segmented
+    float copy on its own — while ineligible singles stay raw.
+    """
+    out: list[tuple] = []
+    run: "dict | None" = None
+    merged_loads = merged_stores = removed = vectorized = 0
+
+    def pieces_of(cmd: tuple):
+        k = cmd[0]
+        if k == K_LOAD:
+            _, d, buf, first, n = cmd
+            return "load", buf, n, [(d, first)]
+        if k == K_LOADPAIR:
+            _, d1, d2, buf, first, n = cmd
+            return "load", buf, n, [(d1, first), (d2, first + n)]
+        if k == K_STORE:
+            _, s, buf, first, n = cmd
+            return "store", buf, n, [(s, first)]
+        if k == K_STOREPAIR:
+            _, s1, s2, buf, first, n = cmd
+            return "store", buf, n, [(s1, first), (s2, first + n)]
+        return None
+
+    def flush() -> None:
+        nonlocal run, merged_loads, merged_stores, removed, vectorized
+        if run is None:
+            return
+        pieces = run["pieces"]
+        first = pieces[0][1]
+        n = run["n"]
+        eligible = ((n * ew) % 16 == 0 and (first * ew) % 16 == 0
+                    and strides.get(run["buf"], 0) % 16 == 0)
+        if len(run["raw"]) >= 2 or (eligible and len(pieces) >= 2):
+            cfirst = first * ew // 16 if eligible else -1
+            wide = (K_LOADW if run["op"] == "load" else K_STOREW,
+                    _sel([r for r, _ in pieces]), run["buf"],
+                    first, n, len(pieces), cfirst)
+            out.append(wide)
+            if run["op"] == "load":
+                merged_loads += 1
+            else:
+                merged_stores += 1
+            removed += len(run["raw"]) - 1
+            vectorized += cfirst >= 0
+        elif eligible:
+            # a lone full-vector copy still wins as one 16-byte-unit
+            # elementwise move (count=1 wide command)
+            wide = (K_LOADW if run["op"] == "load" else K_STOREW,
+                    _sel([r for r, _ in pieces]), run["buf"],
+                    first, n, 1, first * ew // 16)
+            out.append(wide)
+            vectorized += 1
+        else:
+            out.extend(run["raw"])
+        run = None
+
+    for cmd in commands:
+        p = pieces_of(cmd)
+        if p is None:
+            flush()
+            out.append(cmd)
+            continue
+        op, buf, n, pieces = p
+        if run is not None:
+            contiguous = (run["op"] == op and run["buf"] == buf
+                          and run["n"] == n
+                          and pieces[0][1] == run["pieces"][-1][1] + n)
+            conflict = (op == "load"
+                        and any(r in run["regs"] for r, _ in pieces))
+            if not contiguous or conflict:
+                flush()
+        if run is None:
+            run = {"op": op, "buf": buf, "n": n, "pieces": [], "raw": [],
+                   "regs": set()}
+        run["pieces"].extend(pieces)
+        run["raw"].append(cmd)
+        run["regs"].update(r for r, _ in pieces)
+    flush()
+    return out, {"loads": merged_loads, "stores": merged_stores,
+                 "commands": removed, "vectorized": vectorized}
+
+
+def optimize_commands(commands: "list[tuple]", lanes: int, ew: int = 4,
+                      strides: "dict[str, int] | None" = None
+                      ) -> "tuple[list[tuple], dict]":
+    """Run the DCE -> fuse -> coalesce pipeline over a raw stream.
+
+    Returns the optimized stream plus per-pass statistics (surfaced in
+    explain reports and the ``lower.fuse.*`` / ``lower.coalesce.*`` /
+    ``lower.dce.*`` counters).  Fusion runs before coalescing because
+    removing the FMLAs between operand loads is what makes the loads
+    adjacent in the first place.  ``ew`` (element bytes) and ``strides``
+    (buffer name -> group stride in bytes) drive the 16-byte-unit copy
+    eligibility; omitting ``strides`` just disables that fast path.
+    """
+    del lanes  # geometry is uniform per stream; kept for signature clarity
+    before = len(commands)
+    cmds, dce_removed = _dce(commands)
+    cmds, fuse = _fuse_fmla_chains(cmds)
+    cmds, coal = _coalesce_mem(cmds, ew, strides or {})
+    # K_LOADW scatters straight into the register bank and never needs
+    # stack scratch; MACC (product stack) and STOREW (gather) do.
+    max_stack = 0
+    for c in cmds:
+        if c[0] in (K_MACC, K_STOREW):
+            max_stack = max(max_stack, c[5])
+    passes = {
+        "commands_before": before,
+        "commands_after": len(cmds),
+        "dce_removed": dce_removed,
+        "fuse_chains": fuse["chains"],
+        "fuse_commands": fuse["commands"],
+        "fuse_max_chain": fuse["max_chain"],
+        "coalesce_loads": coal["loads"],
+        "coalesce_stores": coal["stores"],
+        "coalesce_commands": coal["commands"],
+        "coalesce_vectorized": coal["vectorized"],
+        "max_stack": max_stack,
+    }
+    return cmds, passes
 
 
 def _imm(value: float, ew: int):

@@ -127,7 +127,7 @@ def _cmd_show(args) -> int:
               f"{key.mode}: {main}/{pack}{sched} "
               f"{rec.cycles:.0f}cy {rec.gflops:.2f}GF "
               f"(tuner v{rec.tuner_version}, {rec.candidates} cands, "
-              f"batch {rec.batch})")
+              f"batch {rec.batch}, run via {rec.backend})")
     return 0
 
 
@@ -143,13 +143,15 @@ def _cmd_export(args) -> int:
     writer = csv.writer(out)
     writer.writerow(["machine", "op", "dtype", "m", "n", "k", "mode",
                      "main", "force_pack", "schedule", "cycles", "gflops",
-                     "candidates", "tuner_version", "batch", "repeats"])
+                     "candidates", "tuner_version", "batch", "repeats",
+                     "backend"])
     for key, rec in db.items():
         writer.writerow([
             key.machine, key.op, key.dtype, key.m, key.n, key.k, key.mode,
             f"{rec.main[0]}x{rec.main[1]}" if rec.main is not None else "",
             int(rec.force_pack), int(rec.schedule), rec.cycles, rec.gflops,
-            rec.candidates, rec.tuner_version, rec.batch, rec.repeats])
+            rec.candidates, rec.tuner_version, rec.batch, rec.repeats,
+            rec.backend])
     sys.stdout.write(out.getvalue())
     return 0
 

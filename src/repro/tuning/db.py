@@ -110,6 +110,11 @@ class TuningRecord:
     tuner_version: int
     batch: int
     repeats: int = 1
+    backend: str = "compiled"
+    """The executor backend the tuner recommends replaying this shape
+    on (``fused`` by default; the wall-clock race winner when the sweep
+    measured host time).  Pre-backend DB files load as ``compiled`` —
+    the behaviour they were tuned under."""
 
     def to_dict(self) -> dict:
         return {
@@ -122,6 +127,7 @@ class TuningRecord:
             "tuner_version": self.tuner_version,
             "batch": self.batch,
             "repeats": self.repeats,
+            "backend": self.backend,
         }
 
     @classmethod
@@ -144,6 +150,7 @@ class TuningRecord:
                 tuner_version=int(d["tuner_version"]),
                 batch=int(d["batch"]),
                 repeats=int(d.get("repeats", 1)),
+                backend=str(d.get("backend", "compiled")),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ValueError(f"invalid tuning record: {exc}") from exc

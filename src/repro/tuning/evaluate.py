@@ -108,8 +108,28 @@ class Evaluator:
 
     def _measure_wall_clock(self, problem, plan: ExecutionPlan,
                             cand: Candidate) -> float:
-        """Best-of-``repeats`` host seconds executing the plan on the
-        candidate's backend over a capped random batch."""
+        return self._wall_run(problem, cand, cand.backend)
+
+    def race_backends(self, problem, cand: Candidate,
+                      backends: "tuple[str, ...]" = ("compiled", "fused")
+                      ) -> "tuple[str, dict[str, float]]":
+        """Wall-clock race of executor backends on one candidate.
+
+        Returns the winning backend name plus every contestant's
+        best-of-``repeats`` seconds.  Ties keep the first-listed
+        backend, so the race is deterministic given the timings.  This
+        is host-time territory — the tuner only runs it when the sweep
+        was asked for wall-clock measurements; the default (cycle-model)
+        sweep must stay byte-reproducible.
+        """
+        times = {b: self._wall_run(problem, cand, b) for b in backends}
+        winner = min(backends, key=lambda b: times[b])
+        obs.count("tuning.race.backends", len(backends))
+        return winner, times
+
+    def _wall_run(self, problem, cand: Candidate, backend: str) -> float:
+        """Best-of-``repeats`` host seconds executing the candidate's
+        plan on ``backend`` over a capped random batch."""
         from ..layout.compact import CompactBatch
 
         dt = problem.dtype
@@ -126,7 +146,7 @@ class Evaluator:
             return CompactBatch.from_matrices(mats.astype(dt.np_dtype),
                                               lanes, dt)
 
-        engine = Engine(self.machine, backend=cand.backend)
+        engine = Engine(self.machine, backend=backend)
         if isinstance(problem, GemmProblem):
             p = problem.with_batch(small)
             reg = self.registry(cand.schedule)

@@ -26,7 +26,16 @@ from .evaluate import Evaluator, Measurement
 from .space import (Candidate, enumerate_gemm_space, enumerate_trsm_space,
                     size_class)
 
-__all__ = ["TuneOutcome", "tune_problem", "sweep"]
+__all__ = ["TuneOutcome", "tune_problem", "sweep",
+           "DEFAULT_TUNED_BACKEND"]
+
+DEFAULT_TUNED_BACKEND = "fused"
+"""Backend recorded when the sweep did not measure wall clock: the
+pass-optimized replayer is bit-exact by construction and guarded
+not-slower by the perf suite, so recommending it is safe without host
+timing — and a constant keeps the cycle-model sweep byte-reproducible.
+With ``wall_clock=True`` the tuner instead races the real backends on
+the winning candidate and records the host-time winner."""
 
 
 @dataclass(frozen=True)
@@ -98,6 +107,10 @@ def tune_problem(problem, machine: MachineConfig, *,
             if best is None or meas.cycles < best.cycles:
                 best, best_cand = meas, cand
     assert best is not None
+    if ev.wall_clock:
+        backend, _race = ev.race_backends(problem, best_cand)
+    else:
+        backend = DEFAULT_TUNED_BACKEND
     record = TuningRecord(
         main=best_cand.main,
         force_pack=best_cand.force_pack,
@@ -108,6 +121,7 @@ def tune_problem(problem, machine: MachineConfig, *,
         tuner_version=TUNER_VERSION,
         batch=problem.batch,
         repeats=ev.repeats,
+        backend=backend,
     )
     obs.count("tuning.sweep.problems")
     improved = best_cand != candidates[0]

@@ -74,3 +74,28 @@ def test_backend_flag_restricts_backends(capsys):
     assert main(["backend", "--backend", "compiled"]) == 0
     out = capsys.readouterr().out
     assert "compiled" in out and "interpret" not in out
+
+
+def test_backends_showdown_covers_all_four(capsys):
+    assert main(["backends", "--batch", "512"]) == 0
+    out = capsys.readouterr().out
+    for name in ("interpret", "compiled", "fused", "parallel"):
+        assert name in out
+    assert "pass pipeline" in out and "fused vs compiled" in out
+
+
+def test_backends_json_artifact_appends(capsys, tmp_path):
+    import json
+
+    path = tmp_path / "traj.json"
+    for expected_points in (1, 2):
+        assert main(["backends", "--batch", "256",
+                     "--backend", "fused", "--json", str(path)]) == 0
+        points = json.loads(path.read_text())
+        assert len(points) == expected_points
+    point = points[-1]
+    assert point["batch"] == 256
+    assert "fused" in point["seconds"]
+    assert point["fused_vs_compiled"] is None     # only fused was run
+    assert point["passes"]["fuse_chains"] > 0
+    assert "trajectory point appended" in capsys.readouterr().out

@@ -1,9 +1,10 @@
 """Backend equivalence and lowering tests.
 
-The ``compiled`` backend must be *bit-identical* to the ``interpret``
+Every executor backend must be *bit-identical* to the ``interpret``
 reference on every supported configuration — not merely within
-tolerance: both paths perform the same float operations in the same
-order, so their results are the same bytes.
+tolerance: all paths perform the same float operations in the same
+order (fusion never reassociates, sharding splits independent groups),
+so their results are the same bytes.
 """
 
 import time
@@ -16,8 +17,10 @@ from repro.layout import CompactBatch
 from repro.machine.machines import KUNPENG_920
 from repro.machine.memory import MemorySpace
 from repro.runtime.backends import (BACKENDS, DEFAULT_BACKEND,
-                                    CompiledBackend, ExecutorBackend,
-                                    InterpretBackend, resolve_backend)
+                                    DEFAULT_INNER, CompiledBackend,
+                                    ExecutorBackend, FusedBackend,
+                                    InterpretBackend, ParallelBackend,
+                                    resolve_backend)
 from repro.runtime.engine import Engine
 from repro.runtime.iatf import IATF
 from repro.runtime.lowering import lower_plan
@@ -26,6 +29,24 @@ from tests.conftest import ALL_DTYPES, random_batch, random_triangular
 
 LANES = {"s": 4, "d": 2, "c": 4, "z": 2}
 
+# every registered backend, the parallel wrapper at worker counts that
+# divide the group count, exceed it, and split it unevenly
+EQUIV_BACKENDS = (
+    ("interpret", {}),
+    ("compiled", {}),
+    ("fused", {}),
+    ("parallel", {"workers": 1}),
+    ("parallel", {"workers": 2}),
+    ("parallel", {"workers": 5}),
+)
+
+
+def assert_bit_identical(outs):
+    ref = outs[0].tobytes()
+    for (backend, kw), out in zip(EQUIV_BACKENDS[1:], outs[1:]):
+        assert out.tobytes() == ref, (
+            f"backend {backend!r} ({kw}) diverged from interpret")
+
 
 @pytest.fixture(scope="module")
 def iatf():
@@ -33,7 +54,7 @@ def iatf():
 
 
 def run_gemm_both(iatf, rng, problem, force_pack=False):
-    """Execute one GEMM plan on both backends; return the two C buffers."""
+    """Execute one GEMM plan on every backend; return the C buffers."""
     plan = iatf.plan_gemm(problem, force_pack=force_pack)
     lanes = LANES[problem.dtype.value]
     a = random_batch(rng, problem.batch, *problem.a_shape,
@@ -43,11 +64,12 @@ def run_gemm_both(iatf, rng, problem, force_pack=False):
     c = random_batch(rng, problem.batch, problem.m, problem.n,
                      problem.dtype.value)
     outs = []
-    for backend in ("interpret", "compiled"):
+    for backend, kw in EQUIV_BACKENDS:
         ca = CompactBatch.from_matrices(a, lanes)
         cb = CompactBatch.from_matrices(b, lanes)
         cc = CompactBatch.from_matrices(c, lanes)
-        Engine(KUNPENG_920, backend=backend).execute_gemm(plan, ca, cb, cc)
+        Engine(KUNPENG_920, backend=backend,
+               **kw).execute_gemm(plan, ca, cb, cc)
         outs.append(cc.buffer)
     return outs
 
@@ -61,10 +83,11 @@ def run_trsm_both(iatf, rng, problem, force_pack=False):
     b = random_batch(rng, problem.batch, problem.m, problem.n,
                      problem.dtype.value)
     outs = []
-    for backend in ("interpret", "compiled"):
+    for backend, kw in EQUIV_BACKENDS:
         ca = CompactBatch.from_matrices(a, lanes)
         cb = CompactBatch.from_matrices(b, lanes)
-        Engine(KUNPENG_920, backend=backend).execute_trsm(plan, ca, cb)
+        Engine(KUNPENG_920, backend=backend,
+               **kw).execute_trsm(plan, ca, cb)
         outs.append(cb.buffer)
     return outs
 
@@ -74,44 +97,40 @@ class TestGemmEquivalence:
     @pytest.mark.parametrize("mode", ["NN", "NT", "TN", "TT"])
     def test_bit_identical_all_modes(self, iatf, rng, dtype, mode):
         p = GemmProblem(9, 7, 5, dtype, mode[0], mode[1], 9, 1.25, 0.5)
-        got, want = run_gemm_both(iatf, rng, p)
-        assert np.array_equal(got, want)
+        assert_bit_identical(run_gemm_both(iatf, rng, p))
 
     @pytest.mark.parametrize("dtype", ALL_DTYPES)
     @pytest.mark.parametrize("force_pack", [False, True])
     def test_bit_identical_pack_paths(self, iatf, rng, dtype, force_pack):
         p = GemmProblem(8, 8, 8, dtype, batch=13)
-        got, want = run_gemm_both(iatf, rng, p, force_pack=force_pack)
-        assert np.array_equal(got, want)
+        assert_bit_identical(run_gemm_both(iatf, rng, p,
+                                           force_pack=force_pack))
 
     @pytest.mark.parametrize("m,n,k", [(1, 1, 1), (5, 5, 5), (13, 3, 17),
                                        (33, 33, 33)])
     def test_bit_identical_odd_shapes(self, iatf, rng, m, n, k):
         p = GemmProblem(m, n, k, "d", batch=7)
-        got, want = run_gemm_both(iatf, rng, p)
-        assert np.array_equal(got, want)
+        assert_bit_identical(run_gemm_both(iatf, rng, p))
 
 
 class TestTrsmEquivalence:
     @pytest.mark.parametrize("dtype", ALL_DTYPES)
     def test_bit_identical_whole_in_regs(self, iatf, rng, dtype):
         p = TrsmProblem(4, 6, dtype, "L", "L", "N", "N", batch=9)
-        got, want = run_trsm_both(iatf, rng, p)
-        assert np.array_equal(got, want)
+        assert_bit_identical(run_trsm_both(iatf, rng, p))
 
     @pytest.mark.parametrize("dtype", ALL_DTYPES)
     def test_bit_identical_blocked(self, iatf, rng, dtype):
         p = TrsmProblem(12, 6, dtype, "L", "L", "N", "N", batch=9)
-        got, want = run_trsm_both(iatf, rng, p)
-        assert np.array_equal(got, want)
+        assert_bit_identical(run_trsm_both(iatf, rng, p))
 
     @pytest.mark.parametrize("side", ["L", "R"])
     @pytest.mark.parametrize("force_pack", [False, True])
     def test_bit_identical_sides_and_pack(self, iatf, rng, side,
                                           force_pack):
         p = TrsmProblem(7, 5, "d", side, "L", "N", "N", batch=6)
-        got, want = run_trsm_both(iatf, rng, p, force_pack=force_pack)
-        assert np.array_equal(got, want)
+        assert_bit_identical(run_trsm_both(iatf, rng, p,
+                                           force_pack=force_pack))
 
 
 class TestLowering:
@@ -199,21 +218,102 @@ class TestBackendSelection:
         assert IATF(KUNPENG_920).backend.name == "compiled"
 
     def test_registry_contents(self):
-        assert set(BACKENDS) == {"interpret", "compiled"}
+        assert set(BACKENDS) == {"interpret", "compiled", "fused",
+                                 "parallel"}
         assert isinstance(resolve_backend("interpret"), InterpretBackend)
         assert isinstance(resolve_backend("compiled"), CompiledBackend)
+        assert isinstance(resolve_backend("fused"), FusedBackend)
+        assert isinstance(resolve_backend("parallel"), ParallelBackend)
 
-    def test_unknown_name_raises(self):
+    def test_unknown_name_error_lists_all_backends(self):
+        """The unknown-name PlanError must name every registered
+        backend — including the ones added after the message was first
+        written (a stale list sent users hunting for spellings)."""
         with pytest.raises(PlanError, match="unknown executor backend"):
             resolve_backend("jit")
+        try:
+            resolve_backend("jit")
+        except PlanError as e:
+            msg = str(e)
+        for name in ("interpret", "compiled", "fused", "parallel"):
+            assert name in msg, f"error message omits {name!r}: {msg}"
 
-    def test_non_backend_object_raises(self):
+    def test_non_backend_object_rejected_before_first_use(self):
+        """A non-conforming object must fail at resolution time, not
+        blow up with an AttributeError mid-execution."""
         with pytest.raises(PlanError, match="protocol"):
             resolve_backend(42)
+
+        class NoRun:                      # has name, run not callable
+            name = "norun"
+            needs_lowering = False
+            run = "not callable"
+
+        with pytest.raises(PlanError, match="protocol"):
+            resolve_backend(NoRun())
+        with pytest.raises(PlanError, match="protocol"):
+            Engine(KUNPENG_920, backend=object())
+        with pytest.raises(PlanError, match="protocol"):
+            IATF(KUNPENG_920, backend=3.14)
+
+    def test_named_backends_are_cached(self):
+        """Every run_plan used to construct a fresh backend object;
+        named resolutions now share one instance per configuration."""
+        for name in ("interpret", "compiled", "fused"):
+            assert resolve_backend(name) is resolve_backend(name)
+        assert Engine(KUNPENG_920).backend is Engine(KUNPENG_920).backend
+        p2 = resolve_backend("parallel", workers=2)
+        assert p2 is resolve_backend("parallel", workers=2)
+        assert p2 is not resolve_backend("parallel", workers=3)
+        assert (resolve_backend("parallel", inner="compiled", workers=2)
+                is not p2)
+
+    def test_explicit_instance_passes_through_uncached(self):
+        mine = CompiledBackend()
+        assert resolve_backend(mine) is mine
+        assert resolve_backend(mine) is not resolve_backend("compiled")
+
+    def test_inner_workers_rejected_for_non_parallel(self):
+        with pytest.raises(PlanError, match="parallel"):
+            resolve_backend("compiled", workers=2)
+        with pytest.raises(PlanError, match="parallel"):
+            resolve_backend("fused", inner="compiled")
+        with pytest.raises(PlanError, match="instance"):
+            resolve_backend(CompiledBackend(), workers=2)
+
+    def test_parallel_configuration_errors(self):
+        with pytest.raises(PlanError, match="wrap itself"):
+            ParallelBackend(inner="parallel")
+        with pytest.raises(PlanError, match="workers"):
+            ParallelBackend(workers=0)
+
+    def test_parallel_defaults_and_inner_instance(self):
+        p = resolve_backend("parallel")
+        assert p.inner.name == DEFAULT_INNER == "fused"
+        assert p.workers >= 1
+        assert p.needs_lowering == p.inner.needs_lowering
+        inner = InterpretBackend()
+        q = resolve_backend("parallel", inner=inner, workers=2)
+        assert q.inner is inner
+        assert not q.needs_lowering
+
+    def test_shard_ranges_cover_and_balance(self):
+        for groups in (1, 2, 7, 16, 4096):
+            for shards in (1, 2, 3, 5, 8, 100):
+                ranges = ParallelBackend.shard_ranges(groups, shards)
+                assert ranges[0][0] == 0 and ranges[-1][1] == groups
+                sizes = [stop - start for start, stop in ranges]
+                assert all(s > 0 for s in sizes)
+                assert max(sizes) - min(sizes) <= 1
+                assert len(ranges) <= min(shards, groups)
+                for (_, a), (b, _) in zip(ranges, ranges[1:]):
+                    assert a == b
 
     def test_instances_satisfy_protocol(self):
         assert isinstance(InterpretBackend(), ExecutorBackend)
         assert isinstance(CompiledBackend(), ExecutorBackend)
+        assert isinstance(FusedBackend(), ExecutorBackend)
+        assert isinstance(ParallelBackend(), ExecutorBackend)
 
     def test_custom_backend_instance_accepted(self, iatf, rng):
         """A user-supplied object implementing the protocol plugs in."""
@@ -285,3 +385,26 @@ class TestPerfGuard:
         # bench/experiments.backend_showdown shows ~2x; guard a softer
         # bound so background load cannot flake CI
         assert times["compiled"] < 0.75 * times["interpret"], times
+
+    def test_fused_not_slower_than_compiled_on_large_batch(self, rng):
+        """The optimizing pass pipeline's payoff: replaying macro-ops
+        must never cost wall clock versus the raw stream on the same
+        headline shape (measured speedup is ~1.5-2x; guard only against
+        regression so background load cannot flake CI)."""
+        p = GemmProblem(8, 8, 8, "s", batch=16384)
+        a = random_batch(rng, p.batch, 8, 8, "s")
+        lanes = LANES["s"]
+        times = {}
+        for backend in ("compiled", "fused"):
+            fw = IATF(KUNPENG_920, backend=backend)
+            ca = CompactBatch.from_matrices(a, lanes)
+            cb = CompactBatch.from_matrices(a, lanes)
+            cc = CompactBatch.from_matrices(np.zeros_like(a), lanes)
+            fw.gemm_compact(p, ca, cb, cc)       # warm: plan + lowering
+            best = float("inf")
+            for _ in range(5):
+                t0 = time.perf_counter()
+                fw.gemm_compact(p, ca, cb, cc)
+                best = min(best, time.perf_counter() - t0)
+            times[backend] = best
+        assert times["fused"] <= 1.10 * times["compiled"], times
