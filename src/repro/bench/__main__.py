@@ -15,49 +15,17 @@ the quick one the benchmark suite uses.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
-import time
 
 from . import experiments
 from .harness import PAPER_SIZES, QUICK_SIZES, BenchHarness
 from .reporting import ratio_summary, series_table
+from .trajectory import append_points, points_from_showdown
 
 SWEEP_EXPERIMENTS = ("fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
                      "headline")
 LOCAL_EXPERIMENTS = ("table1", "table2", "fig4", "fig5", "ablation",
                      "backend", "backends", "tuned")
-
-
-def _append_trajectory(path: str, result: dict) -> str:
-    """Append one backend-showdown measurement to a JSON list file.
-
-    The file is a perf trajectory: each CI run appends one point, so a
-    regression shows up as a dip in the series rather than a silently
-    overwritten number.  An unreadable or non-list file is restarted
-    rather than crashing the bench run.
-    """
-    try:
-        with open(path) as f:
-            points = json.load(f)
-        if not isinstance(points, list):
-            points = []
-    except (OSError, json.JSONDecodeError):
-        points = []
-    points.append({
-        "timestamp": time.time(),
-        "size": result["size"],
-        "dtype": result["dtype"],
-        "batch": result["batch"],
-        "repeats": result["repeats"],
-        "seconds": result["seconds"],
-        "fused_vs_compiled": result["fused_vs_compiled"],
-        "passes": result["passes"],
-    })
-    with open(path, "w") as f:
-        json.dump(points, f, indent=2)
-        f.write("\n")
-    return path
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -86,8 +54,11 @@ def main(argv: list[str] | None = None) -> int:
                         "(default: the paper's headline 16384)")
     parser.add_argument("--json", nargs="?", const="BENCH_backends.json",
                         metavar="PATH",
-                        help="append the 'backends' showdown result as a "
-                        "trajectory point to a JSON list file (default "
+                        help="append the 'backends' showdown as uniform-"
+                        "schema trajectory points (one per backend: machine "
+                        "id, dtype, shape, modeled gflops / %% of peak, "
+                        "wall seconds) to a JSON list file the watchdog "
+                        "('python -m repro.obs watch') diffs (default "
                         "path: BENCH_backends.json)")
     parser.add_argument("--tuning-db", metavar="PATH",
                         help="TuningDB file (from 'python -m repro.tuning "
@@ -119,8 +90,10 @@ def main(argv: list[str] | None = None) -> int:
                                                   batch=args.batch)
             print(result["render"])
             if args.json:
-                path = _append_trajectory(args.json, result)
-                print(f"trajectory point appended to {path}")
+                points = points_from_showdown(result)
+                path = append_points(args.json, points)
+                print(f"{len(points)} trajectory points (schema v"
+                      f"{points[0]['schema']}) appended to {path}")
         elif args.experiment == "tuned":
             sizes = (PAPER_SIZES if args.full else QUICK_SIZES)
             dt = args.dtype or "d"

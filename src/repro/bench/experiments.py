@@ -451,6 +451,7 @@ def backend_showdown(size: int = 8, dtype: str = "s",
     import numpy as np
 
     from ..layout.compact import CompactBatch
+    from ..runtime.engine import Engine
     from ..runtime.lowering import lower_plan
 
     dt = BlasDType.from_any(dtype)
@@ -480,7 +481,11 @@ def backend_showdown(size: int = 8, dtype: str = "s",
         results[name] = best
         obs.count(f"bench.backend.{name}")
 
-    passes = lower_plan(IATF(machine).plan_gemm(prob)).stats["passes"]
+    plan = IATF(machine).plan_gemm(prob)
+    passes = lower_plan(plan).stats["passes"]
+    # the cycle model is backend-independent: one deterministic
+    # gflops / %-of-peak figure per problem, the watchdog's CI metric
+    timing = Engine(machine).time_plan(plan)
 
     lines = [f"Backend showdown — {dt.value}gemm NN {size}x{size}x{size}, "
              f"batch {batch} (wall clock, best of {repeats})",
@@ -500,7 +505,15 @@ def backend_showdown(size: int = 8, dtype: str = "s",
                          else None)
     if fused_vs_compiled is not None:
         lines.append(f"fused vs compiled: {fused_vs_compiled:.2f}x")
+    lines.append(f"cycle model: {timing.gflops:.2f} GFLOPS "
+                 f"({timing.percent_of_peak:.1f}% of peak, "
+                 f"backend-independent)")
     return {"seconds": results, "repeats": repeats, "size": size,
             "batch": batch, "dtype": dt.value, "passes": passes,
             "fused_vs_compiled": fused_vs_compiled,
+            "machine": machine.name, "machine_id": machine.machine_id,
+            "routine": "gemm", "shape": [size, size, size],
+            "modeled_gflops": timing.gflops,
+            "modeled_percent_peak": timing.percent_of_peak,
+            "modeled_cycles": timing.total_cycles,
             "render": "\n".join(lines)}

@@ -1,0 +1,66 @@
+"""Uniform-schema bench trajectory points (``BENCH_*.json``).
+
+One trajectory file is a JSON list; every bench/CI run appends one
+point per executor backend so performance becomes a *series* the
+watchdog (:mod:`repro.obs.watch`) can diff, instead of a number each
+run overwrites.  The schema (v2, :data:`SCHEMA_VERSION`) carries both
+performance figures a point can have:
+
+* ``gflops`` / ``percent_peak`` — the **cycle model's** numbers, from
+  :meth:`Engine.time_plan` on the showdown's plan.  Deterministic pure
+  Python, identical on every host — these are what CI diffs;
+* ``wall_seconds`` — the backend's measured host time, best of
+  ``repeats``.  Host-specific provenance; only pinned perf runners
+  should threshold it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from ..obs.watch import SCHEMA_VERSION
+
+__all__ = ["SCHEMA_VERSION", "points_from_showdown", "append_points"]
+
+
+def points_from_showdown(result: dict) -> "list[dict]":
+    """One v2 trajectory point per backend of a
+    :func:`~repro.bench.experiments.backend_showdown` result."""
+    stamp = time.time()
+    return [{
+        "schema": SCHEMA_VERSION,
+        "machine": result["machine"],
+        "machine_id": result["machine_id"],
+        "routine": result["routine"],
+        "backend": backend,
+        "dtype": result["dtype"],
+        "shape": list(result["shape"]),
+        "batch": result["batch"],
+        "gflops": result["modeled_gflops"],
+        "percent_peak": result["modeled_percent_peak"],
+        "wall_seconds": wall,
+        "repeats": result["repeats"],
+        "timestamp": stamp,
+    } for backend, wall in result["seconds"].items()]
+
+
+def append_points(path: str, points: "list[dict]") -> str:
+    """Append points to a JSON-list trajectory file.
+
+    Existing points — including pre-schema v1 dicts, which the watchdog
+    skips but history keeps — are preserved; an unreadable or non-list
+    file is restarted rather than crashing the bench run.
+    """
+    try:
+        with open(path) as f:
+            existing = json.load(f)
+        if not isinstance(existing, list):
+            existing = []
+    except (OSError, json.JSONDecodeError):
+        existing = []
+    existing.extend(points)
+    with open(path, "w") as f:
+        json.dump(existing, f, indent=2)
+        f.write("\n")
+    return path

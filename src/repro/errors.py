@@ -48,3 +48,8 @@ class LoweringError(PlanError):
 
 class UnsupportedModeError(PlanError, NotImplementedError):
     """The requested mode combination has no kernel in the registry."""
+
+
+class ProfileError(ReproError):
+    """The attribution profiler's conservation invariant failed, or a
+    profile was requested over an empty/unknown command stream."""

@@ -47,6 +47,21 @@ class MachineConfig:
     """Sustained L1-resident memcpy throughput, used by the packing cost
     model (one load + one store stream sharing the memory issue slots)."""
 
+    @property
+    def machine_id(self) -> str:
+        """Stable slug identifying this configuration in persisted
+        artifacts (tuning DBs, bench trajectories): lowercase, with
+        non-alphanumeric runs collapsed to single dashes."""
+        out, dash = [], False
+        for ch in self.name.lower():
+            if ch.isalnum():
+                out.append(ch)
+                dash = False
+            elif not dash:
+                out.append("-")
+                dash = True
+        return "".join(out).strip("-")
+
     def lanes(self, dtype: "BlasDType | str") -> int:
         """The paper's P: matrices interleaved per vector register."""
         return BlasDType.from_any(dtype).lanes(self.vector_bytes)
@@ -67,6 +82,26 @@ class MachineConfig:
         ew = dt.real_itemsize
         flops_per_cycle = self.fma_per_cycle(ew) * self.fp_lanes(ew) * 2
         return self.freq_ghz * flops_per_cycle
+
+    def peak_bytes_per_cycle(self) -> int:
+        """Issue-limited load/store bandwidth: memory slots per cycle
+        times the vector width.  This is the roofline's slanted roof —
+        sustained streaming cannot beat the issue rules even when every
+        access hits L1."""
+        return self.rules.max_mem * self.vector_bytes
+
+    def ridge_intensity(self, dtype: "BlasDType | str") -> float:
+        """Roofline ridge point in flops/byte for one scalar type.
+
+        Below this arithmetic intensity a kernel is bandwidth-bound
+        (the memory issue slots saturate before the FP pipes); above
+        it, compute-bound.  Derived purely from the issue rules, so it
+        is exact for the modeled machine.
+        """
+        dt = BlasDType.from_any(dtype)
+        ew = dt.real_itemsize
+        flops_per_cycle = self.fma_per_cycle(ew) * self.fp_lanes(ew) * 2
+        return flops_per_cycle / self.peak_bytes_per_cycle()
 
     def make_caches(self) -> CacheHierarchy:
         return CacheHierarchy(self.l1, self.l2, self.mem_penalty)

@@ -1,6 +1,6 @@
 """repro.obs — zero-dependency observability for the run-time stage.
 
-Three layers:
+Five layers:
 
 * :mod:`repro.obs.core` — the process-wide :class:`Registry` of named
   :class:`Counter`/:class:`Histogram` objects and the hot-path helpers
@@ -11,7 +11,16 @@ Three layers:
 * :mod:`repro.obs.explain` — :func:`explain` reports narrating every
   run-time-stage decision a plan embodies (batch counter math,
   pack-selector reasoning, tile decomposition, autotune sweeps, and
-  the cycle-model breakdown).
+  the cycle-model breakdown);
+* :mod:`repro.obs.profile` — the attribution profiler:
+  :func:`profile_plan` walks a plan's compiled command stream and
+  attributes modeled cycles/FLOPs/bytes to instruction classes,
+  kernels, and plan phases with exact conservation;
+  :class:`ProfileReport` adds the %-of-peak roofline view, collapsed
+  flamegraph stacks, and a modeled Chrome-trace track;
+  :func:`model_drift` compares the cycle model to wall clock;
+* :mod:`repro.obs.watch` — the stdlib-pure bench-trajectory watchdog
+  behind ``python -m repro.obs watch``.
 
 Quick start::
 
@@ -34,6 +43,9 @@ from .core import (Counter, Histogram, Registry, count, disable, enable,
                    enabled, gauge, get_registry, observe, scoped,
                    set_registry, tick, tock)
 from .explain import ExplainReport, explain
+from .profile import (ClassProfile, KernelProfile, PlanProfile,
+                      ProfileReport, model_drift, profile_plan,
+                      profile_report)
 from .spans import (SpanRecord, chrome_trace, span, validate_chrome_trace,
                     write_chrome_trace)
 
@@ -45,4 +57,6 @@ __all__ = [
     "SpanRecord", "span", "chrome_trace", "write_chrome_trace",
     "validate_chrome_trace",
     "ExplainReport", "explain",
+    "ClassProfile", "KernelProfile", "PlanProfile", "ProfileReport",
+    "profile_plan", "profile_report", "model_drift",
 ]

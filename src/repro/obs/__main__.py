@@ -7,13 +7,21 @@ Usage::
     python -m repro.obs explain gemm --m 9 --n 9 --k 9 --dtype d \\
         --batch 4096 [--deep] [--autotune] [--force-pack]
     python -m repro.obs explain trsm --m 8 --n 6 --dtype d --mode LLNN
+    python -m repro.obs profile gemm --m 8 --n 8 --k 8 --dtype s \\
+        [--stream raw|fused] [--json out.json] [--flame out.folded] \\
+        [--trace-out out.trace.json] [--drift]
+    python -m repro.obs watch BENCH_backends.json [--threshold 0.10] \\
+        [--wall-threshold 0.5] [--ratio-floor 0.90]
 
 ``snapshot`` runs a small representative GEMM+TRSM workload with
 instrumentation enabled, prints the registry report, and (with
 ``--trace-out``) converts the recorded spans to a Chrome-trace
-``.trace.json``.  ``--self-check`` does the same end to end against a
-temporary file, validates the trace schema, and asserts the expected
-counters moved — the CI smoke test.
+``.trace.json``.  ``profile`` renders the attribution profiler's
+roofline report for one problem shape (optionally persisting the JSON,
+collapsed-stack flamegraph, and merged Chrome-trace artifacts).
+``watch`` is the bench-trajectory regression watchdog; its exit code
+feeds CI.  ``--self-check`` exercises all of the above end to end —
+the CI smoke test.
 """
 
 from __future__ import annotations
@@ -24,8 +32,9 @@ import os
 import sys
 import tempfile
 
-from . import (chrome_trace, explain, scoped, validate_chrome_trace,
-               write_chrome_trace)
+from . import (chrome_trace, explain, model_drift, profile_report, scoped,
+               validate_chrome_trace, write_chrome_trace)
+from .watch import watch
 
 __all__ = ["main"]
 
@@ -62,6 +71,16 @@ def _cmd_snapshot(args) -> int:
             path = write_chrome_trace(args.trace_out, registry=reg)
             print(f"wrote {len(reg.spans)} spans to {path}")
     return 0
+
+
+def _synthetic_point(gflops: float, timestamp: float) -> dict:
+    """A valid v2 trajectory point for the self-check's watchdog drill."""
+    from .watch import SCHEMA_VERSION
+    return {"schema": SCHEMA_VERSION, "machine": "Self Check",
+            "machine_id": "self-check", "routine": "gemm",
+            "backend": "compiled", "dtype": "s", "shape": [8, 8, 8],
+            "batch": 16384, "gflops": gflops, "percent_peak": 50.0,
+            "wall_seconds": None, "repeats": 1, "timestamp": timestamp}
 
 
 def _cmd_self_check(args) -> int:
@@ -101,13 +120,43 @@ def _cmd_self_check(args) -> int:
                 if needle not in text:
                     problems.append(
                         f"explain[{plan.kind}] missing section {needle!r}")
+        # attribution profiler: conservation holds on both streams and
+        # the modeled-timeline events merge into a valid Chrome trace
+        from ..errors import ProfileError
+        prof = None
+        for stream in ("raw", "fused"):
+            try:
+                prof = profile_report(iatf.plan_gemm(gp), stream=stream)
+            except ProfileError as e:
+                problems.append(f"profiler[{stream}]: {e}")
+        if prof is not None:
+            for needle in ("phase attribution", "instruction classes",
+                           "roofline", "% of peak"):
+                if needle not in prof.render():
+                    problems.append(f"profile report missing {needle!r}")
+            if not prof.collapsed().strip():
+                problems.append("profiler produced no flamegraph stacks")
+            try:
+                validate_chrome_trace(chrome_trace(
+                    reg, extra_events=prof.trace_events()))
+            except ValueError as e:
+                problems.append(f"merged profile trace schema: {e}")
+    # watchdog drill: a healthy trajectory passes, an injected 20%
+    # modeled-gflops regression is flagged with exit code 1
+    from .watch import check_trajectory
+    healthy = [_synthetic_point(10.0, 1.0), _synthetic_point(10.1, 2.0)]
+    regressed = healthy + [_synthetic_point(8.0, 3.0)]
+    if check_trajectory(list(healthy)).exit_code != 0:
+        problems.append("watchdog flagged a healthy trajectory")
+    if check_trajectory(list(regressed)).exit_code != 1:
+        problems.append("watchdog missed an injected 20% regression")
     if problems:
         print("obs self-check FAILED:")
         for p in problems:
             print(f"  - {p}")
         return 1
-    print("obs self-check OK: counters, spans, trace schema, and "
-          "explain reports all healthy")
+    print("obs self-check OK: counters, spans, trace schema, explain "
+          "reports, profiler conservation, and the watchdog all healthy")
     return 0
 
 
@@ -140,6 +189,67 @@ def _cmd_explain(args) -> int:
         return 2
     print(report.render())
     return 0
+
+
+def _parse_trsm_mode(mode: str) -> "tuple[str, str, str, str] | None":
+    mode = mode.upper()
+    return tuple(mode) if len(mode) == 4 else None
+
+
+def _cmd_profile(args) -> int:
+    from ..errors import InvalidProblemError, ProfileError
+    from ..runtime.iatf import IATF
+    from ..types import GemmProblem, TrsmProblem
+
+    iatf = IATF()
+    try:
+        if args.routine == "gemm":
+            problem = GemmProblem(args.m, args.n, args.k, args.dtype,
+                                  batch=args.batch)
+        else:
+            letters = _parse_trsm_mode(args.mode)
+            if letters is None:
+                print(f"error: --mode wants 4 letters "
+                      f"(side/uplo/trans/diag, e.g. LLNN), got {args.mode!r}")
+                return 2
+            problem = TrsmProblem(args.m, args.n, args.dtype, *letters,
+                                  batch=args.batch)
+        with scoped() as reg:
+            plan = (iatf.plan_gemm(problem) if args.routine == "gemm"
+                    else iatf.plan_trsm(problem))
+            drift = (model_drift(problem, backends=("compiled", "fused"))
+                     if args.drift else None)
+            report = profile_report(plan, stream=args.stream, drift=drift)
+            if args.trace_out:
+                path = write_chrome_trace(args.trace_out, registry=reg,
+                                          extra_events=report.trace_events())
+    except InvalidProblemError as exc:
+        print(f"error: {exc}")
+        return 2
+    except ProfileError as exc:
+        print(f"profile error: {exc}")
+        return 1
+    print(report.render())
+    if args.json_out:
+        with open(args.json_out, "w") as f:
+            json.dump(report.to_dict(), f, indent=2)
+            f.write("\n")
+        print(f"profile JSON written to {args.json_out}")
+    if args.flame:
+        with open(args.flame, "w") as f:
+            f.write(report.collapsed())
+        print(f"collapsed flamegraph stacks written to {args.flame}")
+    if args.trace_out:
+        print(f"Chrome trace (spans + modeled profile) written to {path}")
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    result = watch(args.paths, gflops_threshold=args.threshold,
+                   wall_threshold=args.wall_threshold,
+                   ratio_floor=args.ratio_floor)
+    print(result.render())
+    return result.exit_code
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -181,6 +291,50 @@ def main(argv: "list[str] | None" = None) -> int:
     p_exp.add_argument("--autotune", action="store_true")
     p_exp.add_argument("--force-pack", action="store_true")
 
+    p_prof = sub.add_parser("profile", help="cycle/byte attribution and "
+                            "%%-of-peak roofline report for one problem "
+                            "shape (Figs. 11-12's metric)")
+    p_prof.add_argument("routine", choices=("gemm", "trsm"))
+    p_prof.add_argument("--m", type=int, default=8)
+    p_prof.add_argument("--n", type=int, default=8)
+    p_prof.add_argument("--k", type=int, default=8,
+                        help="GEMM inner dimension (ignored for trsm)")
+    p_prof.add_argument("--dtype", choices=("s", "d", "c", "z"), default="s")
+    p_prof.add_argument("--batch", type=int, default=16384)
+    p_prof.add_argument("--mode", default="LLNN",
+                        help="TRSM side/uplo/trans/diag letters")
+    p_prof.add_argument("--stream", choices=("raw", "fused"), default="raw",
+                        help="which compiled command stream to attribute "
+                        "(raw enables per-kernel breakdown)")
+    p_prof.add_argument("--json", dest="json_out", metavar="PATH",
+                        help="also write the profile as JSON (the CI "
+                        "artifact)")
+    p_prof.add_argument("--flame", metavar="PATH",
+                        help="also write collapsed-stack flamegraph lines "
+                        "(flamegraph.pl / speedscope input)")
+    p_prof.add_argument("--trace-out", metavar="PATH",
+                        help="also write a Chrome trace merging recorded "
+                        "spans with the modeled profile timeline")
+    p_prof.add_argument("--drift", action="store_true",
+                        help="cross-check the cycle model against wall-"
+                        "clock replays per backend (runs real executions)")
+
+    p_watch = sub.add_parser("watch", help="bench-trajectory regression "
+                             "watchdog: diff BENCH_*.json series, exit "
+                             "nonzero on regressions (CI gate)")
+    p_watch.add_argument("paths", nargs="*", default=["BENCH_backends.json"],
+                         metavar="PATH", help="trajectory JSON files "
+                         "(default: BENCH_backends.json)")
+    p_watch.add_argument("--threshold", type=float, default=0.10,
+                         help="modeled-GFLOPS regression threshold as a "
+                         "fraction (default 0.10 = 10%%)")
+    p_watch.add_argument("--wall-threshold", type=float, default=None,
+                         help="opt-in wall-clock regression threshold "
+                         "(host-dependent; pinned perf runners only)")
+    p_watch.add_argument("--ratio-floor", type=float, default=None,
+                         help="require wall(compiled)/wall(fused) >= floor "
+                         "in the latest run (e.g. 0.90)")
+
     args = parser.parse_args(argv)
     if args.command == "snapshot":
         return _cmd_snapshot(args)
@@ -188,6 +342,10 @@ def main(argv: "list[str] | None" = None) -> int:
         return _cmd_self_check(args)
     if args.command == "explain":
         return _cmd_explain(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
+    if args.command == "watch":
+        return _cmd_watch(args)
     parser.print_help()
     return 2
 

@@ -104,7 +104,8 @@ class Histogram:
                 "mean": self.mean,
                 "min": self.min if self.count else 0.0,
                 "max": self.max if self.count else 0.0,
-                "p50": self.percentile(50), "p95": self.percentile(95)}
+                "p50": self.percentile(50), "p95": self.percentile(95),
+                "p99": self.percentile(99)}
 
     def __repr__(self) -> str:
         return f"Histogram({self.name}, n={self.count}, mean={self.mean:.3g})"
@@ -186,7 +187,8 @@ class Registry:
                 lines.append(
                     f"    {name}: n={s['count']} mean={s['mean']:.3g} "
                     f"min={s['min']:.3g} max={s['max']:.3g} "
-                    f"p95={s['p95']:.3g}")
+                    f"p50={s['p50']:.3g} p95={s['p95']:.3g} "
+                    f"p99={s['p99']:.3g}")
         return "\n".join(lines)
 
     def reset(self) -> None:

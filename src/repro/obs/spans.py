@@ -109,8 +109,16 @@ def span(name: str, **args):
 
 # -- Chrome trace export -------------------------------------------------
 
-def chrome_trace(registry: "core.Registry | None" = None) -> dict:
-    """Recorded spans as a Chrome/Perfetto trace-JSON object."""
+def chrome_trace(registry: "core.Registry | None" = None,
+                 extra_events: "list[dict] | None" = None) -> dict:
+    """Recorded spans as a Chrome/Perfetto trace-JSON object.
+
+    ``extra_events`` appends ready-made trace events onto the export —
+    the attribution profiler's modeled-timeline track
+    (:meth:`repro.obs.profile.ProfileReport.trace_events`) merges in
+    this way, so one ``.trace.json`` shows wall-time spans and modeled
+    cycle attribution side by side.
+    """
     reg = registry if registry is not None else core.get_registry()
     pid = os.getpid()
     events: list[dict] = [{
@@ -128,12 +136,15 @@ def chrome_trace(registry: "core.Registry | None" = None) -> dict:
             "tid": s.tid,
             "args": s.args,
         })
+    if extra_events:
+        events.extend(extra_events)
     return {"displayTimeUnit": "ms", "traceEvents": events}
 
 
-def write_chrome_trace(path, registry: "core.Registry | None" = None) -> str:
+def write_chrome_trace(path, registry: "core.Registry | None" = None,
+                       extra_events: "list[dict] | None" = None) -> str:
     """Write the trace JSON to ``path`` (conventionally ``*.trace.json``)."""
-    trace = chrome_trace(registry)
+    trace = chrome_trace(registry, extra_events=extra_events)
     with open(path, "w") as f:
         json.dump(trace, f, indent=1)
     return str(path)
@@ -142,15 +153,20 @@ def write_chrome_trace(path, registry: "core.Registry | None" = None) -> str:
 def validate_chrome_trace(trace: dict) -> None:
     """Schema-check a trace object; raises ``ValueError`` on violation.
 
-    Checks the subset of the Trace Event Format the exporter emits:
+    Checks the subset of the Trace Event Format the exporter emits —
     a ``traceEvents`` list whose ``"X"`` (complete) events carry
-    name/ts/dur/pid/tid with non-negative numeric timestamps.
+    name/ts/dur/pid/tid with non-negative numeric timestamps and
+    durations — plus, for duration (``"B"``/``"E"``) pairs: every ``E``
+    must close the most recent open ``B`` on the same ``(pid, tid)``
+    track with a matching name and a non-negative duration, and no
+    ``B`` may be left open at the end of the trace.
     """
     if not isinstance(trace, dict):
         raise ValueError("trace must be a JSON object")
     events = trace.get("traceEvents")
     if not isinstance(events, list):
         raise ValueError("trace.traceEvents must be a list")
+    open_spans: "dict[tuple, list]" = {}   # (pid, tid) -> [(name, ts, i)]
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):
             raise ValueError(f"event {i} is not an object")
@@ -159,12 +175,35 @@ def validate_chrome_trace(trace: dict) -> None:
             raise ValueError(f"event {i} has unknown phase {ph!r}")
         if not isinstance(ev.get("name"), str):
             raise ValueError(f"event {i} has no string name")
-        if ph != "X":
+        if ph not in ("X", "B", "E"):
             continue
-        for k in ("ts", "dur"):
+        keys = ("ts", "dur") if ph == "X" else ("ts",)
+        for k in keys:
             v = ev.get(k)
             if not isinstance(v, (int, float)) or v < 0:
                 raise ValueError(f"event {i} field {k} invalid: {v!r}")
         for k in ("pid", "tid"):
             if not isinstance(ev.get(k), int):
                 raise ValueError(f"event {i} field {k} must be an int")
+        if ph == "B":
+            open_spans.setdefault((ev["pid"], ev["tid"]), []).append(
+                (ev["name"], ev["ts"], i))
+        elif ph == "E":
+            stack = open_spans.get((ev["pid"], ev["tid"]))
+            if not stack:
+                raise ValueError(f"event {i}: E with no open B on "
+                                 f"pid={ev['pid']} tid={ev['tid']}")
+            name, ts, bi = stack.pop()
+            if name != ev["name"]:
+                raise ValueError(
+                    f"event {i}: improperly nested spans — E "
+                    f"{ev['name']!r} closes B {name!r} (event {bi})")
+            if ev["ts"] < ts:
+                raise ValueError(
+                    f"event {i}: negative duration — E at {ev['ts']} "
+                    f"before its B at {ts} (event {bi})")
+    for (pid, tid), stack in open_spans.items():
+        if stack:
+            name, _, bi = stack[-1]
+            raise ValueError(f"unclosed B span {name!r} (event {bi}) on "
+                             f"pid={pid} tid={tid}")

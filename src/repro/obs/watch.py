@@ -1,0 +1,243 @@
+"""Bench-trajectory regression watchdog (``python -m repro.obs watch``).
+
+``BENCH_*.json`` files are perf *trajectories*: every bench/CI run
+appends one uniform-schema point per executor backend (see
+:mod:`repro.bench.trajectory`), so a regression shows up as a dip in a
+series instead of a silently overwritten number.  This module is the
+series' guard dog: it loads one or more trajectory files, groups points
+by ``(machine, routine, backend, dtype, shape, batch)``, and compares
+each series' **latest** point against the **best earlier** point.
+
+Three checks, composable per invocation:
+
+* **modeled GFLOPS** (default, threshold ``--threshold``, 10%) — the
+  cycle model is deterministic pure Python, identical on every host, so
+  this check is CI-stable: a dip can only come from a code change that
+  made plans, kernels, or the model itself worse;
+* **wall clock** (opt-in, ``--wall-threshold``) — host-dependent and
+  noisy, so it is never on by default; useful on pinned perf runners;
+* **backend ratio floor** (``--ratio-floor``) — within the *latest*
+  run only: ``wall(compiled) / wall(fused) >= floor``, i.e. the fused
+  stream must stay within the floor of the compiled replayer (the CI
+  guard that used to live as an inline assert in the workflow).
+
+Exit codes: 0 all series healthy, 1 regression detected, 2 schema
+problems (unreadable file, malformed points, or nothing checkable).
+Pre-schema (v1) points are skipped with a note, never an error.
+
+Stdlib only, and no repro.runtime imports at all — the watchdog must
+stay importable and runnable even when a perf regression comes with a
+broken runtime.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+__all__ = ["SCHEMA_VERSION", "WatchResult", "load_trajectory",
+           "point_key", "check_trajectory", "watch"]
+
+SCHEMA_VERSION = 2
+"""Uniform bench-point schema version.  v2 is the first uniform one
+(machine id, backend, dtype, shape, modeled gflops, % of peak); the
+ad-hoc v1 dicts had no ``schema`` key and are skipped on load."""
+
+#: field name -> required type(s) for one v2 trajectory point
+_POINT_FIELDS: "dict[str, tuple]" = {
+    "schema": (int,),
+    "machine": (str,),
+    "machine_id": (str,),
+    "routine": (str,),
+    "backend": (str,),
+    "dtype": (str,),
+    "shape": (list, tuple),
+    "batch": (int,),
+    "gflops": (int, float),
+    "percent_peak": (int, float),
+    "wall_seconds": (int, float, type(None)),
+    "repeats": (int,),
+    "timestamp": (int, float),
+}
+
+
+@dataclass
+class WatchResult:
+    """Outcome of one watchdog pass over loaded trajectory points."""
+
+    series_checked: int = 0
+    points_seen: int = 0
+    skipped_v1: int = 0
+    regressions: "list[str]" = field(default_factory=list)
+    problems: "list[str]" = field(default_factory=list)
+    notes: "list[str]" = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.problems
+
+    @property
+    def exit_code(self) -> int:
+        """0 healthy, 1 regression, 2 schema problems (problems win:
+        a malformed trajectory cannot certify anything)."""
+        if self.problems:
+            return 2
+        return 1 if self.regressions else 0
+
+    def render(self) -> str:
+        lines = [f"bench watchdog: {self.series_checked} series over "
+                 f"{self.points_seen} points"
+                 + (f" ({self.skipped_v1} pre-schema points skipped)"
+                    if self.skipped_v1 else "")]
+        for n in self.notes:
+            lines.append(f"  note: {n}")
+        for p in self.problems:
+            lines.append(f"  SCHEMA PROBLEM: {p}")
+        for r in self.regressions:
+            lines.append(f"  REGRESSION: {r}")
+        if self.ok:
+            lines.append("  all series healthy")
+        return "\n".join(lines)
+
+
+def point_key(point: dict) -> tuple:
+    """The series identity a point belongs to."""
+    return (point["machine_id"], point["routine"], point["backend"],
+            point["dtype"], tuple(point["shape"]), point["batch"])
+
+
+def _check_point(point, where: str) -> "str | None":
+    """Validate one v2 point; returns a problem string or ``None``."""
+    if not isinstance(point, dict):
+        return f"{where}: point is not an object"
+    for name, types in _POINT_FIELDS.items():
+        if name not in point:
+            return f"{where}: missing field {name!r}"
+        v = point[name]
+        if not isinstance(v, types) or isinstance(v, bool):
+            return f"{where}: field {name!r} has wrong type {type(v).__name__}"
+    if point["schema"] != SCHEMA_VERSION:
+        return (f"{where}: schema {point['schema']} unsupported "
+                f"(expected {SCHEMA_VERSION})")
+    if not all(isinstance(d, int) and not isinstance(d, bool)
+               for d in point["shape"]):
+        return f"{where}: shape must be a list of ints"
+    if point["gflops"] <= 0:
+        return f"{where}: gflops must be positive"
+    return None
+
+
+def load_trajectory(path: str, result: WatchResult) -> "list[dict]":
+    """Load one trajectory file, recording problems/skips in ``result``."""
+    try:
+        with open(path) as f:
+            raw = json.load(f)
+    except OSError as e:
+        result.problems.append(f"{path}: unreadable ({e})")
+        return []
+    except json.JSONDecodeError as e:
+        result.problems.append(f"{path}: not valid JSON ({e})")
+        return []
+    if not isinstance(raw, list):
+        result.problems.append(f"{path}: trajectory must be a JSON list")
+        return []
+    points: "list[dict]" = []
+    for i, p in enumerate(raw):
+        if isinstance(p, dict) and "schema" not in p:
+            result.skipped_v1 += 1          # pre-schema ad-hoc point
+            continue
+        problem = _check_point(p, f"{path}[{i}]")
+        if problem is not None:
+            result.problems.append(problem)
+            continue
+        points.append(p)
+    return points
+
+
+def check_trajectory(points: "list[dict]", result: "WatchResult | None" = None,
+                     *, gflops_threshold: float = 0.10,
+                     wall_threshold: "float | None" = None,
+                     ratio_floor: "float | None" = None) -> WatchResult:
+    """Run the regression checks over already-validated points."""
+    result = result if result is not None else WatchResult()
+    result.points_seen += len(points)
+    series: "dict[tuple, list[dict]]" = {}
+    for p in sorted(points, key=lambda p: p["timestamp"]):
+        series.setdefault(point_key(p), []).append(p)
+
+    for key, pts in sorted(series.items()):
+        result.series_checked += 1
+        label = "{}/{} {} {} {} batch={}".format(
+            key[0], key[1], key[2], key[3],
+            "x".join(map(str, key[4])), key[5])
+        if len(pts) < 2:
+            result.notes.append(f"{label}: single point, nothing to diff")
+            continue
+        latest, earlier = pts[-1], pts[:-1]
+        best = max(p["gflops"] for p in earlier)
+        if latest["gflops"] < best * (1.0 - gflops_threshold):
+            result.regressions.append(
+                f"{label}: modeled {latest['gflops']:.3f} GFLOPS is "
+                f"{100.0 * (1.0 - latest['gflops'] / best):.1f}% below the "
+                f"best earlier point ({best:.3f}; threshold "
+                f"{100.0 * gflops_threshold:.0f}%)")
+        if wall_threshold is not None:
+            walls = [p["wall_seconds"] for p in earlier
+                     if p["wall_seconds"] is not None]
+            if walls and latest["wall_seconds"] is not None:
+                best_wall = min(walls)
+                if latest["wall_seconds"] > best_wall * (1.0 + wall_threshold):
+                    result.regressions.append(
+                        f"{label}: wall {latest['wall_seconds']:.4f}s is "
+                        f"{100.0 * (latest['wall_seconds'] / best_wall - 1.0):.1f}% "
+                        f"above the best earlier point ({best_wall:.4f}s)")
+
+    if ratio_floor is not None:
+        _check_ratio_floor(series, ratio_floor, result)
+    return result
+
+
+def _check_ratio_floor(series: "dict[tuple, list[dict]]", floor: float,
+                       result: WatchResult) -> None:
+    """Latest-run compiled-vs-fused wall ratio per problem shape."""
+    latest_by_backend: "dict[tuple, dict[str, dict]]" = {}
+    for key, pts in series.items():
+        shape_key = key[:2] + key[3:]       # identity minus the backend
+        latest_by_backend.setdefault(shape_key, {})[key[2]] = pts[-1]
+    checked = 0
+    for shape_key, per_backend in sorted(latest_by_backend.items()):
+        compiled = per_backend.get("compiled")
+        fused = per_backend.get("fused")
+        if (compiled is None or fused is None
+                or compiled.get("wall_seconds") is None
+                or fused.get("wall_seconds") is None
+                or not fused["wall_seconds"]):
+            continue
+        checked += 1
+        ratio = compiled["wall_seconds"] / fused["wall_seconds"]
+        if ratio < floor:
+            result.regressions.append(
+                "{}/{} {} {} batch={}: fused backend fell behind — "
+                "compiled/fused wall ratio {:.2f} < floor {:.2f}".format(
+                    shape_key[0], shape_key[1], shape_key[2],
+                    "x".join(map(str, shape_key[3])), shape_key[4],
+                    ratio, floor))
+    if not checked:
+        result.notes.append("ratio floor requested but no run has both "
+                            "compiled and fused wall points")
+
+
+def watch(paths: "list[str]", *, gflops_threshold: float = 0.10,
+          wall_threshold: "float | None" = None,
+          ratio_floor: "float | None" = None) -> WatchResult:
+    """Load trajectory files and run every requested check."""
+    result = WatchResult()
+    points: "list[dict]" = []
+    for path in paths:
+        points.extend(load_trajectory(path, result))
+    if not points and not result.problems:
+        result.problems.append("no checkable trajectory points found in: "
+                               + ", ".join(paths))
+    check_trajectory(points, result, gflops_threshold=gflops_threshold,
+                     wall_threshold=wall_threshold, ratio_floor=ratio_floor)
+    return result

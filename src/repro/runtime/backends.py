@@ -124,9 +124,12 @@ class CompiledBackend:
     needs_lowering = True
 
     @staticmethod
-    def _stream(compiled: CompiledPlan) -> "tuple[list[tuple], int]":
-        """The command stream to replay and the macro-op stack depth it
-        needs (0 = no macro-ops, no stack scratch allocated)."""
+    def stream(compiled: CompiledPlan) -> "tuple[list[tuple], int]":
+        """The command stream this backend replays and the macro-op
+        stack depth it needs (0 = no macro-ops, no stack scratch
+        allocated).  Public so the attribution profiler
+        (:mod:`repro.obs.profile`) can profile exactly what a backend
+        would execute."""
         return compiled.commands, 0
 
     def run(self, plan: "ExecutionPlan", mem: MemorySpace,
@@ -141,7 +144,7 @@ class CompiledBackend:
         mats = self._bind(compiled, mem, strides, groups)
         dtype = compiled.dtype
         lanes = compiled.lanes
-        commands, max_stack = self._stream(compiled)
+        commands, max_stack = self.stream(compiled)
         # one allocation for the whole register file; rfile[i] are views
         # of rbank, so macro-op selectors can slice/gather the bank
         rbank = np.empty((NUM_VREGS, groups, lanes), dtype=dtype)
@@ -352,7 +355,7 @@ class FusedBackend(CompiledBackend):
     name = "fused"
 
     @staticmethod
-    def _stream(compiled: CompiledPlan) -> "tuple[list[tuple], int]":
+    def stream(compiled: CompiledPlan) -> "tuple[list[tuple], int]":
         fused = compiled.fused_commands
         if not fused:
             # a CompiledPlan built outside lower_plan (tests, tools) may
@@ -381,7 +384,7 @@ class FusedBackend(CompiledBackend):
         mats = self._bind(compiled, mem, strides, groups)
         dtype = compiled.dtype
         lanes = compiled.lanes
-        commands, max_stack = self._stream(compiled)
+        commands, max_stack = self.stream(compiled)
         block = min(groups, self._block_groups(
             plan.machine.l2.size, lanes, np.dtype(dtype).itemsize))
         rbank = np.empty((NUM_VREGS, block, lanes), dtype=dtype)

@@ -198,6 +198,12 @@ class CompiledPlan:
     fused_commands: list = field(default_factory=list)
     """The pass-optimized stream (macro-ops allowed) the ``fused``
     backend replays; ``commands`` stays the validated raw stream."""
+    call_ranges: "list[tuple[str, int, int]]" = field(default_factory=list)
+    """``(kernel_name, start, stop)`` per plan call over ``commands`` —
+    which slice of the raw stream each kernel invocation lowered to.
+    The pass pipeline reorders and merges across these boundaries, so
+    the ranges index the raw stream only (the profiler's per-kernel
+    attribution is raw-stream territory)."""
     stats: dict = field(default_factory=dict)
 
     @property
@@ -303,9 +309,11 @@ def _lower(plan: ExecutionPlan) -> CompiledPlan:
         return lay
 
     commands: list[tuple] = []
+    call_ranges: "list[tuple[str, int, int]]" = []
     folded = dropped = instructions = 0
 
     for ci, call in enumerate(plan.calls):
+        call_start = len(commands)
         prog = call.program
         if prog.ew != ew or prog.lanes != lanes:
             raise LoweringError(
@@ -436,6 +444,7 @@ def _lower(plan: ExecutionPlan) -> CompiledPlan:
                 written.add(ins.dst[0])
             else:  # pragma: no cover - exhaustive over the ISA
                 raise err(pc, f"unimplemented opcode {op}")
+        call_ranges.append((prog.name, call_start, len(commands)))
 
     mem_commands = sum(1 for c in commands if c[0] in _MEM_KINDS)
     fused_commands, passes = optimize_commands(
@@ -444,6 +453,7 @@ def _lower(plan: ExecutionPlan) -> CompiledPlan:
     return CompiledPlan(
         kind=plan.kind, groups=plan.groups, lanes=lanes, ew=ew,
         buffers=layouts, commands=commands, fused_commands=fused_commands,
+        call_ranges=call_ranges,
         stats={"calls": len(plan.calls), "instructions": instructions,
                "mem_commands": mem_commands,
                "fp_commands": len(commands) - mem_commands,

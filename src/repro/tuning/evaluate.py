@@ -127,6 +127,38 @@ class Evaluator:
         obs.count("tuning.race.backends", len(backends))
         return winner, times
 
+    def drift(self, problem, cand: "Candidate | None" = None,
+              backends: "tuple[str, ...]" = ("compiled", "fused")
+              ) -> "dict[str, dict]":
+        """Cycle-model prediction vs wall-clock replay, per backend.
+
+        Both sides run the *same* capped-batch problem the wall replay
+        uses (host time scales linearly with groups, so capping keeps
+        the check cheap without changing the ratio).  Returns
+        ``{backend: {"predicted_seconds", "wall_seconds", "ratio"}}``;
+        the ratio (wall / predicted) is the model-drift figure the
+        profiler reports — host-dependent, so it is provenance, never a
+        selection metric.
+        """
+        if cand is None:
+            cand = Candidate(main=None)
+        small = min(problem.batch, WALL_CLOCK_BATCH_CAP)
+        if isinstance(problem, GemmProblem):
+            p = problem.with_batch(small)
+        else:
+            p = TrsmProblem(problem.m, problem.n, problem.dtype,
+                            problem.side, problem.uplo, problem.transa,
+                            problem.diag, small, problem.alpha)
+        predicted = self._engine.time_plan(self.build_plan(p, cand)).seconds
+        out: "dict[str, dict]" = {}
+        for backend in backends:
+            wall = self._wall_run(problem, cand, backend)
+            out[backend] = {"predicted_seconds": predicted,
+                            "wall_seconds": wall,
+                            "ratio": wall / predicted if predicted else 0.0}
+        obs.count("tuning.drift.backends", len(backends))
+        return out
+
     def _wall_run(self, problem, cand: Candidate, backend: str) -> float:
         """Best-of-``repeats`` host seconds executing the candidate's
         plan on ``backend`` over a capped random batch."""

@@ -75,6 +75,35 @@ def test_explain_autotune(capsys):
     assert "autotune sweep" in capsys.readouterr().out
 
 
+def test_profile_gemm_writes_artifacts(capsys, tmp_path):
+    jpath = tmp_path / "p.json"
+    fpath = tmp_path / "p.folded"
+    tpath = tmp_path / "p.trace.json"
+    assert main(["profile", "gemm", "--m", "8", "--n", "8", "--k", "8",
+                 "--batch", "16384", "--json", str(jpath),
+                 "--flame", str(fpath), "--trace-out", str(tpath)]) == 0
+    out = capsys.readouterr().out
+    assert "% of peak" in out and "conserved" in out
+    with open(jpath) as f:
+        d = json.load(f)
+    assert sum(c["cycles"] for c in d["classes"]) == d["kernel_cycle_budget"]
+    assert fpath.read_text().strip()
+    with open(tpath) as f:
+        obs.validate_chrome_trace(json.load(f))
+
+
+def test_profile_trsm_fused_stream(capsys):
+    assert main(["profile", "trsm", "--m", "4", "--n", "4",
+                 "--batch", "256", "--stream", "fused"]) == 0
+    assert "MACC" in capsys.readouterr().out
+
+
+def test_profile_rejects_degenerate_problem(capsys):
+    assert main(["profile", "gemm", "--m", "0", "--n", "4",
+                 "--k", "4"]) == 2
+    assert "error:" in capsys.readouterr().out
+
+
 def test_no_command_prints_help(capsys):
     assert main([]) == 2
     assert "usage" in capsys.readouterr().out

@@ -74,6 +74,15 @@ class TestHistograms:
         assert h.percentile(50) == 50.0
         assert h.percentile(100) == 100.0
 
+    def test_summary_includes_tail_percentiles(self):
+        h = obs.Histogram("t")
+        for v in range(101):
+            h.observe(float(v))
+        s = h.summary()
+        assert s["p50"] == 50.0
+        assert s["p95"] == 95.0
+        assert s["p99"] == 99.0
+
     def test_sample_is_bounded(self):
         h = obs.Histogram("t")
         for v in range(10 * obs.Histogram.SAMPLE):
@@ -90,6 +99,7 @@ class TestRegistry:
             text = reg.report()
         assert "plan_cache.hits" in text
         assert "gen_ms" in text
+        assert "p99=" in text
 
     def test_reset_clears_everything(self):
         with obs.scoped() as reg:

@@ -100,6 +100,61 @@ class TestValidator:
         with pytest.raises(ValueError):
             obs.validate_chrome_trace(bad)
 
+    def test_accepts_properly_nested_begin_end_pairs(self):
+        good = {"traceEvents": [
+            {"name": "outer", "ph": "B", "ts": 0.0, "pid": 1, "tid": 1},
+            {"name": "inner", "ph": "B", "ts": 1.0, "pid": 1, "tid": 1},
+            {"name": "inner", "ph": "E", "ts": 2.0, "pid": 1, "tid": 1},
+            {"name": "outer", "ph": "E", "ts": 3.0, "pid": 1, "tid": 1}]}
+        obs.validate_chrome_trace(good)     # must not raise
+
+    def test_rejects_end_without_begin(self):
+        bad = {"traceEvents": [
+            {"name": "x", "ph": "E", "ts": 1.0, "pid": 1, "tid": 1}]}
+        with pytest.raises(ValueError):
+            obs.validate_chrome_trace(bad)
+
+    def test_rejects_improperly_nested_pairs(self):
+        bad = {"traceEvents": [
+            {"name": "a", "ph": "B", "ts": 0.0, "pid": 1, "tid": 1},
+            {"name": "b", "ph": "B", "ts": 1.0, "pid": 1, "tid": 1},
+            {"name": "a", "ph": "E", "ts": 2.0, "pid": 1, "tid": 1},
+            {"name": "b", "ph": "E", "ts": 3.0, "pid": 1, "tid": 1}]}
+        with pytest.raises(ValueError, match="nested"):
+            obs.validate_chrome_trace(bad)
+
+    def test_rejects_negative_span_duration(self):
+        bad = {"traceEvents": [
+            {"name": "x", "ph": "B", "ts": 5.0, "pid": 1, "tid": 1},
+            {"name": "x", "ph": "E", "ts": 2.0, "pid": 1, "tid": 1}]}
+        with pytest.raises(ValueError, match="[Nn]egative"):
+            obs.validate_chrome_trace(bad)
+
+    def test_rejects_unclosed_begin(self):
+        bad = {"traceEvents": [
+            {"name": "x", "ph": "B", "ts": 0.0, "pid": 1, "tid": 1}]}
+        with pytest.raises(ValueError):
+            obs.validate_chrome_trace(bad)
+
+    def test_separate_threads_have_separate_stacks(self):
+        good = {"traceEvents": [
+            {"name": "a", "ph": "B", "ts": 0.0, "pid": 1, "tid": 1},
+            {"name": "b", "ph": "B", "ts": 1.0, "pid": 1, "tid": 2},
+            {"name": "a", "ph": "E", "ts": 2.0, "pid": 1, "tid": 1},
+            {"name": "b", "ph": "E", "ts": 3.0, "pid": 1, "tid": 2}]}
+        obs.validate_chrome_trace(good)     # per-(pid,tid), not global
+
+    def test_extra_events_merged_into_export(self):
+        extra = [{"name": "modeled", "ph": "X", "ts": 0.0, "dur": 5.0,
+                  "pid": 0, "tid": 99, "cat": "profile", "args": {}}]
+        with obs.scoped() as reg:
+            with obs.span("wall"):
+                pass
+            trace = obs.chrome_trace(reg, extra_events=extra)
+        obs.validate_chrome_trace(trace)
+        names = [e["name"] for e in trace["traceEvents"]]
+        assert "wall" in names and "modeled" in names
+
     def test_accepts_exporter_output_for_real_workload(self, tmp_path):
         from repro import IATF
         from repro.types import GemmProblem
