@@ -19,6 +19,7 @@ from __future__ import annotations
 import json
 import time
 
+from .. import obs
 from ..obs.watch import SCHEMA_VERSION
 
 __all__ = ["SCHEMA_VERSION", "points_from_showdown", "append_points"]
@@ -63,4 +64,6 @@ def append_points(path: str, points: "list[dict]") -> str:
     with open(path, "w") as f:
         json.dump(existing, f, indent=2)
         f.write("\n")
+    obs.event("bench.trajectory.append", path=str(path),
+              points=len(points), total=len(existing))
     return path

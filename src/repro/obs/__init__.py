@@ -20,7 +20,25 @@ Five layers:
   flamegraph stacks, and a modeled Chrome-trace track;
   :func:`model_drift` compares the cycle model to wall clock;
 * :mod:`repro.obs.watch` — the stdlib-pure bench-trajectory watchdog
-  behind ``python -m repro.obs watch``.
+  behind ``python -m repro.obs watch``;
+* :mod:`repro.obs.events` — leveled structured events
+  (:func:`event`): a bounded in-memory ring per registry plus an
+  optional size-rotated JSONL file sink — the durable record for
+  plan-cache evictions, TuningDB fallbacks, and watchdog verdicts;
+* :mod:`repro.obs.export` — pluggable snapshot exporters
+  (:class:`PrometheusExporter`, :class:`JsonExporter`,
+  :class:`DeltaExporter`) rendering one :meth:`Registry.snapshot`
+  as Prometheus text exposition, stable JSON, or a rate-computing
+  delta view;
+* :mod:`repro.obs.serve` — ``python -m repro.obs serve``, the stdlib
+  ``http.server`` endpoint exposing ``/metrics``, ``/snapshot.json``,
+  ``/delta.json``, ``/events``, ``/healthz``, and ``/trajectory``.
+
+Spans carry a **trace context** (``trace_id`` / ``span_id`` /
+``parent_id``) propagated through :mod:`contextvars`; cross-thread
+handoff is explicit via :func:`carrier` / :func:`attach` — the
+``parallel`` executor backend uses it so one ``run_plan`` records one
+coherent span tree across worker threads.
 
 Quick start::
 
@@ -42,11 +60,15 @@ Quick start::
 from .core import (Counter, Histogram, Registry, count, disable, enable,
                    enabled, gauge, get_registry, observe, scoped,
                    set_registry, tick, tock)
+from .events import EventLog, FileSink, event
 from .explain import ExplainReport, explain
+from .export import (DeltaExporter, Exporter, JsonExporter,
+                     PrometheusExporter, snapshot_delta)
 from .profile import (ClassProfile, KernelProfile, PlanProfile,
                       ProfileReport, model_drift, profile_plan,
                       profile_report)
-from .spans import (SpanRecord, chrome_trace, span, validate_chrome_trace,
+from .spans import (SpanRecord, attach, carrier, chrome_trace,
+                    current_context, span, validate_chrome_trace,
                     write_chrome_trace)
 
 __all__ = [
@@ -54,8 +76,11 @@ __all__ = [
     "count", "observe", "gauge", "tick", "tock",
     "enabled", "enable", "disable", "scoped",
     "get_registry", "set_registry",
-    "SpanRecord", "span", "chrome_trace", "write_chrome_trace",
-    "validate_chrome_trace",
+    "SpanRecord", "span", "carrier", "attach", "current_context",
+    "chrome_trace", "write_chrome_trace", "validate_chrome_trace",
+    "EventLog", "FileSink", "event",
+    "Exporter", "PrometheusExporter", "JsonExporter", "DeltaExporter",
+    "snapshot_delta",
     "ExplainReport", "explain",
     "ClassProfile", "KernelProfile", "PlanProfile", "ProfileReport",
     "profile_plan", "profile_report", "model_drift",

@@ -12,6 +12,8 @@ Usage::
         [--trace-out out.trace.json] [--drift]
     python -m repro.obs watch BENCH_backends.json [--threshold 0.10] \\
         [--wall-threshold 0.5] [--ratio-floor 0.90]
+    python -m repro.obs serve [--port 9109] [--demo] \\
+        [--trajectory BENCH_backends.json] [--for-seconds 30]
 
 ``snapshot`` runs a small representative GEMM+TRSM workload with
 instrumentation enabled, prints the registry report, and (with
@@ -20,8 +22,11 @@ instrumentation enabled, prints the registry report, and (with
 roofline report for one problem shape (optionally persisting the JSON,
 collapsed-stack flamegraph, and merged Chrome-trace artifacts).
 ``watch`` is the bench-trajectory regression watchdog; its exit code
-feeds CI.  ``--self-check`` exercises all of the above end to end —
-the CI smoke test.
+feeds CI.  ``serve`` is the live telemetry endpoint (``/metrics``,
+``/snapshot.json``, ``/delta.json``, ``/events``, ``/healthz``,
+``/trajectory``); ``--demo`` keeps a small bench workload running so
+there is something to scrape.  ``--self-check`` exercises all of the
+above end to end — the CI smoke test.
 """
 
 from __future__ import annotations
@@ -141,6 +146,64 @@ def _cmd_self_check(args) -> int:
                     reg, extra_events=prof.trace_events()))
             except ValueError as e:
                 problems.append(f"merged profile trace schema: {e}")
+        # exporter drill: the Prometheus render carries a counter the
+        # workload moved and is bit-stable across two renders of the
+        # now-idle registry; the delta view computes sane rates
+        from .export import (JsonExporter, PrometheusExporter,
+                             snapshot_delta)
+        text1 = PrometheusExporter().render(reg.snapshot())
+        text2 = PrometheusExporter().render(reg.snapshot())
+        if "repro_plan_cache_misses" not in text1:
+            problems.append("prometheus render missing "
+                            "repro_plan_cache_misses")
+        if text1 != text2:
+            problems.append("prometheus render not bit-stable on an "
+                            "idle registry")
+        try:
+            json.loads(JsonExporter().render(reg.snapshot()))
+        except ValueError as e:
+            problems.append(f"json exporter output unparseable: {e}")
+        delta = snapshot_delta({}, reg.snapshot(), seconds=1.0)
+        if any(c["delta"] < 0 or c.get("rate", 0) < 0
+               for c in delta["counters"].values()):
+            problems.append("delta view produced a negative counter "
+                            "delta/rate")
+    # trace-propagation drill: a parallel run's shard spans must all
+    # join the plan-run's trace with valid parent links
+    import numpy as np
+
+    from ..runtime.iatf import IATF
+    with scoped() as reg:
+        piatf = IATF(backend="parallel", workers=2)
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((64, 4, 4))
+        b = rng.standard_normal((64, 4, 4))
+        piatf.gemm(a, b, np.zeros((64, 4, 4)), beta=0.0)
+        shard_spans = [s for s in reg.spans
+                       if s.name == "backend.parallel.shard"]
+        kernel_spans = [s for s in reg.spans
+                        if s.name == "engine.kernels"]
+        span_ids = {s.span_id for s in reg.spans}
+        if len(shard_spans) < 2:
+            problems.append("parallel run recorded fewer than 2 shard "
+                            "spans")
+        elif not kernel_spans:
+            problems.append("parallel run recorded no engine.kernels span")
+        else:
+            run_trace = kernel_spans[0].trace_id
+            for s in shard_spans:
+                if s.trace_id != run_trace:
+                    problems.append("shard span orphaned from the "
+                                    "plan-run's trace")
+                    break
+                if s.parent_id not in span_ids:
+                    problems.append(f"shard span parent {s.parent_id!r} "
+                                    f"is not a recorded span")
+                    break
+        try:
+            validate_chrome_trace(chrome_trace(reg))
+        except ValueError as e:
+            problems.append(f"parallel-run trace schema: {e}")
     # watchdog drill: a healthy trajectory passes, an injected 20%
     # modeled-gflops regression is flagged with exit code 1
     from .watch import check_trajectory
@@ -155,8 +218,9 @@ def _cmd_self_check(args) -> int:
         for p in problems:
             print(f"  - {p}")
         return 1
-    print("obs self-check OK: counters, spans, trace schema, explain "
-          "reports, profiler conservation, and the watchdog all healthy")
+    print("obs self-check OK: counters, spans, trace schema, exporters, "
+          "trace propagation, explain reports, profiler conservation, "
+          "and the watchdog all healthy")
     return 0
 
 
@@ -319,6 +383,27 @@ def main(argv: "list[str] | None" = None) -> int:
                         help="cross-check the cycle model against wall-"
                         "clock replays per backend (runs real executions)")
 
+    p_serve = sub.add_parser("serve", help="live telemetry endpoint: "
+                             "/metrics (Prometheus), /snapshot.json, "
+                             "/delta.json, /events, /healthz, /trajectory")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=9109,
+                         help="TCP port (0 picks an ephemeral one; "
+                         "default 9109)")
+    p_serve.add_argument("--demo", action="store_true",
+                         help="also run the backend-showdown workload in "
+                         "a background thread so the metrics move")
+    p_serve.add_argument("--demo-batch", type=int, default=512,
+                         help="batch size for the demo workload rounds")
+    p_serve.add_argument("--trajectory", default="BENCH_backends.json",
+                         metavar="PATH", help="trajectory file served "
+                         "at /trajectory (default BENCH_backends.json)")
+    p_serve.add_argument("--for-seconds", type=float, default=None,
+                         metavar="S", help="shut down after S seconds "
+                         "instead of serving forever (CI smoke)")
+    p_serve.add_argument("--quiet", action="store_true",
+                         help="suppress the startup banner")
+
     p_watch = sub.add_parser("watch", help="bench-trajectory regression "
                              "watchdog: diff BENCH_*.json series, exit "
                              "nonzero on regressions (CI gate)")
@@ -346,6 +431,12 @@ def main(argv: "list[str] | None" = None) -> int:
         return _cmd_profile(args)
     if args.command == "watch":
         return _cmd_watch(args)
+    if args.command == "serve":
+        from .serve import serve
+        return serve(args.host, args.port, demo=args.demo,
+                     demo_batch=args.demo_batch,
+                     trajectory_path=args.trajectory,
+                     for_seconds=args.for_seconds, quiet=args.quiet)
     parser.print_help()
     return 2
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import threading
 import time
+from bisect import bisect_left
 from collections import deque
 from contextlib import contextmanager
 
@@ -38,18 +39,34 @@ _enabled: bool = False
 
 
 class Counter:
-    """A named monotonically growing value (int or float increments)."""
+    """A named monotonically growing value (int or float increments).
 
-    __slots__ = ("name", "value", "_lock")
+    A counter written through :meth:`set` becomes a **gauge**: a
+    point-in-time level where last write wins (cache sizes, queue
+    depths).  The ``kind`` distinction matters to exporters — a
+    Prometheus scraper computes rates over counters but reads gauges
+    verbatim.
+    """
+
+    __slots__ = ("name", "value", "kind", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value: float = 0
+        self.kind = "counter"
         self._lock = threading.Lock()
 
     def inc(self, n: "int | float" = 1) -> None:
         with self._lock:
             self.value += n
+
+    def set(self, value: "int | float") -> None:
+        """Gauge-style absolute write, under the same lock as ``inc``
+        (a racy bare ``value =`` store could interleave with a
+        concurrent read-modify-write increment and lose it)."""
+        with self._lock:
+            self.value = value
+            self.kind = "gauge"
 
     def __repr__(self) -> str:
         return f"Counter({self.name}={self.value})"
@@ -60,12 +77,23 @@ class Histogram:
 
     Keeps exact count/total/min/max plus a bounded sample of recent
     observations for percentile estimates (the sample bound keeps
-    long-running processes from growing without limit).
+    long-running processes from growing without limit), and exact
+    fixed-boundary bucket counts so exporters can render the
+    Prometheus cumulative-bucket form without approximating from the
+    sample.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "_sample", "_lock")
+    __slots__ = ("name", "count", "total", "min", "max", "_sample",
+                 "_bucket_counts", "_lock")
 
     SAMPLE = 1024
+
+    #: upper bounds (``le``) of the export buckets.  Decade-ish spacing
+    #: covering sub-millisecond ticks through multi-second sweeps; the
+    #: implicit final bucket is +Inf (== count).
+    BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+               1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+               1000.0, 2500.0)
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -74,6 +102,7 @@ class Histogram:
         self.min = float("inf")
         self.max = float("-inf")
         self._sample: deque = deque(maxlen=self.SAMPLE)
+        self._bucket_counts = [0] * len(self.BUCKETS)
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
@@ -85,6 +114,20 @@ class Histogram:
             if value > self.max:
                 self.max = value
             self._sample.append(value)
+            idx = bisect_left(self.BUCKETS, value)
+            if idx < len(self._bucket_counts):
+                self._bucket_counts[idx] += 1
+
+    def buckets(self) -> "list[tuple[float, int]]":
+        """Cumulative ``(le, count)`` pairs, le-sorted, excluding the
+        implicit +Inf bucket (whose cumulative count is ``count``)."""
+        with self._lock:
+            counts = list(self._bucket_counts)
+        out, running = [], 0
+        for le, n in zip(self.BUCKETS, counts):
+            running += n
+            out.append((le, running))
+        return out
 
     @property
     def mean(self) -> float:
@@ -121,6 +164,7 @@ class Registry:
         self._lock = threading.Lock()
         self._counters: dict[str, Counter] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._events = None          # EventLog, created on first use
         self.spans: list = []
         self.dropped_spans = 0
 
@@ -147,6 +191,20 @@ class Registry:
                 return
             self.spans.append(record)
 
+    @property
+    def events(self):
+        """The registry's structured :class:`~repro.obs.events.EventLog`
+        (created on first access; lazy so :mod:`core` stays importable
+        without its siblings)."""
+        log = self._events
+        if log is None:
+            from .events import EventLog
+            with self._lock:
+                if self._events is None:
+                    self._events = EventLog()
+                log = self._events
+        return log
+
     # -- inspection ------------------------------------------------------
 
     def counters(self) -> dict[str, float]:
@@ -156,16 +214,33 @@ class Registry:
         return {name: c.value for name, c in items}
 
     def snapshot(self) -> dict:
-        """One JSON-able dict of everything recorded so far."""
+        """One JSON-able dict of everything recorded so far.
+
+        ``gauge_names`` marks which entries of ``counters`` are gauges
+        (absolute levels) rather than monotonic counters, and each
+        histogram summary carries its cumulative ``buckets`` — both are
+        what the exporters (:mod:`repro.obs.export`) render from, so a
+        snapshot is the complete wire format.
+        """
         with self._lock:
             counters = sorted(self._counters.items())
             histograms = sorted(self._histograms.items())
             n_spans = len(self.spans)
+            events = self._events
+        hist_out = {}
+        for name, h in histograms:
+            s = h.summary()
+            s["buckets"] = [[le, n] for le, n in h.buckets()]
+            hist_out[name] = s
         return {
             "counters": {name: c.value for name, c in counters},
-            "histograms": {name: h.summary() for name, h in histograms},
+            "gauge_names": [name for name, c in counters
+                            if c.kind == "gauge"],
+            "histograms": hist_out,
             "spans": n_spans,
             "dropped_spans": self.dropped_spans,
+            "events": (events.stats() if events is not None
+                       else {"logged": 0, "dropped": 0}),
         }
 
     def report(self) -> str:
@@ -197,6 +272,7 @@ class Registry:
             self._histograms.clear()
             self.spans.clear()
             self.dropped_spans = 0
+            self._events = None
 
 
 _registry = Registry()
@@ -269,10 +345,12 @@ def gauge(name: str, value: "int | float") -> None:
     """Set a counter to an absolute level (last write wins) iff enabled.
 
     For point-in-time quantities like cache size, where increments make
-    no sense but a snapshot should still show the latest value.
+    no sense but a snapshot should still show the latest value.  The
+    write goes through :meth:`Counter.set` so it serializes with any
+    concurrent ``inc`` on the same counter.
     """
     if _enabled:
-        _registry.counter(name).value = value
+        _registry.counter(name).set(value)
 
 
 def tick() -> float:

@@ -35,6 +35,8 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 
+from .events import event
+
 __all__ = ["SCHEMA_VERSION", "WatchResult", "load_trajectory",
            "point_key", "check_trajectory", "watch"]
 
@@ -194,6 +196,16 @@ def check_trajectory(points: "list[dict]", result: "WatchResult | None" = None,
 
     if ratio_floor is not None:
         _check_ratio_floor(series, ratio_floor, result)
+    # the verdict as structured events (no-ops unless instrumentation
+    # is on): the durable record online re-tuning will trigger from
+    for r in result.regressions:
+        event("watch.regression", level="warn", detail=r)
+    event("watch.verdict",
+          level="error" if result.problems else
+          ("warn" if result.regressions else "info"),
+          exit_code=result.exit_code, series=result.series_checked,
+          points=result.points_seen, regressions=len(result.regressions),
+          problems=len(result.problems))
     return result
 
 

@@ -485,6 +485,11 @@ class ParallelBackend:
         if len(ranges) == 1:
             self.inner.run(plan, mem, strides, groups, compiled)
             return
+        # pool threads do not inherit the caller's trace context, so
+        # capture it once and hand it to every shard explicitly — the
+        # shard spans then join the plan-run's trace instead of
+        # becoming orphaned roots
+        car = obs.carrier()
         pool = self._pool_get()
         futures = []
         for idx, (start, stop) in enumerate(ranges):
@@ -493,7 +498,8 @@ class ParallelBackend:
             scompiled = (compiled.for_groups(count)
                          if compiled is not None else None)
             futures.append(pool.submit(self._run_shard, idx, start, plan,
-                                       smem, strides, count, scompiled))
+                                       smem, strides, count, scompiled,
+                                       car))
         for f in futures:
             f.result()          # re-raises any shard failure
 
@@ -511,7 +517,16 @@ class ParallelBackend:
 
     def _run_shard(self, idx: int, start: int, plan: "ExecutionPlan",
                    smem: MemorySpace, strides: "dict[str, int]",
-                   count: int, compiled: "CompiledPlan | None") -> None:
+                   count: int, compiled: "CompiledPlan | None",
+                   car: "tuple | None" = None) -> None:
+        if car is not None:
+            obs.count("obs.overhead.trace.attach")
+            with obs.attach(car):
+                with obs.span("backend.parallel.shard", shard=idx,
+                              start=start, groups=count,
+                              inner=self.inner.name):
+                    self.inner.run(plan, smem, strides, count, compiled)
+            return
         with obs.span("backend.parallel.shard", shard=idx, start=start,
                       groups=count, inner=self.inner.name):
             self.inner.run(plan, smem, strides, count, compiled)

@@ -79,9 +79,11 @@ class PlanCache:
             self._data[key] = [plan, None]
             self._data.move_to_end(key)
             if len(self._data) > self.maxsize:
-                self._data.popitem(last=False)
+                old_key, _ = self._data.popitem(last=False)
                 self.evictions += 1
                 obs.count("plan_cache.evictions")
+                obs.event("plan_cache.evict", key=str(old_key),
+                          maxsize=self.maxsize)
             obs.gauge("plan_cache.size", len(self._data))
 
     def get_compiled(self, key: tuple) -> "CompiledPlan | None":
@@ -215,6 +217,8 @@ class IATF:
             return None
         if db.corrupt:
             obs.count("tuning.fallback")
+            obs.event("tuning.fallback", level="warn", op=op,
+                      reason=f"corrupt TuningDB: {db.corrupt_reason}")
             return None
         from ..tuning.db import TuningKey
 
@@ -258,11 +262,14 @@ class IATF:
                 problem, self.machine, self._registry_for(record.schedule),
                 main_override=record.main,
                 tuned_pack=record.force_pack or None)
-        except Exception:
+        except Exception as exc:
             # a hand-edited record can carry decisions the planner
             # rejects (e.g. a main size the decomposer cannot use);
             # degrade to analytic, never propagate
             obs.count("tuning.fallback")
+            obs.event("tuning.fallback", level="warn", op="gemm",
+                      reason=f"tuned record rejected: {exc}",
+                      main=list(record.main))
             plan = build_gemm_plan(problem, self.machine, self.registry)
             plan.meta["decision"] = {"source": "analytic"}
             return plan

@@ -288,4 +288,6 @@ class TuningDB:
         self.corrupt_reason = reason
         self._entries = {}
         obs.count("tuning.db.corrupt")
+        obs.event("tuning.db.corrupt", level="error",
+                  path=str(self.path), reason=reason)
         return self

@@ -10,7 +10,9 @@ time.  Margins are generous — the disabled path is a single module
 global check, ~100ns, versus multi-millisecond pipeline simulations.
 """
 
+import os
 import time
+import tracemalloc
 
 from repro import IATF, KUNPENG_920, obs
 from repro.types import GemmProblem
@@ -53,6 +55,46 @@ def test_disabled_obs_overhead_under_two_percent():
     assert obs_seconds < 0.02 * loop_seconds, (
         f"disabled instrumentation cost {obs_seconds:.4f}s for {n} call "
         f"bundles vs {loop_seconds:.4f}s loop — exceeds the 2% budget")
+
+
+def _obs_bundle():
+    """One of every disabled-path obs primitive, events included."""
+    obs.count("alloc.test")
+    obs.observe("alloc.test", 1.0)
+    obs.gauge("alloc.test", 7)
+    obs.event("alloc.test", detail="x")
+    with obs.span("alloc.test"):
+        pass
+    obs.tock("alloc.test", obs.tick())
+
+
+def test_disabled_path_allocates_nothing_inside_obs():
+    """The disabled fast path must not allocate in any repro.obs file.
+
+    tracemalloc attributes each allocation to the line that made it;
+    filtering to the obs package directory isolates the instrumentation
+    layer's own cost from the caller's (the kwargs dict for
+    ``obs.event(**fields)`` is built by the calling frame and is the
+    caller's price, not the library's).
+    """
+    assert not obs.enabled()
+    obs_dir = os.path.dirname(obs.__file__)
+    filters = [tracemalloc.Filter(True, os.path.join(obs_dir, "*"))]
+    tracemalloc.start()
+    try:
+        for _ in range(10):                  # warm caches and interning
+            _obs_bundle()
+        before = tracemalloc.take_snapshot().filter_traces(filters)
+        for _ in range(100):
+            _obs_bundle()
+        after = tracemalloc.take_snapshot().filter_traces(filters)
+    finally:
+        tracemalloc.stop()
+    grown = [s for s in after.compare_to(before, "lineno")
+             if s.size_diff > 0]
+    assert not grown, (
+        "disabled obs calls allocated inside the obs package: "
+        + "; ".join(f"{s.traceback} +{s.size_diff}B" for s in grown))
 
 
 def test_disabled_calls_leave_no_trace():

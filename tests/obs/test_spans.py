@@ -46,6 +46,107 @@ class TestSpanRecording:
             s.set(ignored=True)             # must not raise
 
 
+class TestTraceContext:
+    def test_root_span_starts_a_trace(self):
+        with obs.scoped() as reg:
+            with obs.span("root"):
+                pass
+        s = reg.spans[0]
+        assert s.trace_id.startswith("t")
+        assert s.span_id.startswith("s")
+        assert s.parent_id is None
+
+    def test_nested_spans_share_trace_and_chain_parents(self):
+        with obs.scoped() as reg:
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    pass
+        by_name = {s.name: s for s in reg.spans}
+        assert by_name["inner"].trace_id == by_name["outer"].trace_id
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+
+    def test_sibling_roots_get_distinct_traces(self):
+        with obs.scoped() as reg:
+            with obs.span("first"):
+                pass
+            with obs.span("second"):
+                pass
+        assert reg.spans[0].trace_id != reg.spans[1].trace_id
+
+    def test_no_context_outside_any_span(self):
+        with obs.scoped():
+            assert obs.current_context() is None
+            with obs.span("s"):
+                assert obs.current_context() is not None
+            assert obs.current_context() is None
+
+    def test_carrier_attach_joins_a_thread_to_the_trace(self):
+        import threading
+
+        def worker(car, results):
+            with obs.attach(car):
+                with obs.span("shard"):
+                    pass
+            results.append(True)
+
+        with obs.scoped() as reg:
+            results = []
+            with obs.span("run"):
+                car = obs.carrier()
+                t = threading.Thread(target=worker, args=(car, results))
+                t.start()
+                t.join()
+        assert results == [True]
+        by_name = {s.name: s for s in reg.spans}
+        assert by_name["shard"].trace_id == by_name["run"].trace_id
+        assert by_name["shard"].parent_id == by_name["run"].span_id
+
+    def test_attach_restores_previous_context(self):
+        with obs.scoped():
+            with obs.span("a"):
+                before = obs.current_context()
+                with obs.attach(("tX", "sX", 0)):
+                    assert obs.current_context() == ("tX", "sX", 0)
+                assert obs.current_context() == before
+
+    def test_spans_on_different_threads_get_distinct_small_tids(self):
+        import threading
+
+        with obs.scoped() as reg:
+            with obs.span("main-thread"):
+                pass
+            t = threading.Thread(target=lambda: obs.span("worker").__enter__()
+                                 .__exit__(None, None, None))
+            t.start()
+            t.join()
+        tids = {s.tid for s in reg.spans}
+        assert len(tids) == 2
+        assert all(isinstance(t, int) and t >= 1 for t in tids)
+
+    def test_parallel_backend_shards_join_the_run_trace(self):
+        import numpy as np
+
+        from repro import IATF
+        with obs.scoped() as reg:
+            iatf = IATF(backend="parallel", workers=2)
+            rng = np.random.default_rng(0)
+            a = rng.standard_normal((64, 4, 4))
+            b = rng.standard_normal((64, 4, 4))
+            iatf.gemm(a, b, np.zeros((64, 4, 4)), beta=0.0)
+            trace = obs.chrome_trace(reg)
+        obs.validate_chrome_trace(trace)
+        shards = [s for s in reg.spans
+                  if s.name == "backend.parallel.shard"]
+        kernels = [s for s in reg.spans if s.name == "engine.kernels"]
+        assert len(shards) >= 2
+        assert kernels, "parallel run must record the engine.kernels span"
+        span_ids = {s.span_id for s in reg.spans}
+        run_trace = kernels[0].trace_id
+        for s in shards:
+            assert s.trace_id == run_trace
+            assert s.parent_id in span_ids
+
+
 class TestChromeTrace:
     def test_export_round_trips_json(self, tmp_path):
         with obs.scoped() as reg:
@@ -69,7 +170,10 @@ class TestChromeTrace:
         for key in ("name", "cat", "ph", "ts", "dur", "pid", "tid", "args"):
             assert key in ev
         assert ev["ts"] >= 0 and ev["dur"] >= 0
-        assert ev["args"] == {"detail": "hi"}
+        assert ev["args"]["detail"] == "hi"
+        # exported args also carry the trace context for grouping
+        assert ev["args"]["trace_id"].startswith("t")
+        assert ev["args"]["span_id"].startswith("s")
 
     def test_category_is_name_prefix(self):
         with obs.scoped() as reg:
@@ -143,6 +247,28 @@ class TestValidator:
             {"name": "a", "ph": "E", "ts": 2.0, "pid": 1, "tid": 1},
             {"name": "b", "ph": "E", "ts": 3.0, "pid": 1, "tid": 2}]}
         obs.validate_chrome_trace(good)     # per-(pid,tid), not global
+
+    def test_counter_and_instant_events_need_ts_and_ids(self):
+        for ph in ("C", "i"):
+            good = {"traceEvents": [
+                {"name": "x", "ph": ph, "ts": 1.0, "pid": 1, "tid": 1}]}
+            obs.validate_chrome_trace(good)  # must not raise
+            for bad in (
+                    {"name": "x", "ph": ph, "pid": 1, "tid": 1},
+                    {"name": "x", "ph": ph, "ts": -1.0, "pid": 1,
+                     "tid": 1},
+                    {"name": "x", "ph": ph, "ts": 1.0, "tid": 1},
+                    {"name": "x", "ph": ph, "ts": 1.0, "pid": 1},
+                    {"name": "x", "ph": ph, "ts": 1.0, "pid": "p",
+                     "tid": 1}):
+                with pytest.raises(ValueError):
+                    obs.validate_chrome_trace({"traceEvents": [bad]})
+
+    def test_metadata_events_stay_exempt(self):
+        good = {"traceEvents": [
+            {"name": "thread_name", "ph": "M", "pid": 1, "tid": 1,
+             "args": {"name": "shard-0"}}]}
+        obs.validate_chrome_trace(good)      # no ts required for M
 
     def test_extra_events_merged_into_export(self):
         extra = [{"name": "modeled", "ph": "X", "ts": 0.0, "dur": 5.0,
