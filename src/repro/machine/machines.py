@@ -21,13 +21,29 @@ which match Table 2 exactly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+from dataclasses import dataclass, field, fields, replace
 
 from ..types import BlasDType
 from .cache import CacheConfig, CacheHierarchy
 from .pipeline import IssueRules, Latencies, PipelineModel
 
-__all__ = ["MachineConfig", "KUNPENG_920", "XEON_GOLD_6240", "A64FX"]
+__all__ = ["MachineConfig", "slugify", "KUNPENG_920", "XEON_GOLD_6240",
+           "A64FX"]
+
+
+def slugify(name: str) -> str:
+    """Lowercase ``name`` with non-alphanumeric runs collapsed to single
+    dashes — the stable identifier form used in persisted artifacts."""
+    out, dash = [], False
+    for ch in name.lower():
+        if ch.isalnum():
+            out.append(ch)
+            dash = False
+        elif not dash:
+            out.append("-")
+            dash = True
+    return "".join(out).strip("-")
 
 
 @dataclass(frozen=True)
@@ -49,18 +65,32 @@ class MachineConfig:
 
     @property
     def machine_id(self) -> str:
-        """Stable slug identifying this configuration in persisted
-        artifacts (tuning DBs, bench trajectories): lowercase, with
+        """Stable slug identifying this machine in persisted artifacts
+        (tuning DBs, bench trajectories): lowercase, with
         non-alphanumeric runs collapsed to single dashes."""
-        out, dash = [], False
-        for ch in self.name.lower():
-            if ch.isalnum():
-                out.append(ch)
-                dash = False
-            elif not dash:
-                out.append("-")
-                dash = True
-        return "".join(out).strip("-")
+        return slugify(self.name)
+
+    @property
+    def fingerprint(self) -> str:
+        """Short digest of every *physical* parameter (clocks, vector
+        width, register file, issue rules, latencies, caches, memory
+        penalties) — everything except the display name.  Two machines
+        that merely share a name hash differently, which is what lets
+        the TuningDB refuse to serve one machine's schedules to a
+        differently configured twin."""
+        parts = [f"{f.name}={getattr(self, f.name)!r}"
+                 for f in fields(self) if f.name != "name"]
+        digest = hashlib.sha256(";".join(parts).encode("utf-8"))
+        return digest.hexdigest()[:8]
+
+    @property
+    def tuning_id(self) -> str:
+        """The TuningDB keying identity: ``machine_id.fingerprint``.
+        Unlike the bare :attr:`machine_id` slug, this changes whenever
+        any physical parameter does (e.g. an ``with_rules`` ablation),
+        so tuning records can never leak between same-named machines
+        with different clocks or caches."""
+        return f"{self.machine_id}.{self.fingerprint}"
 
     def lanes(self, dtype: "BlasDType | str") -> int:
         """The paper's P: matrices interleaved per vector register."""

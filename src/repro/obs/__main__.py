@@ -11,7 +11,8 @@ Usage::
         [--stream raw|fused] [--json out.json] [--flame out.folded] \\
         [--trace-out out.trace.json] [--drift]
     python -m repro.obs watch BENCH_backends.json [--threshold 0.10] \\
-        [--wall-threshold 0.5] [--ratio-floor 0.90]
+        [--wall-threshold 0.5] [--ratio-floor 0.90] \\
+        [--drift-threshold 0.5]
     python -m repro.obs serve [--port 9109] [--demo] \\
         [--trajectory BENCH_backends.json] [--for-seconds 30]
 
@@ -311,7 +312,8 @@ def _cmd_profile(args) -> int:
 def _cmd_watch(args) -> int:
     result = watch(args.paths, gflops_threshold=args.threshold,
                    wall_threshold=args.wall_threshold,
-                   ratio_floor=args.ratio_floor)
+                   ratio_floor=args.ratio_floor,
+                   drift_threshold=args.drift_threshold)
     print(result.render())
     return result.exit_code
 
@@ -419,6 +421,10 @@ def main(argv: "list[str] | None" = None) -> int:
     p_watch.add_argument("--ratio-floor", type=float, default=None,
                          help="require wall(compiled)/wall(fused) >= floor "
                          "in the latest run (e.g. 0.90)")
+    p_watch.add_argument("--drift-threshold", type=float, default=None,
+                         help="flag series whose wall/model ratio grew "
+                         "past 1+T vs baseline (advisory: feeds online "
+                         "re-tuning, never the exit code)")
 
     args = parser.parse_args(argv)
     if args.command == "snapshot":

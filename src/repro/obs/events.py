@@ -136,10 +136,12 @@ class EventLog:
                 self._sink.write(record)
         return record
 
-    def tail(self, n: int = 100,
-             level: "str | None" = None) -> "list[dict]":
+    def tail(self, n: int = 100, level: "str | None" = None,
+             prefix: "str | None" = None) -> "list[dict]":
         """The most recent ``n`` events (oldest first), optionally
-        filtered to ``level`` severity and above."""
+        filtered to ``level`` severity and above and/or to names
+        starting with ``prefix`` (e.g. ``"tuning.retune."`` to follow
+        one online re-tuning episode through the ring)."""
         with self._lock:
             records = list(self._ring)
         if level is not None:
@@ -149,6 +151,8 @@ class EventLog:
                                  f"levels: {', '.join(LEVELS)}")
             records = [r for r in records
                        if _LEVEL_RANK[r["level"]] >= floor]
+        if prefix is not None:
+            records = [r for r in records if r["name"].startswith(prefix)]
         return records[-max(0, n):]
 
     def attach_sink(self, sink: FileSink) -> None:

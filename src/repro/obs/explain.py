@@ -207,6 +207,18 @@ def _decision_section(plan) -> "list[str]":
                    "schedule=" + ("on" if d.get("schedule", True)
                                   else "off")]
         lines.append("applied: " + " ".join(applied))
+        # schema-v3 record provenance: where/how/when the sweep ran
+        # (absent on records loaded from legacy v1/v2 files)
+        if d.get("machine_id") or d.get("evaluator_version"):
+            prov = [f"machine={d.get('machine_id') or '?'}",
+                    f"sweep={d.get('sweep', 'full')}"]
+            if d.get("space"):
+                prov.append(f"({d.get('candidates')}/{d.get('space')} "
+                            "of space measured)")
+            prov.append(f"evaluator v{d.get('evaluator_version')}")
+            ts = d.get("timestamp") or 0.0
+            prov.append(f"at t={ts:.0f}" if ts else "unstamped")
+            lines.append("provenance: " + " ".join(prov))
         return lines
     if source == "runtime-autotune":
         return [f"source: run-time autotune "

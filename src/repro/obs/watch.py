@@ -19,7 +19,12 @@ Three checks, composable per invocation:
 * **backend ratio floor** (``--ratio-floor``) — within the *latest*
   run only: ``wall(compiled) / wall(fused) >= floor``, i.e. the fused
   stream must stay within the floor of the compiled replayer (the CI
-  guard that used to live as an inline assert in the workflow).
+  guard that used to live as an inline assert in the workflow);
+* **model drift** (opt-in, ``--drift-threshold``) — per series, has the
+  host's wall clock pulled away from the cycle model's prediction over
+  time?  Drift verdicts are *advisory* (never the exit code): they feed
+  :meth:`repro.runtime.iatf.IATF.retune_from_watch`, which re-sweeps
+  the offending shapes and swaps fresh records into the TuningDB.
 
 Exit codes: 0 all series healthy, 1 regression detected, 2 schema
 problems (unreadable file, malformed points, or nothing checkable).
@@ -73,6 +78,14 @@ class WatchResult:
     regressions: "list[str]" = field(default_factory=list)
     problems: "list[str]" = field(default_factory=list)
     notes: "list[str]" = field(default_factory=list)
+    drifts: "list[dict]" = field(default_factory=list)
+    """Observed-vs-model drift verdicts (opt-in, ``--drift-threshold``):
+    structured dicts — machine_id/routine/backend/dtype/shape/batch plus
+    the drift ratio — shaped for
+    :meth:`repro.runtime.iatf.IATF.retune_from_watch` to consume.
+    Advisory: drift marks a *machine* that changed, not a code
+    regression, so it never affects the exit code — the remedy is
+    online re-tuning, not failing CI."""
 
     @property
     def ok(self) -> bool:
@@ -97,6 +110,14 @@ class WatchResult:
             lines.append(f"  SCHEMA PROBLEM: {p}")
         for r in self.regressions:
             lines.append(f"  REGRESSION: {r}")
+        for d in self.drifts:
+            lines.append(
+                "  DRIFT: {}/{} {} {} {} batch={}: wall/model ratio grew "
+                "{:.2f}x vs baseline (threshold {:.0f}%) — re-tune "
+                "advised".format(
+                    d["machine_id"], d["routine"], d["backend"], d["dtype"],
+                    "x".join(map(str, d["shape"])), d["batch"],
+                    d["ratio"], 100.0 * d["threshold"]))
         if self.ok:
             lines.append("  all series healthy")
         return "\n".join(lines)
@@ -159,7 +180,8 @@ def load_trajectory(path: str, result: WatchResult) -> "list[dict]":
 def check_trajectory(points: "list[dict]", result: "WatchResult | None" = None,
                      *, gflops_threshold: float = 0.10,
                      wall_threshold: "float | None" = None,
-                     ratio_floor: "float | None" = None) -> WatchResult:
+                     ratio_floor: "float | None" = None,
+                     drift_threshold: "float | None" = None) -> WatchResult:
     """Run the regression checks over already-validated points."""
     result = result if result is not None else WatchResult()
     result.points_seen += len(points)
@@ -196,6 +218,8 @@ def check_trajectory(points: "list[dict]", result: "WatchResult | None" = None,
 
     if ratio_floor is not None:
         _check_ratio_floor(series, ratio_floor, result)
+    if drift_threshold is not None:
+        _check_drift(series, drift_threshold, result)
     # the verdict as structured events (no-ops unless instrumentation
     # is on): the durable record online re-tuning will trigger from
     for r in result.regressions:
@@ -207,6 +231,45 @@ def check_trajectory(points: "list[dict]", result: "WatchResult | None" = None,
           points=result.points_seen, regressions=len(result.regressions),
           problems=len(result.problems))
     return result
+
+
+def _check_drift(series: "dict[tuple, list[dict]]", threshold: float,
+                 result: WatchResult) -> None:
+    """Observed-vs-model drift per series: has the machine's wall clock
+    pulled away from the (fixed) cycle-model prediction over time?
+
+    Within one series every point computes the same FLOP count, so
+    ``wall_seconds * gflops`` is proportional to ``wall / predicted``
+    with a constant factor — which lets the stdlib-only watchdog track
+    the model-drift ratio without importing any FLOP formula from the
+    runtime.  The latest walled point is compared against the *best*
+    (lowest-ratio) earlier one; growth beyond ``1 + threshold`` yields
+    a structured verdict in :attr:`WatchResult.drifts` and a
+    ``watch.drift`` event — fuel for
+    :meth:`IATF.retune_from_watch`, never an exit-code failure.
+    """
+    for key, pts in sorted(series.items()):
+        walled = [p for p in pts if p["wall_seconds"] is not None
+                  and p["wall_seconds"] > 0]
+        if len(walled) < 2:
+            continue
+        latest, earlier = walled[-1], walled[:-1]
+        metric = lambda p: p["wall_seconds"] * p["gflops"]
+        baseline = min(metric(p) for p in earlier)
+        if baseline <= 0:
+            continue
+        ratio = metric(latest) / baseline
+        if ratio > 1.0 + threshold:
+            verdict = {
+                "machine_id": key[0], "routine": key[1], "backend": key[2],
+                "dtype": key[3], "shape": list(key[4]), "batch": key[5],
+                "ratio": ratio, "threshold": threshold,
+            }
+            result.drifts.append(verdict)
+            event("watch.drift", level="warn", ratio=ratio,
+                  threshold=threshold, machine_id=key[0], routine=key[1],
+                  backend=key[2], dtype=key[3],
+                  shape="x".join(map(str, key[4])), batch=key[5])
 
 
 def _check_ratio_floor(series: "dict[tuple, list[dict]]", floor: float,
@@ -241,7 +304,8 @@ def _check_ratio_floor(series: "dict[tuple, list[dict]]", floor: float,
 
 def watch(paths: "list[str]", *, gflops_threshold: float = 0.10,
           wall_threshold: "float | None" = None,
-          ratio_floor: "float | None" = None) -> WatchResult:
+          ratio_floor: "float | None" = None,
+          drift_threshold: "float | None" = None) -> WatchResult:
     """Load trajectory files and run every requested check."""
     result = WatchResult()
     points: "list[dict]" = []
@@ -251,5 +315,6 @@ def watch(paths: "list[str]", *, gflops_threshold: float = 0.10,
         result.problems.append("no checkable trajectory points found in: "
                                + ", ".join(paths))
     check_trajectory(points, result, gflops_threshold=gflops_threshold,
-                     wall_threshold=wall_threshold, ratio_floor=ratio_floor)
+                     wall_threshold=wall_threshold, ratio_floor=ratio_floor,
+                     drift_threshold=drift_threshold)
     return result

@@ -60,6 +60,7 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
 
     def get(self, key: tuple) -> "ExecutionPlan | None":
         with self._lock:
@@ -101,6 +102,22 @@ class PlanCache:
             if entry is not None:
                 entry[1] = compiled
 
+    def invalidate(self, match) -> int:
+        """Drop every entry whose key satisfies ``match(key)``; returns
+        how many were removed.  This is the online re-tuning hook: when
+        a DB record is swapped, the plans built from the *old* record
+        must go, or a long-lived service would keep replaying the stale
+        decision until eviction happened to reach it."""
+        with self._lock:
+            doomed = [k for k in self._data if match(k)]
+            for k in doomed:
+                del self._data[k]
+            if doomed:
+                self.invalidations += len(doomed)
+                obs.count("plan_cache.invalidations", len(doomed))
+                obs.gauge("plan_cache.size", len(self._data))
+        return len(doomed)
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._data)
@@ -109,7 +126,8 @@ class PlanCache:
         with self._lock:
             return {"size": len(self._data), "maxsize": self.maxsize,
                     "hits": self.hits, "misses": self.misses,
-                    "evictions": self.evictions}
+                    "evictions": self.evictions,
+                    "invalidations": self.invalidations}
 
 
 class IATF:
@@ -220,15 +238,141 @@ class IATF:
             obs.event("tuning.fallback", level="warn", op=op,
                       reason=f"corrupt TuningDB: {db.corrupt_reason}")
             return None
+        record = db.get(self._tuning_key(op, problem))
+        obs.count("tuning.hit" if record is not None else "tuning.miss")
+        return record
+
+    def _tuning_key(self, op: str, problem):
+        """The DB key for this shape on *this* machine configuration —
+        keyed by ``tuning_id`` (id + physical fingerprint), so a
+        same-named machine with different clocks or caches can never be
+        served this machine's schedules."""
         from ..tuning.db import TuningKey
 
         if op == "gemm":
-            key = TuningKey.for_gemm(self.machine.name, problem)
-        else:
-            key = TuningKey.for_trsm(self.machine.name, problem)
-        record = db.get(key)
-        obs.count("tuning.hit" if record is not None else "tuning.miss")
-        return record
+            return TuningKey.for_gemm(self.machine, problem)
+        return TuningKey.for_trsm(self.machine, problem)
+
+    # -- online re-tuning --------------------------------------------------
+
+    def retune(self, problem, *, reason: str = "drift",
+               top_k: "int | None" = None, save: bool = True,
+               timestamp: float = 0.0):
+        """Bounded re-sweep for one shape, swapping the DB record and
+        invalidating the stale cached plans — the run-time half of the
+        drift loop (``obs watch`` detects, ``retune`` corrects).
+
+        The sweep is the analytical-first top-k one (``top_k=None``
+        takes the tuner default), so a retune costs a handful of
+        cycle-model measurements, never the exhaustive space.  The new
+        record is swapped in atomically (``db.save`` is
+        write-temp-then-rename) and every PlanCache entry whose shape
+        maps to the retuned :class:`TuningKey` is dropped, so the next
+        call re-plans from the fresh record.  A corrupt DB is reset
+        (self-healed) first: re-tuning is exactly the moment fresh
+        records replace untrustworthy ones.  Returns the
+        :class:`~repro.tuning.tuner.TuneOutcome`, or ``None`` when no
+        DB is attached (nothing to swap — counted and evented, never an
+        error).
+        """
+        from ..tuning.tuner import DEFAULT_TOP_K, tune_problem
+
+        op = "gemm" if isinstance(problem, GemmProblem) else "trsm"
+        obs.count("tuning.retune.scheduled")
+        obs.event("tuning.retune.scheduled", op=op, reason=reason,
+                  m=problem.m, n=problem.n,
+                  k=getattr(problem, "k", 0),
+                  dtype=problem.dtype.value)
+        db = self._tuning_db
+        if db is None:
+            obs.count("tuning.retune.skipped")
+            obs.event("tuning.retune.skipped", level="warn", op=op,
+                      reason="no TuningDB attached")
+            return None
+        if db.corrupt:
+            obs.count("tuning.retune.db_reset")
+            obs.event("tuning.retune.db_reset", level="warn",
+                      reason=db.corrupt_reason)
+            db.reset()
+        key = self._tuning_key(op, problem)
+        old = db.get(key)
+        outcome = tune_problem(
+            problem, self.machine,
+            top_k=top_k if top_k is not None else DEFAULT_TOP_K,
+            sweep_label="retune", timestamp=timestamp)
+        db.put(outcome.key, outcome.record)
+        if save and db.path is not None:
+            db.save()
+        invalidated = self._plan_cache.invalidate(
+            lambda cache_key: self._cache_key_matches(cache_key, key))
+        obs.count("tuning.retune.swapped")
+        if invalidated:
+            obs.count("tuning.retune.plans_invalidated", invalidated)
+        obs.event("tuning.retune.swapped", op=op, reason=reason,
+                  key=key.encode(), plans_invalidated=invalidated,
+                  old_cycles=old.cycles if old is not None else None,
+                  new_cycles=outcome.record.cycles,
+                  candidates=outcome.record.candidates)
+        return outcome
+
+    def _cache_key_matches(self, cache_key: tuple,
+                           tuning_key) -> bool:
+        """Does a PlanCache key's problem map to ``tuning_key``?
+
+        Rebuilds the TuningKey from the cached problem, so the match is
+        batch-independent exactly like DB lookups are — a retune
+        triggered at batch 512 invalidates the batch-16384 plan of the
+        same shape."""
+        op, problem = cache_key[0], cache_key[1]
+        if op not in ("gemm", "trsm"):
+            return False
+        return self._tuning_key(op, problem) == tuning_key
+
+    def retune_from_watch(self, drifts, *, top_k: "int | None" = None,
+                          save: bool = True, timestamp: float = 0.0):
+        """Act on ``obs watch`` drift verdicts: re-tune every drifting
+        series that belongs to *this* machine.
+
+        ``drifts`` is :attr:`repro.obs.watch.WatchResult.drifts` (or any
+        iterable of such dicts).  Verdicts for other machines are
+        ignored; verdicts whose routine/shape cannot be mapped to a
+        tunable problem are counted (``tuning.retune.unmapped``) and
+        skipped.  Returns the list of :class:`TuneOutcome`\\ s swapped
+        in."""
+        outcomes = []
+        for d in drifts:
+            if d.get("machine_id") != self.machine.machine_id:
+                continue
+            problem = self._problem_from_drift(d)
+            if problem is None:
+                obs.count("tuning.retune.unmapped")
+                obs.event("tuning.retune.unmapped", level="warn",
+                          routine=str(d.get("routine")),
+                          shape=str(d.get("shape")))
+                continue
+            out = self.retune(
+                problem, reason=f"drift x{float(d.get('ratio', 0.0)):.2f}",
+                top_k=top_k, save=save, timestamp=timestamp)
+            if out is not None:
+                outcomes.append(out)
+        return outcomes
+
+    def _problem_from_drift(self, d: dict):
+        """Map one watch drift verdict back to a tunable problem, or
+        ``None`` when the point describes something we cannot tune."""
+        try:
+            shape = [int(x) for x in d["shape"]]
+            dtype = BlasDType.from_any(d["dtype"])
+            batch = int(d["batch"])
+            routine = d["routine"]
+        except (KeyError, TypeError, ValueError):
+            return None
+        if routine == "gemm" and len(shape) == 3:
+            return GemmProblem(shape[0], shape[1], shape[2], dtype,
+                               batch=batch)
+        if routine == "trsm" and len(shape) == 2:
+            return TrsmProblem(shape[0], shape[1], dtype, batch=batch)
+        return None
 
     def _registry_for(self, schedule: bool) -> KernelRegistry:
         """The main registry, or the alternate-schedule one a tuned
@@ -253,6 +397,12 @@ class IATF:
             "force_pack": record.force_pack,
             "schedule": record.schedule,
             "backend": record.backend,
+            # schema-v3 provenance (zero/empty on legacy records)
+            "machine_id": record.machine_id,
+            "sweep": record.sweep,
+            "evaluator_version": record.evaluator_version,
+            "timestamp": record.timestamp,
+            "space": record.space,
         }
 
     def _apply_tuned_gemm(self, problem: GemmProblem,

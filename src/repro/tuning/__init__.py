@@ -5,17 +5,23 @@ it *input-aware* end to end by empirically searching the run-time
 stage's decision space per machine and persisting the winners:
 
 * :mod:`repro.tuning.space` — enumerate the candidate space per
-  (op, dtype, size-class): register-feasible main kernels under the
-  CMAR budget, pack-vs-nopack, schedule variants, executor backend;
+  (op, dtype, size-class) — register-feasible main kernels under the
+  CMAR budget, pack-vs-nopack, schedule variants, executor backend —
+  and *rank* it analytically (:func:`score_candidate` /
+  :func:`rank_candidates`: occupancy, cache residency, issue-slot
+  balance from the machine model) so only a top-k needs measuring;
 * :mod:`repro.tuning.evaluate` — measure candidates on the machine
   simulator's cycle model (optionally also compiled-backend wall
   clock), with repeat/median controls;
-* :mod:`repro.tuning.db` — the schema-versioned, per-machine
-  :class:`TuningDB` (atomic writes, corruption -> graceful fallback);
-* :mod:`repro.tuning.tuner` — the sweep orchestrator with the
+* :mod:`repro.tuning.db` — the schema-versioned, fleet-ready
+  :class:`TuningDB` (atomic writes, corruption -> graceful fallback,
+  per-record provenance, deterministic :meth:`TuningDB.merge` /
+  :meth:`TuningDB.diff` across machines);
+* :mod:`repro.tuning.tuner` — the analytical-first sweep orchestrator
+  (top-k measurement, default :data:`DEFAULT_TOP_K`) with the
   "tuned is never worse than analytic" selection invariant;
 * ``python -m repro.tuning`` — ``sweep`` / ``show`` / ``export`` /
-  ``self-check`` CLI.
+  ``merge`` / ``diff`` / ``import`` / ``self-check`` CLI.
 
 Quick start::
 
@@ -34,18 +40,23 @@ Quick start::
 See ``docs/autotuning.md`` for the DB schema and design notes.
 """
 
-from .db import (SCHEMA_VERSION, TUNER_VERSION, TuningDB, TuningKey,
-                 TuningRecord)
-from .evaluate import Evaluator, Measurement
-from .space import (Candidate, enumerate_gemm_space, enumerate_trsm_space,
-                    feasible_gemm_mains, size_class)
-from .tuner import TuneOutcome, sweep, tune_problem
+from .db import (LEGACY_SCHEMAS, SCHEMA_VERSION, TUNER_VERSION, TuningDB,
+                 TuningKey, TuningRecord)
+from .evaluate import EVALUATOR_VERSION, Evaluator, Measurement
+from .space import (AnalyticScore, Candidate, enumerate_gemm_space,
+                    enumerate_trsm_space, feasible_gemm_mains, full_space,
+                    rank_candidates, score_candidate, size_class)
+from .tuner import (DEFAULT_TOP_K, DEFAULT_TUNED_BACKEND, TuneOutcome,
+                    sweep, tune_problem)
 
 __all__ = [
-    "SCHEMA_VERSION", "TUNER_VERSION",
+    "SCHEMA_VERSION", "LEGACY_SCHEMAS", "TUNER_VERSION",
+    "EVALUATOR_VERSION",
     "TuningDB", "TuningKey", "TuningRecord",
     "Evaluator", "Measurement",
-    "Candidate", "enumerate_gemm_space", "enumerate_trsm_space",
-    "feasible_gemm_mains", "size_class",
+    "Candidate", "AnalyticScore", "enumerate_gemm_space",
+    "enumerate_trsm_space", "feasible_gemm_mains", "full_space",
+    "score_candidate", "rank_candidates", "size_class",
     "TuneOutcome", "sweep", "tune_problem",
+    "DEFAULT_TOP_K", "DEFAULT_TUNED_BACKEND",
 ]

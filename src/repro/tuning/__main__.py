@@ -3,18 +3,33 @@
 Usage::
 
     python -m repro.tuning sweep --db kunpeng920.tuning.json \\
-        --op gemm --op trsm --dtype d --sizes 1:16 [--check]
+        --op gemm --op trsm --dtype d --sizes 1:16 [--top-k 8|--full] \\
+        [--check]
     python -m repro.tuning show --db kunpeng920.tuning.json
     python -m repro.tuning export --db kunpeng920.tuning.json --format csv
+    python -m repro.tuning merge --out fleet.json a.json b.json
+    python -m repro.tuning diff a.json b.json
+    python -m repro.tuning import --db fleet.json incoming.json
     python -m repro.tuning self-check
 
-``sweep`` is the install-time entry point: it measures every candidate
-per shape and upserts the winners into the DB atomically.  ``--check``
-re-runs the identical sweep in-process afterwards and verifies the
-serialized DB is bit-identical — the reproducibility guarantee CI
-leans on.  ``self-check`` exercises the whole subsystem end to end
-(sweep, save, reload, re-sweep, corruption handling, the "tuned never
-worse" invariant) against temp files and returns 0/1 for CI.
+``sweep`` is the install-time entry point: the analytic machine model
+ranks the full register-feasible candidate space and only the top-k
+(default 8; ``--full`` for the exhaustive sweep) is measured per shape;
+winners are upserted into the DB atomically.  ``--check`` re-runs the
+identical sweep in-process afterwards and verifies the serialized DB is
+bit-identical — the reproducibility guarantee CI leans on (the sweep
+timestamp is taken once and reused, so provenance cannot break it).
+
+``merge`` pools per-machine DBs into a fleet DB with deterministic,
+order-independent conflict resolution; ``diff`` explains what separates
+two DBs (exit 0 identical, 1 different, 2 unusable); ``import`` merges
+incoming files into an existing DB in place.
+
+``self-check`` exercises the whole subsystem end to end (sweep, save,
+reload, re-sweep, corruption handling, the "tuned never worse" and
+top-k rank-quality invariants, fleet merge/diff, the legacy-schema
+shim, and the watchdog-driven retune drill) against temp files and
+returns 0/1 for CI.
 """
 
 from __future__ import annotations
@@ -26,6 +41,7 @@ import json
 import os
 import sys
 import tempfile
+import time
 
 from . import TuningDB, TuningKey, sweep, tune_problem
 
@@ -77,13 +93,19 @@ def _cmd_sweep(args) -> int:
         if not args.quiet:
             print("  " + outcome.describe())
 
+    top_k = None if args.full else args.top_k
+    # one timestamp for the whole run, reused by --check's re-sweep so
+    # provenance cannot break bit-reproducibility
+    timestamp = float(int(time.time()))
+    mode = "full sweep" if top_k is None else f"top-{top_k} analytical"
     print(f"sweeping {machine.name}: ops={','.join(ops)} "
           f"dtypes={','.join(dtypes)} sizes={sizes[0]}..{sizes[-1]} "
-          f"({len(sizes)} shapes/op/dtype, batch={args.batch})")
+          f"({len(sizes)} shapes/op/dtype, batch={args.batch}, {mode})")
     outcomes = sweep(db, machine, ops=ops, dtypes=dtypes, sizes=sizes,
                      batch=args.batch, repeats=args.repeats,
                      schedule_variants=args.schedule_variants,
-                     wall_clock=args.wall_clock, progress=progress)
+                     wall_clock=args.wall_clock, top_k=top_k,
+                     timestamp=timestamp, progress=progress)
     improved = sum(1 for o in outcomes if o.improved)
     target = db.save(args.db)
     print(f"swept {len(outcomes)} shapes ({improved} improved over "
@@ -97,7 +119,8 @@ def _cmd_sweep(args) -> int:
             return 1
         sweep(again, machine, ops=ops, dtypes=dtypes, sizes=sizes,
               batch=args.batch, repeats=args.repeats,
-              schedule_variants=args.schedule_variants)
+              schedule_variants=args.schedule_variants,
+              top_k=top_k, timestamp=timestamp)
         if again.to_json() != db.to_json():
             print("reproducibility check FAILED: re-running the sweep "
                   "produced different records")
@@ -123,10 +146,12 @@ def _cmd_show(args) -> int:
                 else "fixed")
         pack = "pack" if rec.force_pack else "auto"
         sched = "" if rec.schedule else " unscheduled"
+        cands = (f"{rec.candidates}/{rec.space} cands" if rec.space
+                 else f"{rec.candidates} cands")
         print(f"  {key.op} {key.dtype} {key.m}x{key.n}x{key.k} "
               f"{key.mode}: {main}/{pack}{sched} "
               f"{rec.cycles:.0f}cy {rec.gflops:.2f}GF "
-              f"(tuner v{rec.tuner_version}, {rec.candidates} cands, "
+              f"(tuner v{rec.tuner_version}, {rec.sweep} {cands}, "
               f"batch {rec.batch}, run via {rec.backend})")
     return 0
 
@@ -137,22 +162,97 @@ def _cmd_export(args) -> int:
         print(f"error: {args.db} is corrupt ({db.corrupt_reason})")
         return 1
     if args.format == "json":
-        print(db.to_json())
-        return 0
-    out = io.StringIO()
-    writer = csv.writer(out)
-    writer.writerow(["machine", "op", "dtype", "m", "n", "k", "mode",
-                     "main", "force_pack", "schedule", "cycles", "gflops",
-                     "candidates", "tuner_version", "batch", "repeats",
-                     "backend"])
-    for key, rec in db.items():
-        writer.writerow([
-            key.machine, key.op, key.dtype, key.m, key.n, key.k, key.mode,
-            f"{rec.main[0]}x{rec.main[1]}" if rec.main is not None else "",
-            int(rec.force_pack), int(rec.schedule), rec.cycles, rec.gflops,
-            rec.candidates, rec.tuner_version, rec.batch, rec.repeats,
-            rec.backend])
-    sys.stdout.write(out.getvalue())
+        text = db.to_json() + "\n"
+    else:
+        out = io.StringIO()
+        writer = csv.writer(out)
+        writer.writerow(["machine", "op", "dtype", "m", "n", "k", "mode",
+                         "main", "force_pack", "schedule", "cycles",
+                         "gflops", "candidates", "space", "tuner_version",
+                         "evaluator_version", "batch", "repeats", "backend",
+                         "machine_id", "sweep", "timestamp"])
+        for key, rec in db.items():
+            writer.writerow([
+                key.machine, key.op, key.dtype, key.m, key.n, key.k,
+                key.mode,
+                (f"{rec.main[0]}x{rec.main[1]}" if rec.main is not None
+                 else ""),
+                int(rec.force_pack), int(rec.schedule), rec.cycles,
+                rec.gflops, rec.candidates, rec.space, rec.tuner_version,
+                rec.evaluator_version, rec.batch, rec.repeats, rec.backend,
+                rec.machine_id, rec.sweep, rec.timestamp])
+        text = out.getvalue()
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text)
+        print(f"exported {len(db)} entries -> {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _load_for_fleet(path: str) -> "TuningDB | None":
+    """Load one fleet-operation input; ``None`` (with a message) when
+    the file cannot be trusted — fleet merges must not silently absorb
+    a corrupt artifact."""
+    db = TuningDB.load(path)
+    if db.corrupt:
+        print(f"error: {path} is corrupt ({db.corrupt_reason})")
+        return None
+    return db
+
+
+def _cmd_merge(args) -> int:
+    dbs = []
+    for path in args.inputs:
+        db = _load_for_fleet(path)
+        if db is None:
+            return 2
+        dbs.append(db)
+    merged = TuningDB.merge(dbs)
+    merged.save(args.out)
+    print(f"merged {len(dbs)} DBs ({sum(len(d) for d in dbs)} records) "
+          f"-> {len(merged)} entries in {args.out}")
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    a = _load_for_fleet(args.a)
+    b = _load_for_fleet(args.b)
+    if a is None or b is None:
+        return 2
+    d = TuningDB.diff(a, b)
+    print(f"{args.a} vs {args.b}: {d['identical']} identical, "
+          f"{len(d['only_a'])} only in A, {len(d['only_b'])} only in B, "
+          f"{len(d['conflicts'])} conflicts")
+    for k in d["only_a"]:
+        print(f"  only A: {k}")
+    for k in d["only_b"]:
+        print(f"  only B: {k}")
+    for c in d["conflicts"]:
+        print(f"  conflict: {c['key']} "
+              f"(A {c['a']['gflops']:.2f}GF vs B {c['b']['gflops']:.2f}GF "
+              f"-> merge keeps {c['winner'].upper()})")
+    return 0 if not (d["only_a"] or d["only_b"] or d["conflicts"]) else 1
+
+
+def _cmd_import(args) -> int:
+    dst = TuningDB.load(args.db)
+    if dst.corrupt:
+        print(f"note: destination {args.db} was corrupt "
+              f"({dst.corrupt_reason}); starting fresh")
+        dst.reset()
+    incoming = []
+    for path in args.inputs:
+        db = _load_for_fleet(path)
+        if db is None:
+            return 2
+        incoming.append(db)
+    before = len(dst)
+    merged = TuningDB.merge([dst] + incoming)
+    merged.save(args.db)
+    print(f"imported {len(incoming)} DBs into {args.db}: "
+          f"{before} -> {len(merged)} entries")
     return 0
 
 
@@ -228,14 +328,178 @@ def _cmd_self_check(args) -> int:
             if counters.get(want, 0) <= 0:
                 problems.append(f"counter {want} did not move")
 
+        # top-k rank quality: the analytical cut must keep the
+        # full-sweep winner while measuring <= 25% of the full space
+        problems.extend(_check_topk(machine))
+
+        # fleet drill: merge commutativity, conflict resolution, empty
+        # self-diff, legacy-schema loading
+        problems.extend(_check_fleet(tmp, machine))
+
+        # drift -> retune drill: watchdog verdict triggers a bounded
+        # re-sweep that swaps the record and invalidates cached plans
+        problems.extend(_check_retune(reg, tmp, machine))
+
     if problems:
         print("tuning self-check FAILED:")
         for p in problems:
             print(f"  - {p}")
         return 1
     print("tuning self-check OK: sweep determinism, DB round-trip, "
-          "corruption fallback, and runtime hit/miss/fallback all healthy")
+          "corruption fallback, runtime hit/miss/fallback, top-k rank "
+          "quality, fleet merge/diff, and the drift-retune loop all "
+          "healthy")
     return 0
+
+
+def _check_topk(machine) -> "list[str]":
+    """Self-check drill: top-k keeps the exhaustive winner, cheaply."""
+    from ..types import GemmProblem
+    from .evaluate import Evaluator
+
+    problems: list[str] = []
+    ev = Evaluator(machine)
+    for n in (3, 6, 9, 12):
+        p = GemmProblem(n, n, n, "d", batch=512)
+        full = tune_problem(p, machine, evaluator=ev, top_k=None,
+                            schedule_variants=True)
+        topk = tune_problem(p, machine, evaluator=ev,
+                            schedule_variants=True)
+        same = (full.record.main == topk.record.main
+                and full.record.force_pack == topk.record.force_pack
+                and full.record.schedule == topk.record.schedule)
+        if not same:
+            problems.append(
+                f"top-k sweep missed the full-sweep winner at n={n}: "
+                f"{full.record.main} vs {topk.record.main}")
+        if topk.record.space and \
+                topk.record.candidates > 0.25 * topk.record.space:
+            problems.append(
+                f"top-k sweep measured {topk.record.candidates} of "
+                f"{topk.record.space} candidates at n={n} (> 25%)")
+        if topk.record.sweep != "topk":
+            problems.append(f"top-k record not stamped 'topk' at n={n}")
+    return problems
+
+
+def _check_fleet(tmp: str, machine) -> "list[str]":
+    """Self-check drill: fleet merge/diff semantics + the legacy shim."""
+    import dataclasses
+
+    from ..machine.machines import A64FX
+
+    problems: list[str] = []
+    db_a = TuningDB(path=os.path.join(tmp, "fleet-a.json"))
+    db_b = TuningDB(path=os.path.join(tmp, "fleet-b.json"))
+    sweep(db_a, machine, ops=("gemm",), dtypes=("d",), sizes=(3, 6),
+          batch=512)
+    sweep(db_b, A64FX, ops=("gemm",), dtypes=("d",), sizes=(3, 6),
+          batch=512)
+    # one overlapping key with conflicting records: resolution must be
+    # order-independent (higher gflops wins)
+    shared_key, shared_rec = db_a.items()[0]
+    db_b.put(shared_key,
+             dataclasses.replace(shared_rec, gflops=shared_rec.gflops + 1.0,
+                                 cycles=shared_rec.cycles / 2.0))
+    ab = TuningDB.merge([db_a, db_b])
+    ba = TuningDB.merge([db_b, db_a])
+    if ab.to_json() != ba.to_json():
+        problems.append("merge is not commutative (A,B != B,A)")
+    if ab.get(shared_key).gflops != shared_rec.gflops + 1.0:
+        problems.append("merge conflict did not keep the higher-gflops "
+                        "record")
+    self_diff = TuningDB.diff(ab, ab)
+    if self_diff["only_a"] or self_diff["only_b"] or self_diff["conflicts"]:
+        problems.append("self-diff of a merged DB is not empty")
+    cross = TuningDB.diff(db_a, db_b)
+    if len(cross["conflicts"]) != 1:
+        problems.append("diff did not report exactly the planted conflict")
+
+    # legacy v1 files (display-name keys, no provenance) must load
+    # through the shim onto this machine's tuning id
+    legacy_path = os.path.join(tmp, "legacy.json")
+    legacy_rec = {k: v for k, v in shared_rec.to_dict().items()
+                  if k in ("main", "force_pack", "schedule", "cycles",
+                           "gflops", "candidates", "tuner_version",
+                           "batch", "repeats")}
+    old_key = shared_key.encode().replace(shared_key.machine, machine.name)
+    with open(legacy_path, "w") as f:
+        json.dump({"schema": 1, "tuner_version": 1,
+                   "entries": {old_key: legacy_rec}}, f)
+    legacy = TuningDB.load(legacy_path)
+    if legacy.corrupt:
+        problems.append(f"legacy v1 file flagged corrupt: "
+                        f"{legacy.corrupt_reason}")
+    elif legacy.get(shared_key) is None:
+        problems.append("legacy v1 key did not upgrade to the stock "
+                        "machine's tuning id")
+    elif legacy.get(shared_key).sweep != "legacy":
+        problems.append("legacy record not stamped sweep='legacy'")
+    return problems
+
+
+def _check_retune(reg, tmp: str, machine) -> "list[str]":
+    """Self-check drill: a synthetic drifting trajectory must drive
+    ``IATF.retune_from_watch`` to swap the record and invalidate the
+    cached plan."""
+    from ..obs.watch import check_trajectory
+    from ..runtime.iatf import IATF
+    from ..types import GemmProblem
+
+    problems: list[str] = []
+    path = os.path.join(tmp, "retune.tuning.json")
+    db = TuningDB(path=path)
+    problem = GemmProblem(6, 6, 6, "d", batch=512)
+    out = tune_problem(problem, machine)
+    db.put(out.key, out.record)
+    db.save()
+
+    iatf = IATF(machine, tuning_db=path)
+    iatf.plan_gemm(problem)                    # populate the plan cache
+    if iatf.plan_cache_stats["size"] < 1:
+        problems.append("retune drill: plan cache did not populate")
+
+    def point(ts: float, wall: float) -> dict:
+        return {"schema": 2, "machine": machine.name,
+                "machine_id": machine.machine_id, "routine": "gemm",
+                "backend": "fused", "dtype": "d", "shape": [6, 6, 6],
+                "batch": 512, "gflops": 8.0, "percent_peak": 75.0,
+                "wall_seconds": wall, "repeats": 3, "timestamp": ts}
+
+    result = check_trajectory([point(1.0, 0.010), point(2.0, 0.025)],
+                              drift_threshold=0.5)
+    if not result.drifts:
+        problems.append("retune drill: watchdog did not flag the "
+                        "synthetic drift")
+        return problems
+    if result.exit_code != 0:
+        problems.append("retune drill: drift affected the exit code "
+                        "(must stay advisory)")
+    outcomes = iatf.retune_from_watch(result.drifts, timestamp=123.0)
+    if len(outcomes) != 1:
+        problems.append(f"retune drill: expected 1 retune outcome, got "
+                        f"{len(outcomes)}")
+        return problems
+    swapped = outcomes[0].record
+    if swapped.sweep != "retune" or swapped.timestamp != 123.0:
+        problems.append("retune drill: swapped record missing retune "
+                        "provenance")
+    reloaded = TuningDB.load(path)
+    if reloaded.get(outcomes[0].key) != swapped:
+        problems.append("retune drill: swapped record not persisted")
+    if iatf.plan_cache_stats["invalidations"] < 1:
+        problems.append("retune drill: stale cached plan was not "
+                        "invalidated")
+    counters = reg.snapshot()["counters"]
+    for want in ("tuning.retune.scheduled", "tuning.retune.swapped",
+                 "tuning.retune.plans_invalidated"):
+        if counters.get(want, 0) <= 0:
+            problems.append(f"retune drill: counter {want} did not move")
+    names = [e["name"] for e in reg.events.tail(prefix="tuning.retune.")]
+    for want in ("tuning.retune.scheduled", "tuning.retune.swapped"):
+        if want not in names:
+            problems.append(f"retune drill: event {want} not emitted")
+    return problems
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -276,6 +540,12 @@ def main(argv: "list[str] | None" = None) -> int:
     p_sweep.add_argument("--check", action="store_true",
                          help="verify reload + identical re-sweep are "
                          "bit-identical (CI)")
+    p_sweep.add_argument("--top-k", type=int, default=None, metavar="K",
+                         help="measure only the K best-ranked candidates "
+                         "per shape (default: the tuner's top-8)")
+    p_sweep.add_argument("--full", action="store_true",
+                         help="exhaustive sweep: measure every pruned "
+                         "candidate (overrides --top-k)")
     p_sweep.add_argument("--quiet", action="store_true")
 
     p_show = sub.add_parser("show", help="print DB stats and entries")
@@ -284,17 +554,48 @@ def main(argv: "list[str] | None" = None) -> int:
     p_exp = sub.add_parser("export", help="dump the DB as json or csv")
     p_exp.add_argument("--db", required=True, metavar="PATH")
     p_exp.add_argument("--format", choices=("json", "csv"), default="json")
+    p_exp.add_argument("--out", metavar="PATH", default=None,
+                       help="write to a file instead of stdout")
+
+    p_merge = sub.add_parser("merge", help="pool per-machine DBs into one "
+                             "fleet DB (deterministic, order-independent)")
+    p_merge.add_argument("--out", required=True, metavar="PATH")
+    p_merge.add_argument("inputs", nargs="+", metavar="DB")
+
+    p_diff = sub.add_parser("diff", help="explain what separates two DBs "
+                            "(exit 0 identical, 1 different)")
+    p_diff.add_argument("a", metavar="A")
+    p_diff.add_argument("b", metavar="B")
+
+    p_imp = sub.add_parser("import", help="merge incoming DB files into "
+                           "an existing DB in place")
+    p_imp.add_argument("--db", required=True, metavar="PATH",
+                       help="destination DB (updated atomically)")
+    p_imp.add_argument("inputs", nargs="+", metavar="DB")
 
     sub.add_parser("self-check", help="end-to-end smoke test of the "
                    "tuning subsystem (CI)")
 
     args = parser.parse_args(argv)
     if args.command == "sweep":
+        if args.top_k is None:
+            from .tuner import DEFAULT_TOP_K
+
+            args.top_k = DEFAULT_TOP_K
+        elif args.top_k < 1:
+            print("error: --top-k must be >= 1")
+            return 2
         return _cmd_sweep(args)
     if args.command == "show":
         return _cmd_show(args)
     if args.command == "export":
         return _cmd_export(args)
+    if args.command == "merge":
+        return _cmd_merge(args)
+    if args.command == "diff":
+        return _cmd_diff(args)
+    if args.command == "import":
+        return _cmd_import(args)
     if args.command == "self-check":
         return _cmd_self_check(args)
     parser.print_help()

@@ -1,9 +1,9 @@
-"""The persistent, per-machine TuningDB.
+"""The persistent, fleet-ready TuningDB.
 
-The install-time sweep (:mod:`repro.tuning.tuner`) measures every
-candidate plan on the machine model and stores only the *winners* here;
-the run-time stage (:class:`repro.runtime.iatf.IATF`) looks decisions
-up by problem key and falls back to the analytic CMAR choice on a miss.
+The install-time sweep (:mod:`repro.tuning.tuner`) measures candidate
+plans on the machine model and stores only the *winners* here; the
+run-time stage (:class:`repro.runtime.iatf.IATF`) looks decisions up by
+problem key and falls back to the analytic CMAR choice on a miss.
 Design constraints, in order:
 
 * **never crash the caller** — a missing, truncated, hand-edited, or
@@ -14,12 +14,32 @@ Design constraints, in order:
   ``os.replace``\\ s it over the target, so a crashed sweep can never
   leave a half-written DB for the next process to trip over;
 * **versioned schema** — the file carries ``schema`` (file format) and
-  each record carries ``tuner_version`` (search-procedure provenance),
-  so a reader can tell *how* a decision was produced;
+  each record carries full provenance (``machine_id``, sweep mode,
+  ``tuner_version``, ``evaluator_version``, a caller-injected
+  timestamp), so a reader can tell *how*, *where* and *when* a decision
+  was produced;
 * **deterministic serialization** — keys are sorted and floats are
   written as-is, so sweep -> save -> load -> save is byte-stable and
   two identical sweeps produce identical files (the CI reproducibility
-  check relies on this).
+  check relies on this);
+* **fleet mergeable** — per-machine DBs :meth:`~TuningDB.merge` with
+  deterministic, commutative conflict resolution (higher measured
+  GFLOPS wins, ties broken canonically) and :meth:`~TuningDB.diff`
+  explains what separates two DBs, so a fleet can pool install-time
+  sweeps and ship one artifact.
+
+Schema history:
+
+* **v1** — keys carried the machine's display *name* ("Kunpeng 920");
+  records had no provenance beyond ``tuner_version``.
+* **v2** — v1 plus the per-record ``backend`` column (PR 4).
+* **v3** (current) — keys carry the machine's *tuning id*
+  (``machine_id.fingerprint``, :attr:`MachineConfig.tuning_id`), and
+  records carry full provenance.  Legacy v1/v2 files load through a
+  shim: display names are slugified and, when the slug matches a stock
+  machine, upgraded to that machine's tuning id — so a DB swept on a
+  stock configuration keeps serving it, while a same-named machine with
+  different clocks or caches can no longer be served stale schedules.
 """
 
 from __future__ import annotations
@@ -27,24 +47,45 @@ from __future__ import annotations
 import json
 import os
 import tempfile
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from .. import obs
 
-__all__ = ["SCHEMA_VERSION", "TUNER_VERSION", "TuningKey", "TuningRecord",
-           "TuningDB"]
+__all__ = ["SCHEMA_VERSION", "LEGACY_SCHEMAS", "TUNER_VERSION",
+           "TuningKey", "TuningRecord", "TuningDB"]
 
-SCHEMA_VERSION = 1
-"""File-format version; a loader rejects files from a different major."""
+SCHEMA_VERSION = 3
+"""Current file-format version (see the schema history above)."""
 
-TUNER_VERSION = 1
-"""Search-procedure version stamped into every record's provenance."""
+LEGACY_SCHEMAS = (1, 2)
+"""File-format versions the legacy-load shim still understands."""
+
+TUNER_VERSION = 2
+"""Search-procedure version stamped into every record's provenance.
+v1 swept the full pruned candidate space; v2 is the analytical-first
+top-k sweep."""
+
+
+def _known_tuning_ids() -> "dict[str, str]":
+    """machine_id slug -> tuning id for the stock machine configs.
+
+    Imported lazily: :mod:`repro.machine.machines` must stay importable
+    without this module and vice versa.
+    """
+    from ..machine import machines
+
+    stock = (machines.KUNPENG_920, machines.XEON_GOLD_6240, machines.A64FX)
+    return {m.machine_id: m.tuning_id for m in stock}
 
 
 @dataclass(frozen=True)
 class TuningKey:
     """The lookup key: one problem configuration on one machine.
 
+    ``machine`` is the machine's *tuning id* — the
+    ``machine_id.fingerprint`` slug from
+    :attr:`repro.machine.machines.MachineConfig.tuning_id` — so two
+    same-named machines with different clocks or caches key separately.
     ``mode`` is the routine's full flag string ("NN".."TT" for GEMM;
     side/trans/uplo/diag e.g. "LNLN" for TRSM); ``k`` is 0 for TRSM.
     Batch size is deliberately *not* part of the key — decisions are
@@ -78,14 +119,22 @@ class TuningKey:
         machine, op, dtype, m, n, k, mode = parts
         return cls(machine, op, dtype, int(m), int(n), int(k), mode)
 
+    @staticmethod
+    def _machine_ref(machine) -> str:
+        """Accept a :class:`MachineConfig` (keys by its tuning id) or a
+        plain string (used verbatim — tests and legacy callers)."""
+        if isinstance(machine, str):
+            return machine
+        return machine.tuning_id
+
     @classmethod
-    def for_gemm(cls, machine_name: str, problem) -> "TuningKey":
-        return cls(machine_name, "gemm", problem.dtype.value,
+    def for_gemm(cls, machine, problem) -> "TuningKey":
+        return cls(cls._machine_ref(machine), "gemm", problem.dtype.value,
                    problem.m, problem.n, problem.k, problem.mode)
 
     @classmethod
-    def for_trsm(cls, machine_name: str, problem) -> "TuningKey":
-        return cls(machine_name, "trsm", problem.dtype.value,
+    def for_trsm(cls, machine, problem) -> "TuningKey":
+        return cls(cls._machine_ref(machine), "trsm", problem.dtype.value,
                    problem.m, problem.n, 0, problem.mode)
 
 
@@ -97,8 +146,11 @@ class TuningRecord:
     whose kernel family is fixed); ``force_pack`` is the winning
     pack-selector override (``False`` means the analytic rule won).
     Everything else is provenance: the winner's simulated cycles, how
-    big the swept space was, which tuner produced it, and the batch /
-    repeat settings it was measured under.
+    big the measured sweep and the full register-feasible space were,
+    which tuner/evaluator produced it, on which machine, under which
+    sweep mode, and when (the timestamp is injected by the caller —
+    the library never reads the clock itself, keeping sweeps
+    byte-reproducible).
     """
 
     main: "tuple[int, int] | None"
@@ -115,6 +167,22 @@ class TuningRecord:
     on (``fused`` by default; the wall-clock race winner when the sweep
     measured host time).  Pre-backend DB files load as ``compiled`` —
     the behaviour they were tuned under."""
+    machine_id: str = ""
+    """Slug of the machine the record was measured on (provenance; the
+    key's tuning id adds the config fingerprint on top)."""
+    sweep: str = "full"
+    """How the winning candidate was found: ``full`` (every pruned
+    candidate measured), ``topk`` (analytic ranking, top-k measured),
+    ``retune`` (drift-triggered bounded online re-sweep), or
+    ``legacy`` (loaded from a pre-provenance file)."""
+    evaluator_version: int = 0
+    """Version of the measurement procedure (0 = pre-provenance file)."""
+    timestamp: float = 0.0
+    """Caller-injected wall time of the sweep (0.0 = not stamped)."""
+    space: int = 0
+    """Size of the full register-feasible candidate space the analytic
+    ranker scored (0 = pre-provenance file).  ``candidates`` of it were
+    actually measured."""
 
     def to_dict(self) -> dict:
         return {
@@ -128,7 +196,17 @@ class TuningRecord:
             "batch": self.batch,
             "repeats": self.repeats,
             "backend": self.backend,
+            "machine_id": self.machine_id,
+            "sweep": self.sweep,
+            "evaluator_version": self.evaluator_version,
+            "timestamp": self.timestamp,
+            "space": self.space,
         }
+
+    def canonical(self) -> str:
+        """Canonical JSON form — the deterministic tie-breaker for
+        merge conflict resolution."""
+        return json.dumps(self.to_dict(), sort_keys=True)
 
     @classmethod
     def from_dict(cls, d: dict) -> "TuningRecord":
@@ -151,9 +229,26 @@ class TuningRecord:
                 batch=int(d["batch"]),
                 repeats=int(d.get("repeats", 1)),
                 backend=str(d.get("backend", "compiled")),
+                machine_id=str(d.get("machine_id", "")),
+                sweep=str(d.get("sweep", "full")),
+                evaluator_version=int(d.get("evaluator_version", 0)),
+                timestamp=float(d.get("timestamp", 0.0)),
+                space=int(d.get("space", 0)),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ValueError(f"invalid tuning record: {exc}") from exc
+
+
+def _merge_winner(a: TuningRecord, b: TuningRecord) -> TuningRecord:
+    """Deterministic, commutative conflict resolution: the higher
+    measured GFLOPS wins; ties keep the record whose canonical JSON
+    sorts first.  A total order, so merging any number of DBs in any
+    order lands on the same winner."""
+    if a == b:
+        return a
+    if a.gflops != b.gflops:
+        return a if a.gflops > b.gflops else b
+    return a if a.canonical() <= b.canonical() else b
 
 
 @dataclass
@@ -167,6 +262,9 @@ class TuningDB:
     error."""
     corrupt_reason: str = ""
     version: int = SCHEMA_VERSION
+    loaded_schema: int = SCHEMA_VERSION
+    """The schema version found on disk (before any legacy upgrade);
+    ``save`` always writes the current :data:`SCHEMA_VERSION`."""
     _entries: "dict[str, TuningRecord]" = field(default_factory=dict)
 
     # -- lookup / mutation -----------------------------------------------
@@ -197,6 +295,74 @@ class TuningDB:
             per[bucket] = per.get(bucket, 0) + 1
         return {"entries": len(self._entries), "schema": self.version,
                 "corrupt": self.corrupt, "per_machine_op": per}
+
+    def reset(self) -> None:
+        """Drop every entry and clear the corrupt flag — the online
+        re-tuning loop's self-heal for an unusable on-disk DB (the next
+        ``save`` atomically replaces the bad file with fresh records)."""
+        self._entries = {}
+        self.corrupt = False
+        self.corrupt_reason = ""
+
+    # -- fleet operations --------------------------------------------------
+
+    @classmethod
+    def merge(cls, dbs) -> "TuningDB":
+        """Pool per-machine DBs into one fleet DB.
+
+        Conflicts (same key, different record) resolve deterministically
+        via :func:`_merge_winner` — higher measured GFLOPS wins, ties
+        break on canonical record JSON — so the merge is commutative
+        and associative: ``merge([a, b])`` serializes bit-identically
+        to ``merge([b, a])``.  Corrupt inputs contribute nothing (their
+        entries were already dropped at load time).
+        """
+        out = cls()
+        conflicts = 0
+        for db in dbs:
+            for k, rec in db._entries.items():
+                cur = out._entries.get(k)
+                if cur is None:
+                    out._entries[k] = rec
+                elif cur != rec:
+                    conflicts += 1
+                    out._entries[k] = _merge_winner(cur, rec)
+        obs.count("tuning.db.merges")
+        if conflicts:
+            obs.count("tuning.db.merge_conflicts", conflicts)
+        return out
+
+    @staticmethod
+    def diff(a: "TuningDB", b: "TuningDB") -> dict:
+        """What separates two DBs, deterministically ordered.
+
+        Returns ``only_a`` / ``only_b`` (sorted key strings),
+        ``conflicts`` (both records plus which side merge would keep),
+        and ``identical`` (count of keys with equal records).  An empty
+        self-diff — ``diff(x, x)`` with no ``only_*`` or ``conflicts``
+        — is the fleet drill's sanity check.
+        """
+        keys_a, keys_b = set(a._entries), set(b._entries)
+        conflicts = []
+        identical = 0
+        for k in sorted(keys_a & keys_b):
+            ra, rb = a._entries[k], b._entries[k]
+            if ra == rb:
+                identical += 1
+            else:
+                winner = _merge_winner(ra, rb)
+                conflicts.append({
+                    "key": k,
+                    "a": ra.to_dict(),
+                    "b": rb.to_dict(),
+                    "winner": "a" if winner == ra else "b",
+                })
+        return {
+            "only_a": sorted(keys_a - keys_b),
+            "only_b": sorted(keys_b - keys_a),
+            "conflicts": conflicts,
+            "identical": identical,
+        }
 
     # -- persistence ------------------------------------------------------
 
@@ -247,7 +413,8 @@ class TuningDB:
         before the first install-time sweep.  Anything unparseable or
         schema-incompatible yields an empty DB flagged ``corrupt``;
         the runtime then counts ``tuning.fallback`` per lookup and
-        keeps using analytic selection.
+        keeps using analytic selection.  Legacy v1/v2 files load
+        through the key-upgrade shim (module docstring).
         """
         db = cls(path=os.fspath(path))
         try:
@@ -265,23 +432,50 @@ class TuningDB:
         if not isinstance(doc, dict):
             return db._mark_corrupt("top level is not an object")
         schema = doc.get("schema")
-        if schema != SCHEMA_VERSION:
+        if schema != SCHEMA_VERSION and schema not in LEGACY_SCHEMAS:
             return db._mark_corrupt(
-                f"schema {schema!r} != supported {SCHEMA_VERSION}")
+                f"schema {schema!r} != supported {SCHEMA_VERSION} "
+                f"(legacy: {', '.join(map(str, LEGACY_SCHEMAS))})")
         entries = doc.get("entries")
         if not isinstance(entries, dict):
             return db._mark_corrupt("'entries' is not an object")
         loaded: dict[str, TuningRecord] = {}
         try:
             for k, v in entries.items():
-                TuningKey.decode(k)          # validates the key shape
-                loaded[k] = TuningRecord.from_dict(v)
+                key = TuningKey.decode(k)        # validates the key shape
+                rec = TuningRecord.from_dict(v)
+                if schema in LEGACY_SCHEMAS:
+                    key, rec = cls._upgrade_legacy(key, rec)
+                loaded[key.encode()] = rec
         except ValueError as exc:
             return db._mark_corrupt(str(exc))
         db._entries = loaded
+        db.loaded_schema = int(schema)
+        if schema in LEGACY_SCHEMAS:
+            obs.count("tuning.db.legacy_loads")
+            obs.event("tuning.db.legacy_load", path=str(db.path),
+                      schema=int(schema), entries=len(loaded))
         obs.count("tuning.db.loads")
         obs.gauge("tuning.db.entries", len(loaded))
         return db
+
+    @staticmethod
+    def _upgrade_legacy(key: TuningKey,
+                        rec: TuningRecord) -> "tuple[TuningKey, TuningRecord]":
+        """The v1/v2 shim: slugify the display name the old keys carried
+        and, when the slug matches a stock machine, upgrade it to that
+        machine's tuning id (old sweeps are assumed to have run on the
+        stock configuration).  An unknown slug stays bare — preserved
+        for merge/export, unreachable by any live machine, which is
+        exactly the point: a reconfigured machine must re-tune."""
+        from ..machine.machines import slugify
+
+        slug = slugify(key.machine)
+        machine_ref = _known_tuning_ids().get(slug, slug)
+        key = replace(key, machine=machine_ref)
+        rec = replace(rec, machine_id=rec.machine_id or slug,
+                      sweep="legacy" if rec.sweep == "full" else rec.sweep)
+        return key, rec
 
     def _mark_corrupt(self, reason: str) -> "TuningDB":
         self.corrupt = True

@@ -31,7 +31,13 @@ from ..runtime.plan import ExecutionPlan, build_gemm_plan, build_trsm_plan
 from ..types import GemmProblem, TrsmProblem
 from .space import Candidate
 
-__all__ = ["Measurement", "Evaluator"]
+__all__ = ["Measurement", "Evaluator", "EVALUATOR_VERSION"]
+
+EVALUATOR_VERSION = 1
+"""Measurement-procedure version stamped into record provenance: bump
+when the metric itself changes (what is timed, how repeats aggregate),
+so fleet merges can tell records measured under different rules apart.
+v1 = median cycle-model samples, best-of-repeats wall clock."""
 
 WALL_CLOCK_BATCH_CAP = 512
 """Wall-clock replays cap the batch: host time scales linearly with
@@ -116,14 +122,16 @@ class Evaluator:
         """Wall-clock race of executor backends on one candidate.
 
         Returns the winning backend name plus every contestant's
-        best-of-``repeats`` seconds.  Ties keep the first-listed
-        backend, so the race is deterministic given the timings.  This
-        is host-time territory — the tuner only runs it when the sweep
-        was asked for wall-clock measurements; the default (cycle-model)
-        sweep must stay byte-reproducible.
+        best-of-``repeats`` seconds.  Ties go to the canonically
+        (lexicographically) first backend *name* — not the listing
+        order — so the race stays deterministic, and reproducible
+        across call sites, even when two backends measure identically.
+        This is host-time territory — the tuner only runs it when the
+        sweep was asked for wall-clock measurements; the default
+        (cycle-model) sweep must stay byte-reproducible.
         """
         times = {b: self._wall_run(problem, cand, b) for b in backends}
-        winner = min(backends, key=lambda b: times[b])
+        winner = min(sorted(backends), key=lambda b: (times[b], b))
         obs.count("tuning.race.backends", len(backends))
         return winner, times
 

@@ -22,12 +22,12 @@ from .. import obs
 from ..machine.machines import MachineConfig
 from ..types import GemmProblem, TrsmProblem
 from .db import TUNER_VERSION, TuningDB, TuningKey, TuningRecord
-from .evaluate import Evaluator, Measurement
+from .evaluate import EVALUATOR_VERSION, Evaluator, Measurement
 from .space import (Candidate, enumerate_gemm_space, enumerate_trsm_space,
-                    size_class)
+                    full_space, rank_candidates, size_class)
 
 __all__ = ["TuneOutcome", "tune_problem", "sweep",
-           "DEFAULT_TUNED_BACKEND"]
+           "DEFAULT_TUNED_BACKEND", "DEFAULT_TOP_K"]
 
 DEFAULT_TUNED_BACKEND = "fused"
 """Backend recorded when the sweep did not measure wall clock: the
@@ -36,6 +36,14 @@ not-slower by the perf suite, so recommending it is safe without host
 timing — and a constant keeps the cycle-model sweep byte-reproducible.
 With ``wall_clock=True`` the tuner instead races the real backends on
 the winning candidate and records the host-time winner."""
+
+DEFAULT_TOP_K = 8
+"""How many candidates the analytical-first sweep measures per shape:
+the analytic (CMAR) candidate plus the ``top_k - 1`` best-ranked others
+by :func:`repro.tuning.space.score_candidate`.  Eight keeps the sweep
+at <= 25% of the full register-feasible space on the modeled machines
+while (empirically, see tests/tuning/test_topk.py) always containing
+the full-sweep winner.  Pass ``top_k=None`` for the exhaustive sweep."""
 
 
 @dataclass(frozen=True)
@@ -76,18 +84,53 @@ def _space_for(problem, machine: MachineConfig,
 
 def _key_for(problem, machine: MachineConfig) -> TuningKey:
     if isinstance(problem, GemmProblem):
-        return TuningKey.for_gemm(machine.name, problem)
-    return TuningKey.for_trsm(machine.name, problem)
+        return TuningKey.for_gemm(machine, problem)
+    return TuningKey.for_trsm(machine, problem)
+
+
+def _select_top_k(problem, machine: MachineConfig,
+                  candidates: "list[Candidate]",
+                  top_k: int) -> "list[Candidate]":
+    """The analytical-first cut: keep the analytic head unconditionally
+    plus the ``top_k - 1`` best-ranked of the rest, in the original
+    (analytic-first) measurement order.
+
+    Keeping enumeration order — rather than rank order — preserves the
+    exact tie-breaking semantics of the full sweep on the surviving
+    candidates, so a top-k sweep that measures the same winner also
+    records the same winner.
+    """
+    ranked = rank_candidates(problem, machine, candidates[1:])
+    keep = {cand for cand, _score in ranked[:max(0, top_k - 1)]}
+    return [candidates[0]] + [c for c in candidates[1:] if c in keep]
 
 
 def tune_problem(problem, machine: MachineConfig, *,
                  evaluator: "Evaluator | None" = None,
                  repeats: int = 1, schedule_variants: bool = False,
-                 wall_clock: bool = False) -> TuneOutcome:
-    """Sweep one problem shape and return the winner + full sweep."""
+                 wall_clock: bool = False,
+                 top_k: "int | None" = DEFAULT_TOP_K,
+                 sweep_label: "str | None" = None,
+                 timestamp: float = 0.0) -> TuneOutcome:
+    """Sweep one problem shape and return the winner + full sweep.
+
+    With the default ``top_k`` the sweep is analytical-first: the full
+    register-feasible space is *ranked* by the analytic machine model
+    and only the analytic candidate plus the ``top_k - 1`` best-ranked
+    others are measured.  ``top_k=None`` measures the whole (pruned)
+    enumeration.  ``timestamp`` is provenance injected by the caller —
+    the library never reads the clock, keeping sweeps
+    byte-reproducible; ``sweep_label`` overrides the recorded sweep
+    mode (the online re-tuning loop stamps ``"retune"``).
+    """
     ev = evaluator or Evaluator(machine, repeats=repeats,
                                 wall_clock=wall_clock)
     candidates = _space_for(problem, machine, schedule_variants)
+    space_size = len(full_space(problem, machine))
+    mode = "full"
+    if top_k is not None and top_k >= 1 and len(candidates) > top_k:
+        candidates = _select_top_k(problem, machine, candidates, top_k)
+        mode = "topk"
     klass = size_class(problem.m, problem.n,
                        getattr(problem, "k", 0))
     sweep_rows: list[dict] = []
@@ -122,6 +165,11 @@ def tune_problem(problem, machine: MachineConfig, *,
         batch=problem.batch,
         repeats=ev.repeats,
         backend=backend,
+        machine_id=machine.machine_id,
+        sweep=sweep_label if sweep_label is not None else mode,
+        evaluator_version=EVALUATOR_VERSION,
+        timestamp=timestamp,
+        space=space_size,
     )
     obs.count("tuning.sweep.problems")
     improved = best_cand != candidates[0]
@@ -135,6 +183,7 @@ def sweep(db: TuningDB, machine: MachineConfig, *,
           ops=("gemm", "trsm"), dtypes=("d",), sizes=(4, 8, 16),
           batch: int = 16384, repeats: int = 1,
           schedule_variants: bool = False, wall_clock: bool = False,
+          top_k: "int | None" = DEFAULT_TOP_K, timestamp: float = 0.0,
           progress=None) -> "list[TuneOutcome]":
     """Tune square problems over a size grid and store winners in ``db``.
 
@@ -159,7 +208,8 @@ def sweep(db: TuningDB, machine: MachineConfig, *,
                         raise ValueError(f"unknown op {op!r}")
                     outcome = tune_problem(
                         problem, machine, evaluator=ev,
-                        schedule_variants=schedule_variants)
+                        schedule_variants=schedule_variants,
+                        top_k=top_k, timestamp=timestamp)
                     db.put(outcome.key, outcome.record)
                     outcomes.append(outcome)
                     if progress is not None:

@@ -3,6 +3,8 @@
 import json
 from pathlib import Path
 
+import pytest
+
 from repro.obs.__main__ import main
 from repro.obs.watch import (SCHEMA_VERSION, WatchResult, check_trajectory,
                              load_trajectory, watch)
@@ -69,6 +71,54 @@ class TestChecks:
         assert "fell behind" in r.regressions[0]
         pts[0]["wall_seconds"] = 0.06      # 1.2 >= 0.9
         assert check_trajectory(pts, ratio_floor=0.90).exit_code == 0
+
+
+class TestDrift:
+    """Observed-vs-model drift: advisory verdicts, never exit-code
+    failures."""
+
+    def test_drift_is_opt_in(self):
+        pts = [point(10.0, 1.0, wall=0.01), point(10.0, 2.0, wall=0.05)]
+        assert check_trajectory(pts).drifts == []
+
+    def test_growing_wall_model_ratio_flagged(self):
+        pts = [point(10.0, 1.0, wall=0.01), point(10.0, 2.0, wall=0.025)]
+        r = check_trajectory(pts, drift_threshold=0.5)
+        assert len(r.drifts) == 1
+        d = r.drifts[0]
+        assert d["machine_id"] == "kunpeng-920"
+        assert d["routine"] == "gemm" and d["shape"] == [8, 8, 8]
+        assert d["ratio"] == pytest.approx(2.5)
+        assert "DRIFT" in r.render()
+
+    def test_drift_never_fails_the_run(self):
+        pts = [point(10.0, 1.0, wall=0.01), point(10.0, 2.0, wall=0.5)]
+        r = check_trajectory(pts, drift_threshold=0.1)
+        assert r.drifts and r.exit_code == 0
+
+    def test_within_threshold_quiet(self):
+        pts = [point(10.0, 1.0, wall=0.010), point(10.0, 2.0, wall=0.012)]
+        assert check_trajectory(pts, drift_threshold=0.5).drifts == []
+
+    def test_unwalled_points_ignored(self):
+        pts = [point(10.0, 1.0, wall=None), point(10.0, 2.0, wall=0.05)]
+        assert check_trajectory(pts, drift_threshold=0.1).drifts == []
+
+    def test_baseline_is_best_earlier_ratio(self):
+        # middle point is the cheapest ratio; drift measured against it
+        pts = [point(10.0, 1.0, wall=0.02), point(10.0, 2.0, wall=0.01),
+               point(10.0, 3.0, wall=0.018)]
+        r = check_trajectory(pts, drift_threshold=0.5)
+        assert r.drifts[0]["ratio"] == pytest.approx(1.8)
+
+    def test_drift_emits_event(self):
+        from repro import obs
+
+        pts = [point(10.0, 1.0, wall=0.01), point(10.0, 2.0, wall=0.05)]
+        with obs.scoped() as reg:
+            check_trajectory(pts, drift_threshold=0.5)
+            names = [e["name"] for e in reg.events.tail(prefix="watch.")]
+        assert "watch.drift" in names
 
 
 class TestLoading:
@@ -150,3 +200,9 @@ class TestCli:
         path = write(tmp_path, [point(10.0, 1.0), point(9.5, 2.0)])
         assert main(["watch", path, "--threshold", "0.02"]) == 1
         assert main(["watch", path, "--threshold", "0.10"]) == 0
+
+    def test_watch_drift_flag(self, tmp_path, capsys):
+        path = write(tmp_path, [point(10.0, 1.0, wall=0.01),
+                                point(10.0, 2.0, wall=0.05)])
+        assert main(["watch", path, "--drift-threshold", "0.5"]) == 0
+        assert "DRIFT" in capsys.readouterr().out

@@ -26,7 +26,7 @@ class TestPlanCacheUnit:
         cache.get(("x",))
         s = cache.stats()
         assert s == {"size": 1, "maxsize": 4, "hits": 1, "misses": 1,
-                     "evictions": 0}
+                     "evictions": 0, "invalidations": 0}
 
     def test_rejects_degenerate_size(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,137 @@
+"""Drift-triggered online re-tuning: record swap, plan-cache
+invalidation, and the watch-verdict mapping."""
+
+import pytest
+
+from repro import IATF, KUNPENG_920
+from repro import obs
+from repro.obs.watch import check_trajectory
+from repro.tuning.db import TuningDB
+from repro.tuning.tuner import tune_problem
+from repro.types import GemmProblem, TrsmProblem
+
+PROBLEM = GemmProblem(6, 6, 6, "d", batch=512)
+
+
+def _tuned_iatf(tmp_path):
+    """An IATF over a saved DB holding one tuned GEMM record."""
+    db = TuningDB(path=str(tmp_path / "tuning.json"))
+    out = tune_problem(PROBLEM, KUNPENG_920, timestamp=1.0)
+    db.put(out.key, out.record)
+    db.save()
+    return IATF(KUNPENG_920, tuning_db=db), out
+
+
+def _drift(ratio=2.5, **over):
+    d = {"machine_id": KUNPENG_920.machine_id, "routine": "gemm",
+         "backend": "fused", "dtype": "d", "shape": [6, 6, 6],
+         "batch": 512, "ratio": ratio, "threshold": 0.5}
+    d.update(over)
+    return d
+
+
+class TestRetune:
+    def test_swaps_record_and_persists(self, tmp_path):
+        iatf, old = _tuned_iatf(tmp_path)
+        out = iatf.retune(PROBLEM, timestamp=99.0)
+        assert out is not None
+        assert out.record.sweep == "retune"
+        assert out.record.timestamp == 99.0
+        # the swap hit both the live DB and the file
+        assert iatf.tuning_db.get(old.key) == out.record
+        reloaded = TuningDB.load(iatf.tuning_db.path)
+        assert reloaded.get(old.key) == out.record
+
+    def test_invalidates_cached_plans(self, tmp_path):
+        iatf, _ = _tuned_iatf(tmp_path)
+        plan = iatf.plan_gemm(PROBLEM)
+        assert iatf.plan_gemm(PROBLEM) is plan          # cached
+        # same shape at another batch caches separately but must also go
+        iatf.plan_gemm(PROBLEM.with_batch(64))
+        iatf.retune(PROBLEM)
+        assert iatf.plan_cache_stats["invalidations"] >= 2
+        assert iatf.plan_gemm(PROBLEM) is not plan      # re-planned
+
+    def test_unrelated_plans_survive(self, tmp_path):
+        iatf, _ = _tuned_iatf(tmp_path)
+        other = GemmProblem(9, 9, 9, "d", batch=512)
+        kept = iatf.plan_gemm(other)
+        iatf.retune(PROBLEM)
+        assert iatf.plan_gemm(other) is kept
+
+    def test_no_db_is_counted_not_fatal(self):
+        iatf = IATF(KUNPENG_920)
+        with obs.scoped() as reg:
+            assert iatf.retune(PROBLEM) is None
+        counters = reg.snapshot()["counters"]
+        assert counters["tuning.retune.skipped"] == 1
+
+    def test_corrupt_db_self_heals(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{ nope")
+        iatf = IATF(KUNPENG_920, tuning_db=str(path))
+        assert iatf.tuning_db.corrupt
+        with obs.scoped() as reg:
+            out = iatf.retune(PROBLEM)
+        assert out is not None
+        assert not iatf.tuning_db.corrupt
+        assert reg.snapshot()["counters"]["tuning.retune.db_reset"] == 1
+        assert not TuningDB.load(path).corrupt          # healed on disk
+
+    def test_events_tell_the_story(self, tmp_path):
+        iatf, _ = _tuned_iatf(tmp_path)
+        with obs.scoped() as reg:
+            iatf.retune(PROBLEM)
+            names = [e["name"]
+                     for e in reg.events.tail(prefix="tuning.retune.")]
+        assert "tuning.retune.scheduled" in names
+        assert "tuning.retune.swapped" in names
+
+
+class TestRetuneFromWatch:
+    def test_drift_verdict_maps_and_swaps(self, tmp_path):
+        iatf, _ = _tuned_iatf(tmp_path)
+        outs = iatf.retune_from_watch([_drift()], timestamp=7.0)
+        assert len(outs) == 1
+        assert outs[0].record.sweep == "retune"
+        assert outs[0].record.timestamp == 7.0
+
+    def test_other_machines_ignored(self, tmp_path):
+        iatf, _ = _tuned_iatf(tmp_path)
+        assert iatf.retune_from_watch([_drift(machine_id="a64fx")]) == []
+
+    def test_unmappable_verdict_counted(self, tmp_path):
+        iatf, _ = _tuned_iatf(tmp_path)
+        with obs.scoped() as reg:
+            outs = iatf.retune_from_watch(
+                [_drift(routine="getrf", shape=[6, 6])])
+        assert outs == []
+        assert reg.snapshot()["counters"]["tuning.retune.unmapped"] == 1
+
+    def test_trsm_drift_maps(self, tmp_path):
+        iatf, _ = _tuned_iatf(tmp_path)
+        outs = iatf.retune_from_watch(
+            [_drift(routine="trsm", shape=[5, 5])])
+        assert len(outs) == 1
+        assert outs[0].key.op == "trsm"
+        assert outs[0].key == iatf._tuning_key(
+            "trsm", TrsmProblem(5, 5, "d", batch=512))
+
+    def test_end_to_end_with_watchdog(self, tmp_path):
+        """The full loop: trajectory points -> watch drift verdict ->
+        retune -> fresh record + invalidated plan."""
+        iatf, old = _tuned_iatf(tmp_path)
+        plan = iatf.plan_gemm(PROBLEM)
+        pts = [{"schema": 2, "machine": KUNPENG_920.name,
+                "machine_id": KUNPENG_920.machine_id, "routine": "gemm",
+                "backend": "fused", "dtype": "d", "shape": [6, 6, 6],
+                "batch": 512, "gflops": 8.0, "percent_peak": 30.0,
+                "wall_seconds": w, "repeats": 3, "timestamp": ts}
+               for w, ts in ((0.010, 1.0), (0.025, 2.0))]
+        result = check_trajectory(pts, drift_threshold=0.5)
+        assert result.exit_code == 0          # drift is advisory
+        assert len(result.drifts) == 1
+        outs = iatf.retune_from_watch(result.drifts, timestamp=123.0)
+        assert len(outs) == 1
+        assert iatf.tuning_db.get(old.key).sweep == "retune"
+        assert iatf.plan_gemm(PROBLEM) is not plan

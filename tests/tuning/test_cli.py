@@ -31,7 +31,7 @@ class TestSweepCommand:
         assert db.exists()
         assert "reproducibility check OK" in out
         doc = json.loads(db.read_text())
-        assert doc["schema"] == 1
+        assert doc["schema"] == 3
         assert len(doc["entries"]) == 2
 
     def test_sweep_prints_outcomes(self, tmp_path, capsys):
@@ -57,8 +57,9 @@ class TestShowAndExport:
     def test_show_lists_entries(self, db_path, capsys):
         assert main(["show", "--db", db_path]) == 0
         out = capsys.readouterr().out
-        assert "schema v1" in out
-        assert "Kunpeng 920/gemm: 2" in out
+        assert "schema v3" in out
+        from repro.machine.machines import KUNPENG_920
+        assert f"{KUNPENG_920.tuning_id}/gemm: 2" in out
         assert "3x3x3" in out and "6x6x6" in out
 
     def test_show_corrupt_db_reports_and_fails(self, tmp_path, capsys):

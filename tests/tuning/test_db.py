@@ -124,6 +124,215 @@ class TestCorruption:
         assert reg.snapshot()["counters"]["tuning.db.corrupt"] == 1
 
 
+class TestProvenance:
+    def test_v3_fields_roundtrip(self):
+        rec = TuningRecord(main=(3, 3), force_pack=True, schedule=True,
+                           cycles=10.0, gflops=5.0, candidates=8,
+                           tuner_version=TUNER_VERSION, batch=512,
+                           machine_id="kunpeng-920", sweep="topk",
+                           evaluator_version=1, timestamp=1234.0, space=36)
+        again = TuningRecord.from_dict(rec.to_dict())
+        assert again == rec
+        assert again.sweep == "topk" and again.space == 36
+
+    def test_pre_provenance_dict_gets_defaults(self):
+        """A v3-schema file whose records predate the provenance columns
+        (hand-migrated) still loads, with explicit 'unknown' defaults."""
+        d = _record().to_dict()
+        for k in ("machine_id", "sweep", "evaluator_version", "timestamp",
+                  "space"):
+            d.pop(k)
+        rec = TuningRecord.from_dict(d)
+        assert rec.machine_id == "" and rec.sweep == "full"
+        assert rec.evaluator_version == 0 and rec.space == 0
+
+    def test_keys_carry_tuning_id_not_name(self):
+        from repro.machine.machines import KUNPENG_920
+
+        key = TuningKey.for_gemm(KUNPENG_920,
+                                 GemmProblem(4, 4, 4, "d", batch=64))
+        assert key.machine == KUNPENG_920.tuning_id
+        assert key.machine != KUNPENG_920.name
+
+    def test_reconfigured_machine_keys_differently(self):
+        """Same name, different issue rules -> different tuning_id, so
+        records cannot leak between the two configurations."""
+        from repro.machine.machines import KUNPENG_920
+
+        twin = KUNPENG_920.with_rules(max_fp64=2)
+        p = GemmProblem(4, 4, 4, "d", batch=64)
+        assert twin.name == KUNPENG_920.name
+        assert (TuningKey.for_gemm(twin, p)
+                != TuningKey.for_gemm(KUNPENG_920, p))
+
+
+class TestLegacyShim:
+    def _legacy_doc(self, machine_name, schema=1, with_backend=False):
+        rec = {"main": [4, 4], "force_pack": False, "schedule": True,
+               "cycles": 1000.0, "gflops": 12.5, "candidates": 9,
+               "tuner_version": 1, "batch": 16384, "repeats": 1}
+        if with_backend:
+            rec["backend"] = "fused"
+        key = f"{machine_name}|gemm|d|4|4|4|NN"
+        return {"schema": schema, "tuner_version": 1, "entries": {key: rec}}
+
+    def test_v1_stock_name_upgrades_to_tuning_id(self, tmp_path):
+        from repro.machine.machines import KUNPENG_920
+
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps(self._legacy_doc("Kunpeng 920")))
+        db = TuningDB.load(path)
+        assert not db.corrupt
+        key = TuningKey.for_gemm(KUNPENG_920,
+                                 GemmProblem(4, 4, 4, "d", batch=64))
+        rec = db.get(key)
+        assert rec is not None
+        assert rec.sweep == "legacy"
+        assert rec.machine_id == "kunpeng-920"
+        assert rec.backend == "compiled"       # pre-backend default
+
+    def test_v2_roundtrips_through_v3(self, tmp_path):
+        """v2 file -> load (shim) -> save (v3) -> load must preserve the
+        decision and serialize stably."""
+        path = tmp_path / "v2.json"
+        path.write_text(json.dumps(self._legacy_doc("Kunpeng 920",
+                                                    schema=2,
+                                                    with_backend=True)))
+        db = TuningDB.load(path)
+        assert not db.corrupt and db.loaded_schema == 2
+        out = tmp_path / "v3.json"
+        db.save(str(out))
+        again = TuningDB.load(out)
+        assert not again.corrupt and again.loaded_schema == SCHEMA_VERSION
+        assert again.to_json() == db.to_json()
+        (key, rec), = again.items()
+        assert rec.main == (4, 4) and rec.backend == "fused"
+
+    def test_unknown_machine_slug_stays_unreachable(self, tmp_path):
+        """A legacy record from a machine we don't model keeps its slug:
+        preserved for merge/export, but no stock config resolves to it."""
+        from repro.machine import machines
+
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps(self._legacy_doc("Some Other Box")))
+        db = TuningDB.load(path)
+        assert not db.corrupt and len(db) == 1
+        (key, _), = db.items()
+        assert key.machine == "some-other-box"
+        stock = (machines.KUNPENG_920, machines.XEON_GOLD_6240,
+                 machines.A64FX)
+        assert key.machine not in {m.tuning_id for m in stock}
+
+    def test_legacy_load_counted(self, tmp_path):
+        from repro import obs
+
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps(self._legacy_doc("Kunpeng 920")))
+        with obs.scoped() as reg:
+            TuningDB.load(path)
+        assert reg.snapshot()["counters"]["tuning.db.legacy_loads"] == 1
+
+
+def _fleet_key(n):
+    return TuningKey("machine-a.00000000", "gemm", "d", n, n, n, "NN")
+
+
+class TestMergeAndDiff:
+    def test_merge_is_commutative_bit_identical(self):
+        a, b = TuningDB(), TuningDB()
+        a.put(_fleet_key(3), _record(cycles=100.0))
+        a.put(_fleet_key(6), _record(cycles=200.0))
+        b.put(_fleet_key(6), TuningRecord(
+            main=(3, 3), force_pack=False, schedule=True, cycles=150.0,
+            gflops=20.0, candidates=8, tuner_version=TUNER_VERSION,
+            batch=512))
+        b.put(_fleet_key(9), _record(cycles=300.0))
+        ab = TuningDB.merge([a, b])
+        ba = TuningDB.merge([b, a])
+        assert ab.to_json() == ba.to_json()
+        assert len(ab) == 3
+
+    def test_conflict_keeps_higher_gflops(self):
+        a, b = TuningDB(), TuningDB()
+        lo = _record(cycles=100.0)               # gflops 12.5
+        hi = TuningRecord(main=(3, 3), force_pack=False, schedule=True,
+                          cycles=50.0, gflops=25.0, candidates=8,
+                          tuner_version=TUNER_VERSION, batch=512)
+        a.put(_fleet_key(4), lo)
+        b.put(_fleet_key(4), hi)
+        assert TuningDB.merge([a, b]).get(_fleet_key(4)) == hi
+        assert TuningDB.merge([b, a]).get(_fleet_key(4)) == hi
+
+    def test_gflops_tie_breaks_canonically(self):
+        """Equal gflops: the winner is decided by canonical record JSON,
+        identically in both argument orders."""
+        a, b = TuningDB(), TuningDB()
+        ra = _record(main=(4, 4))
+        rb = _record(main=(3, 3))
+        a.put(_fleet_key(4), ra)
+        b.put(_fleet_key(4), rb)
+        ab = TuningDB.merge([a, b]).get(_fleet_key(4))
+        ba = TuningDB.merge([b, a]).get(_fleet_key(4))
+        assert ab == ba
+        assert ab in (ra, rb)
+
+    def test_merge_associative(self):
+        dbs = []
+        for i, cyc in enumerate((100.0, 90.0, 80.0)):
+            db = TuningDB()
+            db.put(_fleet_key(4), _record(cycles=cyc + i))
+            db.put(_fleet_key(4 + i), _record(cycles=cyc))
+            dbs.append(db)
+        one = TuningDB.merge(dbs)
+        two = TuningDB.merge([TuningDB.merge(dbs[:2]), dbs[2]])
+        assert one.to_json() == two.to_json()
+
+    def test_self_diff_empty(self):
+        db = TuningDB()
+        db.put(_fleet_key(3), _record())
+        db.put(_fleet_key(6), _record(cycles=123.0))
+        d = TuningDB.diff(db, db)
+        assert d["only_a"] == [] and d["only_b"] == []
+        assert d["conflicts"] == [] and d["identical"] == 2
+
+    def test_diff_reports_sides_and_conflicts(self):
+        a, b = TuningDB(), TuningDB()
+        a.put(_fleet_key(3), _record())
+        a.put(_fleet_key(6), _record(cycles=100.0))
+        b.put(_fleet_key(6), TuningRecord(
+            main=(3, 3), force_pack=False, schedule=True, cycles=50.0,
+            gflops=25.0, candidates=8, tuner_version=TUNER_VERSION,
+            batch=512))
+        b.put(_fleet_key(9), _record())
+        d = TuningDB.diff(a, b)
+        assert d["only_a"] == [_fleet_key(3).encode()]
+        assert d["only_b"] == [_fleet_key(9).encode()]
+        assert len(d["conflicts"]) == 1
+        assert d["conflicts"][0]["winner"] == "b"   # higher gflops
+
+    def test_merge_skips_corrupt_inputs(self, tmp_path):
+        """A corrupt DB loads empty, so merging it contributes nothing
+        (and the merge itself cannot raise)."""
+        bad_path = tmp_path / "bad.json"
+        bad_path.write_text("{ nope")
+        bad = TuningDB.load(bad_path)
+        good = TuningDB()
+        good.put(_fleet_key(3), _record())
+        merged = TuningDB.merge([good, bad])
+        assert len(merged) == 1
+
+    def test_reset_clears_corruption(self, tmp_path):
+        bad_path = tmp_path / "bad.json"
+        bad_path.write_text("{ nope")
+        db = TuningDB.load(bad_path)
+        assert db.corrupt
+        db.reset()
+        assert not db.corrupt and db.corrupt_reason == ""
+        db.put(_fleet_key(3), _record())
+        db.save()
+        assert not TuningDB.load(bad_path).corrupt
+
+
 class TestStats:
     def test_stats_buckets(self):
         db = TuningDB()

@@ -94,7 +94,7 @@ class TestFallback:
         """A hand-edited record with a main the decomposer rejects must
         not propagate an exception out of plan_gemm."""
         db = TuningDB(path=str(tmp_path / "edited.json"))
-        key = TuningKey.for_gemm(KUNPENG_920.name,
+        key = TuningKey.for_gemm(KUNPENG_920,
                                  GemmProblem(6, 6, 6, "d", batch=512))
         db.put(key, TuningRecord(main=(7, 7), force_pack=False,
                                  schedule=True, cycles=1.0, gflops=1.0,
@@ -113,7 +113,7 @@ class TestCacheCoherence:
         """Swapping the DB entry for a shape must produce a fresh plan,
         not serve the one cached under the old record."""
         p = GemmProblem(9, 9, 9, "d", batch=512)
-        key = TuningKey.for_gemm(KUNPENG_920.name, p)
+        key = TuningKey.for_gemm(KUNPENG_920, p)
 
         db = TuningDB(path=str(tmp_path / "db.json"))
         db.put(key, TuningRecord(main=(3, 3), force_pack=False,
@@ -145,7 +145,7 @@ class TestExplainProvenance:
         text = iatf.explain_gemm(GemmProblem(9, 9, 9, "d",
                                              batch=512)).render()
         assert "decision provenance" in text
-        assert "tuned @ db v1" in text
+        assert "tuned @ db v3" in text
         assert "candidates swept" in text
 
     def test_analytic_provenance_rendered(self):

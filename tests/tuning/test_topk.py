@@ -1,0 +1,129 @@
+"""Analytical-first sweep tests: scoring, ranking, and the rank-quality
+invariant (the full-sweep winner must survive the top-k cut)."""
+
+import pytest
+
+from repro.machine.machines import A64FX, KUNPENG_920, XEON_GOLD_6240
+from repro.tuning.space import (AnalyticScore, enumerate_gemm_space,
+                                full_space, rank_candidates,
+                                score_candidate)
+from repro.tuning.tuner import DEFAULT_TOP_K, tune_problem
+from repro.types import GemmProblem, TrsmProblem
+
+MACHINES = [KUNPENG_920, XEON_GOLD_6240, A64FX]
+
+
+class TestScorer:
+    @pytest.mark.parametrize("machine", MACHINES, ids=lambda m: m.machine_id)
+    @pytest.mark.parametrize("dtype", ["s", "d", "c", "z"])
+    def test_scores_positive_and_bounded(self, machine, dtype):
+        p = GemmProblem(8, 8, 8, dtype, batch=512)
+        for cand in full_space(p, machine):
+            s = score_candidate(p, machine, cand)
+            assert isinstance(s, AnalyticScore)
+            assert s.score > 0
+            assert 0 < s.occupancy <= 1.0
+            assert 0 < s.residency <= 1.0
+            assert s.est_flops_per_cycle > 0
+
+    def test_trsm_scoring(self):
+        p = TrsmProblem(8, 8, "d", batch=512)
+        for cand in full_space(p, KUNPENG_920):
+            assert score_candidate(p, KUNPENG_920, cand).score > 0
+
+    def test_describe_smoke(self):
+        p = GemmProblem(4, 4, 4, "d", batch=64)
+        cand = full_space(p, KUNPENG_920)[0]
+        d = score_candidate(p, KUNPENG_920, cand).describe()
+        assert {"score", "occupancy", "balance", "residency"} <= set(d)
+
+
+class TestRanking:
+    def test_rank_covers_and_sorts(self):
+        p = GemmProblem(9, 9, 9, "d", batch=512)
+        cands = full_space(p, KUNPENG_920)
+        ranked = rank_candidates(p, KUNPENG_920, cands)
+        assert len(ranked) == len(cands)
+        assert {c for c, _ in ranked} == set(cands)
+        scores = [s.score for _, s in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_rank_default_is_full_space(self):
+        p = GemmProblem(6, 6, 6, "d", batch=512)
+        assert (len(rank_candidates(p, KUNPENG_920))
+                == len(full_space(p, KUNPENG_920)))
+
+    def test_rank_is_deterministic(self):
+        p = GemmProblem(8, 8, 8, "s", batch=512)
+        a = [c.label for c, _ in rank_candidates(p, KUNPENG_920)]
+        b = [c.label for c, _ in rank_candidates(p, KUNPENG_920)]
+        assert a == b
+
+
+class TestTopKSweep:
+    @pytest.mark.parametrize("machine", MACHINES, ids=lambda m: m.machine_id)
+    @pytest.mark.parametrize("dtype", ["s", "d", "c", "z"])
+    @pytest.mark.parametrize("n", [3, 5, 8, 12])
+    def test_topk_selects_full_sweep_winner(self, machine, dtype, n):
+        """The rank-quality invariant: on the modeled machines the
+        analytical ranking never evicts the true (full-sweep) winner
+        from the default top-k cut."""
+        p = GemmProblem(n, n, n, dtype, batch=512)
+        full = tune_problem(p, machine, schedule_variants=True, top_k=None)
+        cut = tune_problem(p, machine, schedule_variants=True)
+        assert cut.record.main == full.record.main
+        assert cut.record.force_pack == full.record.force_pack
+        assert cut.record.schedule == full.record.schedule
+        assert cut.record.cycles == full.record.cycles
+
+    @pytest.mark.parametrize("n", [3, 5], ids=["trsm3", "trsm5"])
+    def test_topk_trsm_winner_matches(self, n):
+        p = TrsmProblem(n, n, "d", batch=512)
+        full = tune_problem(p, KUNPENG_920, schedule_variants=True,
+                            top_k=None)
+        cut = tune_problem(p, KUNPENG_920, schedule_variants=True)
+        assert cut.record.cycles == full.record.cycles
+        assert cut.record.main == full.record.main
+
+    @pytest.mark.parametrize("dtype", ["s", "d"])
+    def test_coverage_quarter_of_space(self, dtype):
+        """Acceptance: on the Kunpeng 920 the default sweep measures at
+        most 25% of the register-feasible space for the wide real-dtype
+        spaces."""
+        p = GemmProblem(9, 9, 9, dtype, batch=512)
+        out = tune_problem(p, KUNPENG_920, schedule_variants=True)
+        assert out.record.sweep == "topk"
+        assert out.record.space == len(full_space(p, KUNPENG_920))
+        assert out.record.candidates <= 0.25 * out.record.space
+
+    def test_small_space_stays_full(self):
+        """When the enumeration is already <= top_k there is no cut and
+        the record says so."""
+        p = GemmProblem(4, 4, 4, "z", batch=64)
+        out = tune_problem(p, KUNPENG_920)
+        assert out.record.sweep == "full"
+        assert out.record.candidates <= DEFAULT_TOP_K
+
+    def test_analytic_head_always_measured(self):
+        """top_k=1 degenerates to the analytic candidate alone."""
+        p = GemmProblem(9, 9, 9, "d", batch=512)
+        analytic = enumerate_gemm_space(p, KUNPENG_920,
+                                        schedule_variants=True)[0]
+        out = tune_problem(p, KUNPENG_920, schedule_variants=True, top_k=1)
+        assert out.record.candidates == 1
+        assert out.record.main == analytic.main
+        assert not out.improved
+
+    def test_provenance_stamped(self):
+        p = GemmProblem(9, 9, 9, "d", batch=512)
+        out = tune_problem(p, KUNPENG_920, schedule_variants=True,
+                           timestamp=42.0)
+        rec = out.record
+        assert rec.machine_id == KUNPENG_920.machine_id
+        assert rec.timestamp == 42.0
+        assert rec.evaluator_version >= 1
+
+    def test_sweep_label_override(self):
+        p = GemmProblem(6, 6, 6, "d", batch=512)
+        out = tune_problem(p, KUNPENG_920, sweep_label="retune")
+        assert out.record.sweep == "retune"

@@ -73,7 +73,8 @@ class TestSweep:
                      sizes=(3, 6), batch=256)
         assert len(outs) == 4
         assert len(db) == 4
-        key = TuningKey("Kunpeng 920", "gemm", "d", 3, 3, 3, "NN")
+        key = TuningKey.for_gemm(KUNPENG_920,
+                                 GemmProblem(3, 3, 3, "d", batch=256))
         assert db.get(key) is not None
 
     def test_sweep_keyed_by_machine(self):
@@ -83,7 +84,7 @@ class TestSweep:
         sweep(db, A64FX, ops=("gemm",), dtypes=("d",), sizes=(4,),
               batch=256)
         machines = {k.machine for k, _ in db.items()}
-        assert machines == {"Kunpeng 920", "Fujitsu A64FX"}
+        assert machines == {KUNPENG_920.tuning_id, A64FX.tuning_id}
 
     def test_resweep_is_idempotent(self):
         db = TuningDB()
