@@ -21,7 +21,7 @@ paper-figure reproductions.
 """
 
 from . import (obs, machine, layout, codegen, packing, runtime, tuning,
-               reference, api, baselines, bench, extensions)
+               reference, api, baselines, bench, extensions, serve)
 from .errors import ReproError
 from .layout.compact import CompactBatch
 from .machine.machines import KUNPENG_920, XEON_GOLD_6240, MachineConfig

@@ -20,12 +20,12 @@ import sys
 from . import experiments
 from .harness import PAPER_SIZES, QUICK_SIZES, BenchHarness
 from .reporting import ratio_summary, series_table
-from .trajectory import append_points, points_from_showdown
+from .trajectory import append_points, points_from_serve, points_from_showdown
 
 SWEEP_EXPERIMENTS = ("fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
                      "headline")
 LOCAL_EXPERIMENTS = ("table1", "table2", "fig4", "fig5", "ablation",
-                     "backend", "backends", "tuned")
+                     "backend", "backends", "tuned", "serve")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -60,6 +60,12 @@ def main(argv: list[str] | None = None) -> int:
                         "wall seconds) to a JSON list file the watchdog "
                         "('python -m repro.obs watch') diffs (default "
                         "path: BENCH_backends.json)")
+    parser.add_argument("--requests", type=int, default=512,
+                        help="request count per run of the 'serve' "
+                        "throughput experiment")
+    parser.add_argument("--max-batch", type=int, default=64,
+                        help="coalescer flush size for the 'serve' "
+                        "experiment")
     parser.add_argument("--tuning-db", metavar="PATH",
                         help="TuningDB file (from 'python -m repro.tuning "
                         "sweep'): IATF curves apply its install-time "
@@ -91,6 +97,17 @@ def main(argv: list[str] | None = None) -> int:
             print(result["render"])
             if args.json:
                 points = points_from_showdown(result)
+                path = append_points(args.json, points)
+                print(f"{len(points)} trajectory points (schema v"
+                      f"{points[0]['schema']}) appended to {path}")
+        elif args.experiment == "serve":
+            dt = args.dtype or "s"
+            result = experiments.serve_throughput(
+                dtype=dt, n_requests=args.requests,
+                max_batch=args.max_batch)
+            print(result["render"])
+            if args.json:
+                points = points_from_serve(result)
                 path = append_points(args.json, points)
                 print(f"{len(points)} trajectory points (schema v"
                       f"{points[0]['schema']}) appended to {path}")

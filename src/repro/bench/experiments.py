@@ -24,7 +24,8 @@ __all__ = ["fig4_tiling", "fig5_scheduling", "fig7_gemm_nn",
            "fig11_mkl_gemm", "fig12_mkl_trsm", "table1_kernels",
            "table2_machines", "headline_speedups", "ablation_scheduling",
            "ablation_nopack", "ablation_batch_counter",
-           "ablation_autotune", "ablation_tuned", "backend_showdown"]
+           "ablation_autotune", "ablation_tuned", "backend_showdown",
+           "serve_throughput"]
 
 GEMM_MODES = ("NN", "NT", "TN", "TT")
 TRSM_MODES = ("LNLN", "LNUN", "LTLN", "LTUN")
@@ -516,4 +517,118 @@ def backend_showdown(size: int = 8, dtype: str = "s",
             "modeled_gflops": timing.gflops,
             "modeled_percent_peak": timing.percent_of_peak,
             "modeled_cycles": timing.total_cycles,
+            "render": "\n".join(lines)}
+
+
+def serve_throughput(size: int = 8, dtype: str = "s",
+                     n_requests: int = 512, max_batch: int = 64,
+                     max_wait_ms: float = 2.0,
+                     rates: "tuple[float | None, ...]" = (500.0, 2000.0,
+                                                          None),
+                     machine=KUNPENG_920) -> dict:
+    """Coalesced service vs per-request (batch-of-1) submission.
+
+    The service-layer ablation: the *same* request stream (one small
+    GEMM per request) is driven through two :class:`BlasService`
+    configurations — the real coalescer (``max_batch`` requests per
+    compact flush) and a degenerate batch-of-1 service where every
+    request flushes alone — across submission rates.  At low rates both
+    keep up (the stream is latency-bound, throughput equals the offered
+    rate); at the firehose rate (``None``) the coalesced service wins
+    by roughly the lane-occupancy factor times the amortized per-flush
+    overhead, which is the whole argument for the serving frontend.
+
+    Wall-clock based like :func:`backend_showdown`; the deterministic
+    CI metric is the cycle model's per-request efficiency at the two
+    batch sizes (``modeled_gflops``), which captures the same lane-
+    waste story without host noise.
+    """
+    from ..runtime.engine import Engine
+    from ..serve.client import run_traffic
+    from ..serve.service import BlasService
+
+    dt = BlasDType.from_any(dtype)
+    shapes = ((size, size, size),)
+    configs = {"coalesced": dict(max_batch=max_batch,
+                                 max_wait_ms=max_wait_ms),
+               "batch1": dict(max_batch=1, max_wait_ms=0.0)}
+
+    rows: "list[dict]" = []
+    firehose: "dict[str, dict]" = {}
+    services: "dict[str, dict]" = {}
+    for mode, kw in configs.items():
+        svc = BlasService(machine, **kw)
+        svc.start()
+        # warm: plans, kernels, and the lowered streams all cached
+        run_traffic(svc, n_requests=max(32, 2 * max_batch), seed=1,
+                    shapes=shapes, dtypes=(dt.value,))
+        per_rate = {}
+        for rate in rates:
+            res = run_traffic(svc, n_requests=n_requests, seed=7,
+                              rate=rate, shapes=shapes,
+                              dtypes=(dt.value,))
+            per_rate[rate] = res
+            if rate is None:
+                firehose[mode] = res
+        stats = svc.stats()
+        svc.stop()
+        services[mode] = {"per_rate": per_rate,
+                          "coalesce": stats["coalesce"],
+                          "plan_cache": stats["plan_cache"]}
+        obs.count(f"bench.serve.{mode}")
+
+    for rate in rates:
+        co = services["coalesced"]["per_rate"][rate]
+        b1 = services["batch1"]["per_rate"][rate]
+        ratio = (co["throughput_rps"] / b1["throughput_rps"]
+                 if b1["throughput_rps"] else float("inf"))
+        rows.append({"rate": rate, "coalesced_rps": co["throughput_rps"],
+                     "batch1_rps": b1["throughput_rps"],
+                     "ratio": round(ratio, 3)})
+
+    # deterministic per-request efficiency at the two batch sizes: the
+    # cycle model's view of what lane occupancy buys (CI diffs this)
+    engine = Engine(machine)
+    fw = IATF(machine)
+    t_full = engine.time_plan(fw.plan_gemm(
+        GemmProblem(size, size, size, dt, batch=max_batch)))
+    t_one = engine.time_plan(fw.plan_gemm(
+        GemmProblem(size, size, size, dt, batch=1)))
+    modeled = {"coalesced": t_full, "batch1": t_one}
+
+    headline = rows[-1]["ratio"] if rows else 0.0
+    lines = [f"Serve throughput — {dt.value}gemm {size}x{size}x{size}, "
+             f"{n_requests} requests/run, coalesce max_batch={max_batch} "
+             f"max_wait={max_wait_ms}ms (wall clock)",
+             f"{'rate (rps)':>12} {'coalesced':>11} {'batch-of-1':>11} "
+             f"{'ratio':>7}"]
+    for row in rows:
+        rate_label = ("firehose" if row["rate"] is None
+                      else f"{row['rate']:.0f}")
+        lines.append(f"{rate_label:>12} {row['coalesced_rps']:>11.1f} "
+                     f"{row['batch1_rps']:>11.1f} {row['ratio']:>6.2f}x")
+    co_stats = services["coalesced"]["coalesce"]
+    lines.append(f"coalesced: {co_stats['flushes']} flushes, "
+                 f"{co_stats['ratio']:.1f} requests/flush, max occupancy "
+                 f"{co_stats['max_occupancy']}/{max_batch}; plan-cache "
+                 f"hit rate "
+                 f"{100 * services['coalesced']['plan_cache']['hit_rate']:.0f}%")
+    lines.append(f"cycle model per request: batch {max_batch} = "
+                 f"{t_full.gflops:.2f} GFLOPS "
+                 f"({t_full.percent_of_peak:.1f}% peak) vs batch 1 = "
+                 f"{t_one.gflops:.2f} GFLOPS "
+                 f"({t_one.percent_of_peak:.1f}% peak)")
+    lines.append(f"firehose speedup: {headline:.2f}x coalesced over "
+                 f"batch-of-1")
+    return {"rows": rows, "services": services,
+            "firehose_ratio": headline,
+            "machine": machine.name, "machine_id": machine.machine_id,
+            "routine": "serve", "dtype": dt.value,
+            "shape": [size, size, size], "n_requests": n_requests,
+            "max_batch": max_batch,
+            "wall_seconds": {m: firehose[m]["wall_seconds"]
+                             for m in firehose},
+            "modeled": {m: {"gflops": t.gflops,
+                            "percent_peak": t.percent_of_peak}
+                        for m, t in modeled.items()},
             "render": "\n".join(lines)}

@@ -22,7 +22,8 @@ import time
 from .. import obs
 from ..obs.watch import SCHEMA_VERSION
 
-__all__ = ["SCHEMA_VERSION", "points_from_showdown", "append_points"]
+__all__ = ["SCHEMA_VERSION", "points_from_showdown", "points_from_serve",
+           "append_points"]
 
 
 def points_from_showdown(result: dict) -> "list[dict]":
@@ -44,6 +45,33 @@ def points_from_showdown(result: dict) -> "list[dict]":
         "repeats": result["repeats"],
         "timestamp": stamp,
     } for backend, wall in result["seconds"].items()]
+
+
+def points_from_serve(result: dict) -> "list[dict]":
+    """One v2 trajectory point per service mode (``coalesced`` /
+    ``batch1``) of a :func:`~repro.bench.experiments.serve_throughput`
+    result.  ``routine`` is ``"serve"`` and the mode rides in the
+    ``backend`` slot, so the watchdog keys the two series apart;
+    ``gflops`` is the deterministic cycle-model per-request figure at
+    that mode's batch size (batch ``max_batch`` vs 1), ``wall_seconds``
+    the measured firehose run — same split as the showdown points."""
+    stamp = time.time()
+    batches = {"coalesced": result["max_batch"], "batch1": 1}
+    return [{
+        "schema": SCHEMA_VERSION,
+        "machine": result["machine"],
+        "machine_id": result["machine_id"],
+        "routine": "serve",
+        "backend": mode,
+        "dtype": result["dtype"],
+        "shape": list(result["shape"]),
+        "batch": batches[mode],
+        "gflops": modeled["gflops"],
+        "percent_peak": modeled["percent_peak"],
+        "wall_seconds": result["wall_seconds"].get(mode),
+        "repeats": 1,
+        "timestamp": stamp,
+    } for mode, modeled in result["modeled"].items()]
 
 
 def append_points(path: str, points: "list[dict]") -> str:

@@ -11,6 +11,7 @@ variants).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from .. import obs
@@ -60,6 +61,12 @@ class KernelRegistry:
     """Run the instruction scheduler on every kernel (ablations disable)."""
 
     _cache: dict[tuple, Program] = field(default_factory=dict, repr=False)
+    _lock: threading.RLock = field(default_factory=threading.RLock,
+                                   repr=False, compare=False)
+    """Serializes generation so concurrent callers (the serve scheduler
+    shares one registry across threads) never race ``_cache`` writes or
+    generate the same kernel twice.  RLock: ``install`` and the TRSM
+    generators call back into ``_get`` for sub-kernels."""
 
     # -- derived configuration ----------------------------------------
 
@@ -84,19 +91,22 @@ class KernelRegistry:
     def _get(self, key: tuple, make) -> Program:
         prog = self._cache.get(key)
         if prog is None:
-            t0 = obs.tick()
-            with obs.span("codegen.generate", kernel=str(key)):
-                prog = make()
-                if self.optimize:
-                    with obs.span("codegen.optimize"):
-                        prog = schedule_program(prog, self.machine)
-                    obs.count("codegen.optimized")
-                assert_valid(prog, self.machine)
-            obs.count("codegen.generated")
-            obs.tock("codegen.generate_ms", t0)
-            self._cache[key] = prog
-        else:
-            obs.count("codegen.cache_hits")
+            with self._lock:
+                prog = self._cache.get(key)  # lost the race: reuse theirs
+                if prog is None:
+                    t0 = obs.tick()
+                    with obs.span("codegen.generate", kernel=str(key)):
+                        prog = make()
+                        if self.optimize:
+                            with obs.span("codegen.optimize"):
+                                prog = schedule_program(prog, self.machine)
+                            obs.count("codegen.optimized")
+                        assert_valid(prog, self.machine)
+                    obs.count("codegen.generated")
+                    obs.tock("codegen.generate_ms", t0)
+                    self._cache[key] = prog
+                    return prog
+        obs.count("codegen.cache_hits")
         return prog
 
     def gemm_kernel(self, mc: int, nc: int, k: int, dtype: "BlasDType | str",

@@ -53,3 +53,20 @@ class UnsupportedModeError(PlanError, NotImplementedError):
 class ProfileError(ReproError):
     """The attribution profiler's conservation invariant failed, or a
     profile was requested over an empty/unknown command stream."""
+
+
+class RejectedError(ReproError):
+    """The service frontend refused a request for capacity reasons.
+
+    Overload is not invalid input: a rejected request was *well-formed*
+    (it passed :class:`InvalidProblemError` validation) but the service
+    chose not to queue it — a tenant exceeded its in-flight limit, the
+    global queue is full, or the service is not running.  Callers retry
+    with backoff; they do not fix their arguments.
+    """
+
+    def __init__(self, reason: str, tenant: "str | None" = None) -> None:
+        self.reason = reason
+        self.tenant = tenant
+        at = f" (tenant {tenant!r})" if tenant is not None else ""
+        super().__init__(f"request rejected{at}: {reason}")

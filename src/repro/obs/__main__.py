@@ -214,6 +214,72 @@ def _cmd_self_check(args) -> int:
         problems.append("watchdog flagged a healthy trajectory")
     if check_trajectory(list(regressed)).exit_code != 1:
         problems.append("watchdog missed an injected 20% regression")
+    # serve drill: admission limits reject deterministically (typed, not
+    # InvalidProblemError), coalesced results are bit-identical to
+    # serial execution, and the serve.* counters move
+    from ..errors import RejectedError
+    from ..serve import BlasService, Request
+    with scoped() as reg:
+        # a bucket that can never flush on its own: queued requests
+        # stay in flight, so the 3rd same-tenant submit must bounce
+        svc = BlasService(max_batch=1024, max_wait_ms=10_000.0,
+                          max_in_flight=2, max_queue_depth=1024)
+        svc.start()
+        rng = np.random.default_rng(2)
+        def one_gemm(tenant):
+            a = rng.standard_normal((4, 4)).astype(np.float32)
+            return Request.gemm(a, a, tenant=tenant)
+        held = [svc.submit(one_gemm("hog")) for _ in range(2)]
+        try:
+            svc.submit(one_gemm("hog"))
+            problems.append("over-limit tenant was not rejected")
+        except RejectedError:
+            pass
+        except Exception as e:   # noqa: BLE001 - wrong type is the bug
+            problems.append(f"over-limit tenant got {type(e).__name__}, "
+                            f"not RejectedError")
+        try:
+            svc.submit(one_gemm("polite"))
+        except RejectedError:
+            problems.append("in-limit tenant was rejected alongside the "
+                            "over-limit one")
+        svc.stop()               # drains: the held futures must resolve
+        if any(f.exception() is not None for f in held):
+            problems.append("drained request failed at service stop")
+        # coalesced == serial, bit for bit, over mixed routines/dtypes
+        from ..runtime.iatf import IATF
+        from ..serve.client import make_request
+        svc2 = BlasService(max_batch=8, max_wait_ms=1.0)
+        svc2.start()
+        rng2 = np.random.default_rng(3)
+        reqs = [make_request(rng2, i) for i in range(24)]
+        futs = [svc2.submit(r) for r in reqs]
+        outs = [f.result(60.0) for f in futs]
+        svc2.stop()
+        serial = IATF()
+        for req, out in zip(reqs, outs):
+            if req.routine == "gemm":
+                p = req.problem
+                want = serial.gemm(req.a[None], req.b[None], req.c[None],
+                                   alpha=p.alpha, beta=p.beta,
+                                   transa=p.transa, transb=p.transb)[0]
+            else:
+                p = req.problem
+                want = serial.trsm(req.a[None], req.b[None], alpha=p.alpha,
+                                   side=p.side, uplo=p.uplo,
+                                   transa=p.transa, diag=p.diag)[0]
+            if out.tobytes() != want.tobytes():
+                problems.append(f"coalesced result diverged from serial "
+                                f"for {req.describe()}")
+                break
+        counters = reg.snapshot()["counters"]
+        for want_counter in ("serve.submitted", "serve.admitted",
+                             "serve.rejected", "serve.flush"):
+            if counters.get(want_counter, 0) <= 0:
+                problems.append(f"counter {want_counter} did not move")
+        if not any(e["name"] == "serve.reject"
+                   for e in reg.events.tail(1000, prefix="serve.")):
+            problems.append("rejection emitted no serve.reject event")
     if problems:
         print("obs self-check FAILED:")
         for p in problems:
@@ -221,7 +287,7 @@ def _cmd_self_check(args) -> int:
         return 1
     print("obs self-check OK: counters, spans, trace schema, exporters, "
           "trace propagation, explain reports, profiler conservation, "
-          "and the watchdog all healthy")
+          "the watchdog, and the serve drill all healthy")
     return 0
 
 

@@ -286,8 +286,25 @@ def _backend_section(backend, compiled) -> "list[str]":
     return lines
 
 
+def _plan_cache_section(stats: dict) -> "list[str]":
+    total = stats.get("hits", 0) + stats.get("misses", 0)
+    rate = stats.get("hit_rate", 0.0)
+    lines = [
+        f"entries: {stats.get('size', 0)} / {stats.get('maxsize', 0)}",
+        f"lookups: {total} ({stats.get('hits', 0)} hits, "
+        f"{stats.get('misses', 0)} misses) -> hit rate {100.0 * rate:.1f}%",
+        f"evictions: {stats.get('evictions', 0)}; "
+        f"invalidations: {stats.get('invalidations', 0)}",
+    ]
+    if total and rate < 0.5:
+        lines.append("verdict: mostly cold — plans are not being reused "
+                     "(expected on first calls; a concern under steady "
+                     "serving traffic)")
+    return lines
+
+
 def explain(plan, *, registry=None, deep: bool = False, backend=None,
-            compiled=None) -> ExplainReport:
+            compiled=None, plan_cache=None) -> ExplainReport:
     """Build the decision report for one :class:`ExecutionPlan`.
 
     ``deep`` additionally runs the cycle model: the pack-vs-nopack cost
@@ -295,6 +312,8 @@ def explain(plan, *, registry=None, deep: bool = False, backend=None,
     the alternative plan) and the full ``TimingResult`` breakdown.
     ``backend`` (an executor backend) adds an execution-backend section,
     with lowering statistics when its ``compiled`` plan is supplied.
+    ``plan_cache`` (a :meth:`PlanCache.stats` dict) adds a plan-cache
+    section so operators see reuse alongside the plan's decisions.
     """
     report = ExplainReport(kind=plan.kind, problem=plan.problem,
                            machine_name=plan.machine.name)
@@ -311,6 +330,9 @@ def explain(plan, *, registry=None, deep: bool = False, backend=None,
     if backend is not None:
         report.sections.append(
             ("execution backend", _backend_section(backend, compiled)))
+    if plan_cache is not None:
+        report.sections.append(
+            ("plan cache", _plan_cache_section(plan_cache)))
     if deep:
         report.sections.append(
             ("timing breakdown (cycle model)", _timing_section(plan)))

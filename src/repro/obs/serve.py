@@ -101,6 +101,14 @@ class TelemetryServer(ThreadingHTTPServer):
 
     # routes return (body, content_type)
 
+    def add_route(self, path: str, handler) -> None:
+        """Register an extra endpoint (e.g. ``/serve/stats`` from the
+        BLAS service frontend).  ``handler(query) -> (body, content_type)``
+        like the built-ins; must be a pure read."""
+        if not path.startswith("/"):
+            raise ValueError(f"route path must start with '/': {path!r}")
+        self.routes[path] = handler
+
     def registry(self):
         return (self._registry if self._registry is not None
                 else core.get_registry())
@@ -123,7 +131,12 @@ class TelemetryServer(ThreadingHTTPServer):
         except ValueError:
             n = 100
         level = query.get("level", [None])[0]
-        records = self.registry().events.tail(n, level=level)
+        prefix = query.get("prefix", [None])[0]
+        try:
+            records = self.registry().events.tail(n, level=level,
+                                                  prefix=prefix)
+        except ValueError:   # unknown ?level= — unfiltered beats a 500
+            records = self.registry().events.tail(n, prefix=prefix)
         return (json.dumps(records, sort_keys=True, indent=2) + "\n",
                 "application/json")
 

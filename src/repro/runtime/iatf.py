@@ -68,11 +68,23 @@ class PlanCache:
             if entry is None:
                 self.misses += 1
                 obs.count("plan_cache.misses")
+                obs.gauge("plan_cache.hit_rate", round(self.hit_rate, 6))
                 return None
             self._data.move_to_end(key)
             self.hits += 1
             obs.count("plan_cache.hits")
+            obs.gauge("plan_cache.hit_rate", round(self.hit_rate, 6))
             return entry[0]
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 before any
+        lookup) — the one number a service operator watches to confirm
+        plan reuse is happening.  Mirrored into the
+        ``plan_cache.hit_rate`` gauge (and thus ``/snapshot.json`` and
+        ``/metrics``) on every instrumented lookup."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
 
     def put(self, key: tuple, plan: ExecutionPlan) -> None:
         with self._lock:
@@ -126,12 +138,30 @@ class PlanCache:
         with self._lock:
             return {"size": len(self._data), "maxsize": self.maxsize,
                     "hits": self.hits, "misses": self.misses,
+                    "hit_rate": self.hit_rate,
                     "evictions": self.evictions,
                     "invalidations": self.invalidations}
 
 
 class IATF:
-    """Input-aware tuning framework for compact batched GEMM/TRSM."""
+    """Input-aware tuning framework for compact batched GEMM/TRSM.
+
+    **Concurrency contract** (the service frontend in
+    :mod:`repro.serve` shares one instance across request streams):
+    ``plan_gemm`` / ``plan_trsm`` → ``gemm_compact`` / ``trsm_compact``
+    are safe to call from multiple threads concurrently, for mixed
+    routines and dtypes.  The pieces that make this true: the
+    :class:`PlanCache` serializes every operation under one lock (a
+    planning race wastes one duplicate build, never corrupts), the
+    :class:`~repro.codegen.registry.KernelRegistry` generates kernels
+    under its own lock, the alternate-schedule registry is built under
+    ``_alt_lock``, plans are immutable once cached (meta is complete
+    before ``put``), and the engine binds a fresh
+    :class:`~repro.machine.memory.MemorySpace` per execution so no
+    run-time state is shared between concurrent ``run_plan`` calls.
+    ``retune`` swaps DB records atomically and invalidates under the
+    cache lock, so it may run concurrently with serving.
+    """
 
     def __init__(self, machine: MachineConfig = KUNPENG_920, *,
                  backend: "str | ExecutorBackend | None" = None,
@@ -146,6 +176,7 @@ class IATF:
                              workers=workers)
         self._plan_cache = PlanCache(plan_cache_size)
         self._alt_registry: "KernelRegistry | None" = None
+        self._alt_lock = threading.Lock()
         self._tuning_db = (self._load_tuning_db(tuning_db)
                            if tuning_db is not None else None)
 
@@ -376,12 +407,16 @@ class IATF:
 
     def _registry_for(self, schedule: bool) -> KernelRegistry:
         """The main registry, or the alternate-schedule one a tuned
-        record may call for (built lazily, kept for reuse)."""
+        record may call for (built lazily under a lock — two threads
+        planning tuned shapes concurrently must share one alternate
+        registry, not warm two kernel caches)."""
         if schedule == self.registry.optimize:
             return self.registry
         if self._alt_registry is None:
-            self._alt_registry = KernelRegistry(self.machine,
-                                                optimize=schedule)
+            with self._alt_lock:
+                if self._alt_registry is None:
+                    self._alt_registry = KernelRegistry(self.machine,
+                                                        optimize=schedule)
         return self._alt_registry
 
     def _decision_meta(self, record) -> dict:
@@ -622,7 +657,8 @@ class IATF:
         plan, key = self._plan_gemm_keyed(problem, force_pack, autotune)
         compiled = self._compiled_for(key, plan)
         return obs.explain(plan, registry=self.registry, deep=deep,
-                           backend=self.engine.backend, compiled=compiled)
+                           backend=self.engine.backend, compiled=compiled,
+                           plan_cache=self.plan_cache_stats)
 
     def explain_trsm(self, problem: TrsmProblem, force_pack: bool = False,
                      deep: bool = False):
@@ -630,4 +666,5 @@ class IATF:
         plan, key = self._plan_trsm_keyed(problem, force_pack)
         compiled = self._compiled_for(key, plan)
         return obs.explain(plan, registry=self.registry, deep=deep,
-                           backend=self.engine.backend, compiled=compiled)
+                           backend=self.engine.backend, compiled=compiled,
+                           plan_cache=self.plan_cache_stats)

@@ -1,0 +1,41 @@
+"""repro.serve — BLAS-as-a-service over the compact runtime.
+
+The library answers "how fast can a pre-formed compact batch go"; this
+subsystem answers the ROADMAP's service question: many independent
+callers each bring *one* small GEMM/TRSM, and throughput depends on
+turning those streams into exactly the compact batch groups the paper
+optimizes.  Five pieces:
+
+* :mod:`repro.serve.types` — :class:`Request`: one validated small
+  problem (routine, dtype, mode, operands, tenant, deadline); the
+  frozen batch-1 problem descriptor doubles as the coalescing key;
+* :mod:`repro.serve.coalesce` — max-wait / max-batch bucketing of
+  compatible requests into flushable compact groups;
+* :mod:`repro.serve.admission` — per-tenant in-flight and global
+  queue-depth limits; overload raises the typed
+  :class:`~repro.errors.RejectedError`, never
+  :class:`~repro.errors.InvalidProblemError`;
+* :mod:`repro.serve.scheduler` — the single pump thread draining
+  buckets through one **shared** :class:`~repro.runtime.iatf.IATF`
+  (shared PlanCache/KernelRegistry/TuningDB) and scattering results to
+  per-request futures, bit-identical to serial execution;
+* :mod:`repro.serve.service` / :mod:`repro.serve.client` — the
+  :class:`BlasService` facade plus sync (:class:`ServiceClient`) and
+  asyncio (:class:`AsyncServiceClient`) submit APIs.
+
+``python -m repro.serve --demo`` runs a self-driving instance with the
+live ``/serve/stats`` endpoint mounted on the telemetry server.
+"""
+
+from .admission import AdmissionController
+from .client import AsyncServiceClient, ServiceClient, run_traffic
+from .coalesce import Bucket, Coalescer, PendingRequest
+from .scheduler import Scheduler
+from .service import BlasService
+from .types import Request
+
+__all__ = [
+    "Request", "BlasService", "ServiceClient", "AsyncServiceClient",
+    "run_traffic", "Coalescer", "Bucket", "PendingRequest",
+    "AdmissionController", "Scheduler",
+]

@@ -1,0 +1,105 @@
+"""Admission control: protect the service (and its tenants) from load.
+
+Two limits, both checked before a request is allowed to park in the
+coalescer:
+
+* **per-tenant in-flight** — one caller hammering the service cannot
+  starve everyone else's lanes;
+* **global queue depth** — the coalescer's total parked+running work is
+  bounded, so memory and tail latency stay bounded too.
+
+Violations raise :class:`~repro.errors.RejectedError` — deliberately a
+different type from :class:`~repro.errors.InvalidProblemError`, because
+the remedies differ: overload means *retry with backoff*, invalid input
+means *fix your arguments*.  Rejections are counted and published as
+``serve.reject`` events so an operator can tell which tenant is being
+shed.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from .. import obs
+from ..errors import RejectedError
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Per-tenant in-flight and global queue-depth limits."""
+
+    def __init__(self, max_in_flight: int = 256,
+                 max_queue_depth: int = 4096) -> None:
+        if max_in_flight < 1:
+            raise ValueError(
+                f"max_in_flight must be >= 1, got {max_in_flight}")
+        if max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth}")
+        self.max_in_flight = int(max_in_flight)
+        self.max_queue_depth = int(max_queue_depth)
+        self._lock = threading.Lock()
+        self._in_flight: "dict[str, int]" = {}
+        self._total = 0
+        self.admitted = 0
+        self.rejected = 0
+
+    def admit(self, tenant: str) -> None:
+        """Reserve a slot for ``tenant`` or raise :class:`RejectedError`.
+
+        On success the slot is held until :meth:`release` — callers must
+        pair the two even on failure paths, or the tenant leaks budget.
+        """
+        with self._lock:
+            if self._total >= self.max_queue_depth:
+                self.rejected += 1
+                reason = (f"queue full ({self._total} in flight >= "
+                          f"{self.max_queue_depth})")
+                self._note_reject(tenant, reason)
+                raise RejectedError(reason, tenant)
+            held = self._in_flight.get(tenant, 0)
+            if held >= self.max_in_flight:
+                self.rejected += 1
+                reason = (f"tenant at in-flight limit ({held} >= "
+                          f"{self.max_in_flight})")
+                self._note_reject(tenant, reason)
+                raise RejectedError(reason, tenant)
+            self._in_flight[tenant] = held + 1
+            self._total += 1
+            self.admitted += 1
+        obs.count("serve.admitted")
+        obs.gauge("serve.queue.depth", self._total)
+
+    def release(self, tenant: str) -> None:
+        """Return ``tenant``'s slot (request completed, failed, or was
+        never enqueued after all)."""
+        with self._lock:
+            held = self._in_flight.get(tenant, 0)
+            if held <= 1:
+                self._in_flight.pop(tenant, None)
+            else:
+                self._in_flight[tenant] = held - 1
+            if held > 0:
+                self._total -= 1
+        obs.gauge("serve.queue.depth", self._total)
+
+    def _note_reject(self, tenant: str, reason: str) -> None:
+        # called under the lock; obs calls are cheap no-ops when disabled
+        obs.count("serve.rejected")
+        obs.event("serve.reject", level="warn", tenant=tenant,
+                  reason=reason)
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._total
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {"in_flight": self._total,
+                    "admitted": self.admitted,
+                    "rejected": self.rejected,
+                    "max_in_flight": self.max_in_flight,
+                    "max_queue_depth": self.max_queue_depth,
+                    "tenants": dict(sorted(self._in_flight.items()))}

@@ -1,0 +1,157 @@
+"""Client APIs for :class:`~repro.serve.service.BlasService`.
+
+Three layers of convenience over ``service.submit``:
+
+* :class:`ServiceClient` — synchronous: ``submit_gemm`` returns the
+  request's :class:`~concurrent.futures.Future`; ``gemm`` blocks and
+  returns the result matrix.
+* :class:`AsyncServiceClient` — the same calls as coroutines, bridging
+  the service's thread-side futures into the caller's event loop via
+  :func:`asyncio.wrap_future` (no extra threads, no polling).
+* :func:`run_traffic` — a deterministic mixed GEMM/TRSM load generator
+  (seeded shapes, dtypes, and tenants) used by ``--demo``, the bench
+  experiment, and the CI smoke step.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import numpy as np
+
+from ..errors import RejectedError
+from .service import BlasService
+from .types import Request
+
+__all__ = ["ServiceClient", "AsyncServiceClient", "run_traffic",
+           "TRAFFIC_SHAPES"]
+
+
+class ServiceClient:
+    """Synchronous convenience wrapper over one service instance."""
+
+    def __init__(self, service: BlasService, tenant: str = "default",
+                 timeout: "float | None" = 60.0) -> None:
+        self.service = service
+        self.tenant = tenant
+        self.timeout = timeout
+
+    # futures -----------------------------------------------------------
+
+    def submit(self, request: Request):
+        return self.service.submit(request)
+
+    def submit_gemm(self, a, b, c=None, **kw):
+        kw.setdefault("tenant", self.tenant)
+        return self.service.submit(Request.gemm(a, b, c, **kw))
+
+    def submit_trsm(self, a, b, **kw):
+        kw.setdefault("tenant", self.tenant)
+        return self.service.submit(Request.trsm(a, b, **kw))
+
+    # blocking ----------------------------------------------------------
+
+    def gemm(self, a, b, c=None, **kw) -> np.ndarray:
+        """``alpha op(A) op(B) + beta C`` for one small problem —
+        blocks until the coalesced flush delivers the result."""
+        return self.submit_gemm(a, b, c, **kw).result(self.timeout)
+
+    def trsm(self, a, b, **kw) -> np.ndarray:
+        return self.submit_trsm(a, b, **kw).result(self.timeout)
+
+
+class AsyncServiceClient:
+    """The same API as coroutines, for asyncio callers."""
+
+    def __init__(self, service: BlasService, tenant: str = "default") -> None:
+        self.service = service
+        self.tenant = tenant
+
+    def _wrap(self, future) -> "asyncio.Future":
+        return asyncio.wrap_future(future)
+
+    async def gemm(self, a, b, c=None, **kw) -> np.ndarray:
+        kw.setdefault("tenant", self.tenant)
+        return await self._wrap(
+            self.service.submit(Request.gemm(a, b, c, **kw)))
+
+    async def trsm(self, a, b, **kw) -> np.ndarray:
+        kw.setdefault("tenant", self.tenant)
+        return await self._wrap(
+            self.service.submit(Request.trsm(a, b, **kw)))
+
+    async def submit(self, request: Request) -> np.ndarray:
+        return await self._wrap(self.service.submit(request))
+
+
+# a small-problem menu in the paper's regime (everything register- or
+# L1-resident); (m, n, k) with k=None marking TRSM
+TRAFFIC_SHAPES = ((4, 4, 4), (8, 8, 8), (8, 4, 16), (5, 5, None),
+                  (4, 8, None))
+
+
+def make_request(rng: np.random.Generator, i: int, *,
+                 shapes=TRAFFIC_SHAPES, dtypes=("s", "d"),
+                 tenants=("default",)) -> Request:
+    """One deterministic pseudo-random request (index ``i`` only labels
+    the stream; all randomness comes from ``rng``)."""
+    from ..types import BlasDType
+
+    m, n, k = shapes[int(rng.integers(len(shapes)))]
+    dt = BlasDType.from_any(dtypes[int(rng.integers(len(dtypes)))])
+    tenant = tenants[int(rng.integers(len(tenants)))]
+    def rand(shape):
+        real = rng.standard_normal(shape)
+        if dt.is_complex:
+            return (real + 1j * rng.standard_normal(shape)).astype(
+                dt.np_dtype)
+        return real.astype(dt.np_dtype)
+    if k is None:
+        a = rand((m, m))
+        a = np.tril(a) + m * np.eye(m, dtype=dt.np_dtype)  # well-conditioned
+        return Request.trsm(a, rand((m, n)), tenant=tenant)
+    return Request.gemm(rand((m, k)), rand((k, n)), rand((m, n)),
+                        beta=1.0, tenant=tenant)
+
+
+def run_traffic(service: BlasService, *, n_requests: int = 256,
+                seed: int = 0, rate: "float | None" = None,
+                tenants=("default",), dtypes=("s", "d"),
+                shapes=TRAFFIC_SHAPES, timeout: float = 120.0) -> dict:
+    """Drive ``service`` with a deterministic mixed request stream.
+
+    ``rate`` paces submissions (requests/second, roughly); ``None``
+    submits as fast as the service admits.  Rejected submissions are
+    counted, not retried — the stats tell the overload story.
+    Returns totals plus wall-clock throughput.
+    """
+    rng = np.random.default_rng(seed)
+    futures = []
+    rejected = 0
+    t0 = time.perf_counter()
+    for i in range(n_requests):
+        req = make_request(rng, i, shapes=shapes, dtypes=dtypes,
+                           tenants=tenants)
+        try:
+            futures.append(service.submit(req))
+        except RejectedError:
+            rejected += 1
+        if rate is not None and rate > 0:
+            # pace against the ideal schedule, not the previous send
+            next_at = t0 + (i + 1) / rate
+            delay = next_at - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+    failed = 0
+    for fut in futures:
+        try:
+            fut.result(timeout)
+        except Exception:   # noqa: BLE001 - tallied, reported by caller
+            failed += 1
+    wall = time.perf_counter() - t0
+    completed = len(futures) - failed
+    return {"submitted": n_requests, "accepted": len(futures),
+            "completed": completed, "failed": failed, "rejected": rejected,
+            "wall_seconds": round(wall, 6),
+            "throughput_rps": round(completed / wall, 3) if wall else 0.0}

@@ -1,0 +1,121 @@
+"""Request coalescing: turn independent small requests into compact
+batch groups.
+
+The whole point of the service layer is that the paper's speedups come
+from *grouping*: P same-shaped matrices interleaved per SIMD vector.
+A single request occupies one lane and wastes the other P-1; the
+coalescer holds compatible requests (equal batch-1 problem descriptors
+— same routine, dtype, mode, shape, scalars) in per-key buckets until
+either the bucket reaches ``max_batch`` or its oldest request has
+waited ``max_wait_ms``, then releases the bucket for one compact
+execution.  Latency is therefore bounded: no request waits longer than
+``max_wait_ms`` (or its own tighter deadline) for company that never
+arrives.
+
+Pure data structure — no threads, no locks.  The scheduler serializes
+access under its own condition variable, which keeps this module
+trivially testable with a fake clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PendingRequest", "Bucket", "Coalescer"]
+
+
+@dataclass
+class PendingRequest:
+    """One admitted request riding through the scheduler.
+
+    Carries the caller-visible future, the trace-context carrier
+    captured at submit time (so the flush span on the scheduler thread
+    joins the submitter's trace), and the clock readings the wait-time
+    and deadline accounting need.
+    """
+
+    request: object                 # serve.types.Request
+    future: object                  # concurrent.futures.Future
+    carrier: object = None          # obs.carrier() snapshot
+    t_submit: float = 0.0           # monotonic seconds at submit
+    deadline_at: "float | None" = None   # monotonic seconds, or None
+
+
+@dataclass
+class Bucket:
+    """All pending requests for one problem descriptor."""
+
+    key: object                     # the frozen batch-1 problem
+    routine: str
+    entries: "list[PendingRequest]" = field(default_factory=list)
+    t_open: float = 0.0
+    due_at: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class Coalescer:
+    """Max-wait / max-batch bucketing of compatible requests.
+
+    ``add`` returns a full bucket the moment it reaches ``max_batch``
+    (the fast path under load — zero added latency); ``pop_due``
+    returns every bucket whose timer expired (the bounded-latency path
+    under trickle traffic).  A request deadline tighter than the bucket
+    timer *accelerates* the flush; it never drops work.
+    """
+
+    def __init__(self, max_batch: int = 64,
+                 max_wait_ms: float = 2.0) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_ms < 0.0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        self.max_batch = int(max_batch)
+        self.max_wait = float(max_wait_ms) / 1000.0
+        self._buckets: "dict[object, Bucket]" = {}
+        self._pending = 0
+
+    @property
+    def pending(self) -> int:
+        """Requests currently parked in open buckets."""
+        return self._pending
+
+    def add(self, entry: PendingRequest, now: float) -> "Bucket | None":
+        """Park ``entry``; return its bucket iff it just became full."""
+        key = entry.request.key
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = Bucket(key=key, routine=entry.request.routine,
+                            t_open=now, due_at=now + self.max_wait)
+            self._buckets[key] = bucket
+        bucket.entries.append(entry)
+        self._pending += 1
+        if entry.deadline_at is not None:
+            bucket.due_at = min(bucket.due_at, entry.deadline_at)
+        if len(bucket.entries) >= self.max_batch:
+            del self._buckets[key]
+            self._pending -= len(bucket.entries)
+            return bucket
+        return None
+
+    def pop_due(self, now: float) -> "list[Bucket]":
+        """Every bucket whose max-wait (or tightest deadline) expired."""
+        due = [b for b in self._buckets.values() if b.due_at <= now]
+        for bucket in due:
+            del self._buckets[bucket.key]
+            self._pending -= len(bucket.entries)
+        return due
+
+    def pop_all(self) -> "list[Bucket]":
+        """Drain everything (service shutdown)."""
+        buckets = list(self._buckets.values())
+        self._buckets.clear()
+        self._pending = 0
+        return buckets
+
+    def next_due(self) -> "float | None":
+        """Earliest bucket timer, or None when nothing is parked."""
+        if not self._buckets:
+            return None
+        return min(b.due_at for b in self._buckets.values())

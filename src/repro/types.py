@@ -305,6 +305,10 @@ class TrsmProblem:
     def flops(self) -> int:
         return trsm_flops(self.m, self.n, self.dtype, self.side, self.batch)
 
+    def with_batch(self, batch: int) -> "TrsmProblem":
+        return TrsmProblem(self.m, self.n, self.dtype, self.side, self.uplo,
+                           self.transa, self.diag, batch, self.alpha)
+
 
 def gemm_flops(m: int, n: int, k: int,
                dtype: "BlasDType | str" = BlasDType.D, batch: int = 1) -> int:

@@ -19,6 +19,23 @@ class TestGemmExplain:
         assert any("pack selector" in t for t in titles)
         assert any("tile decomposition" in t for t in titles)
 
+    def test_plan_cache_section_surfaces_hit_rate(self, iatf):
+        p = GemmProblem(7, 7, 7, "d", batch=512)
+        iatf.explain_gemm(p)                      # warm: next lookup hits
+        report = iatf.explain_gemm(p)
+        lines = report.section("plan cache")
+        text = "\n".join(lines)
+        assert "hit rate" in text
+        stats = iatf.plan_cache_stats
+        assert f"{100.0 * stats['hit_rate']:.1f}%" in text
+        assert f"{stats['size']} / {stats['maxsize']}" in text
+        assert "evictions" in text
+
+    def test_plan_cache_section_absent_without_stats(self, iatf):
+        plan = iatf.plan_gemm(GemmProblem(6, 6, 6, "d", batch=64))
+        report = obs.explain(plan)                # free function, no stats
+        assert "plan cache" not in [t for t, _ in report.sections]
+
     def test_batch_counter_math_narrated(self, iatf):
         p = GemmProblem(8, 8, 8, "d", batch=4096)
         report = iatf.explain_gemm(p)
@@ -119,10 +136,12 @@ class TestReportObject:
         plan = iatf.plan_gemm(p)
         via_fn = obs.explain(plan, registry=iatf.registry)
         via_method = iatf.explain_gemm(p)
-        # the method knows the framework's backend and adds that section;
-        # everything else must agree with the plain free-function report
+        # the method knows the framework's backend and plan-cache stats
+        # and adds those sections; everything else must agree with the
+        # plain free-function report
         fn_d, method_d = via_fn.to_dict(), via_method.to_dict()
         backend_section = method_d["sections"].pop("execution backend")
+        method_d["sections"].pop("plan cache")
         assert fn_d == method_d
         assert any(iatf.backend.name in line for line in backend_section)
 

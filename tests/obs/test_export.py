@@ -212,6 +212,47 @@ class TestServeHTTP:
             ["e3", "e4", "bad"]
         assert [r["name"] for r in json.loads(errors)] == ["bad"]
 
+    def test_events_endpoint_filters_prefix(self):
+        reg = obs.Registry()
+        reg.events.emit("serve.reject", "warn")
+        reg.events.emit("tuning.fallback", "info")
+        reg.events.emit("serve.flush.error", "error")
+        with _Endpoint(reg) as ep:
+            _, _, serve_only = ep.get("/events?prefix=serve.")
+            _, _, combined = ep.get("/events?prefix=serve.&level=error")
+        assert [r["name"] for r in json.loads(serve_only)] == \
+            ["serve.reject", "serve.flush.error"]
+        assert [r["name"] for r in json.loads(combined)] == \
+            ["serve.flush.error"]
+
+    def test_events_endpoint_ignores_unknown_level(self):
+        # a bad ?level= serves the unfiltered tail instead of a 500
+        reg = obs.Registry()
+        reg.events.emit("e0", "info")
+        with _Endpoint(reg) as ep:
+            status, _, body = ep.get("/events?level=bogus")
+        assert status == 200
+        assert [r["name"] for r in json.loads(body)] == ["e0"]
+
+    def test_add_route_mounts_extra_endpoint(self):
+        reg = obs.Registry()
+        with _Endpoint(reg) as ep:
+            ep.server.add_route(
+                "/serve/stats",
+                lambda query: ('{"ok": true}\n', "application/json"))
+            status, ctype, body = ep.get("/serve/stats")
+        assert status == 200
+        assert ctype == "application/json"
+        assert json.loads(body) == {"ok": True}
+
+    def test_add_route_rejects_relative_path(self):
+        server = obs_serve.make_server(port=0, registry=obs.Registry())
+        try:
+            with pytest.raises(ValueError):
+                server.add_route("serve/stats", lambda q: ("", "text/plain"))
+        finally:
+            server.server_close()
+
     def test_trajectory_endpoint_serves_the_file(self, tmp_path):
         path = tmp_path / "BENCH_t.json"
         path.write_text('[{"schema": 2}]')

@@ -26,7 +26,31 @@ class TestPlanCacheUnit:
         cache.get(("x",))
         s = cache.stats()
         assert s == {"size": 1, "maxsize": 4, "hits": 1, "misses": 1,
-                     "evictions": 0, "invalidations": 0}
+                     "hit_rate": 0.5, "evictions": 0, "invalidations": 0}
+
+    def test_hit_rate_zero_before_any_lookup(self):
+        cache = PlanCache(maxsize=4)
+        assert cache.hit_rate == 0.0
+        assert cache.stats()["hit_rate"] == 0.0
+
+    def test_hit_rate_converges_under_reuse(self):
+        cache = PlanCache(maxsize=4)
+        cache.get(("x",))                       # miss
+        cache.put(("x",), 1)
+        for _ in range(9):
+            cache.get(("x",))                   # 9 hits
+        assert cache.hit_rate == pytest.approx(0.9)
+
+    def test_hit_rate_mirrored_into_obs_gauge(self):
+        with obs.scoped() as reg:
+            cache = PlanCache(maxsize=4)
+            cache.get(("x",))
+            cache.put(("x",), 1)
+            cache.get(("x",))
+            snap = reg.snapshot()
+        assert snap["counters"]["plan_cache.hit_rate"] == \
+            pytest.approx(0.5)
+        assert "plan_cache.hit_rate" in snap.get("gauge_names", ())
 
     def test_rejects_degenerate_size(self):
         with pytest.raises(ValueError):

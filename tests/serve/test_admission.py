@@ -1,0 +1,80 @@
+"""Admission control: typed rejection, per-tenant fairness, accounting."""
+
+import pytest
+
+from repro import obs
+from repro.errors import RejectedError
+from repro.serve import AdmissionController
+
+
+class TestLimits:
+    def test_per_tenant_in_flight_limit(self):
+        ac = AdmissionController(max_in_flight=2, max_queue_depth=100)
+        ac.admit("hog")
+        ac.admit("hog")
+        with pytest.raises(RejectedError, match="in-flight limit"):
+            ac.admit("hog")
+        ac.admit("polite")                     # other tenants unaffected
+
+    def test_global_queue_depth_limit(self):
+        ac = AdmissionController(max_in_flight=100, max_queue_depth=3)
+        for t in ("a", "b", "c"):
+            ac.admit(t)
+        with pytest.raises(RejectedError, match="queue full"):
+            ac.admit("d")
+
+    def test_rejection_is_typed_and_names_the_tenant(self):
+        ac = AdmissionController(max_in_flight=1, max_queue_depth=100)
+        ac.admit("hog")
+        with pytest.raises(RejectedError) as err:
+            ac.admit("hog")
+        assert not isinstance(err.value, (ValueError, TypeError))
+        assert err.value.tenant == "hog"
+        assert "hog" in str(err.value)
+
+    def test_release_frees_the_slot(self):
+        ac = AdmissionController(max_in_flight=1, max_queue_depth=100)
+        ac.admit("t")
+        ac.release("t")
+        ac.admit("t")                          # no raise
+        assert ac.in_flight == 1
+
+    def test_release_of_unknown_tenant_is_harmless(self):
+        ac = AdmissionController()
+        ac.release("ghost")
+        assert ac.in_flight == 0
+
+    def test_degenerate_limits_rejected(self):
+        with pytest.raises(ValueError, match="max_in_flight"):
+            AdmissionController(max_in_flight=0)
+        with pytest.raises(ValueError, match="max_queue_depth"):
+            AdmissionController(max_queue_depth=0)
+
+
+class TestAccounting:
+    def test_stats_shape_and_totals(self):
+        ac = AdmissionController(max_in_flight=2, max_queue_depth=100)
+        ac.admit("a")
+        ac.admit("a")
+        ac.admit("b")
+        with pytest.raises(RejectedError):
+            ac.admit("a")
+        s = ac.stats()
+        assert s == {"in_flight": 3, "admitted": 3, "rejected": 1,
+                     "max_in_flight": 2, "max_queue_depth": 100,
+                     "tenants": {"a": 2, "b": 1}}
+        ac.release("a")
+        assert ac.stats()["tenants"] == {"a": 1, "b": 1}
+
+    def test_counters_and_reject_event_mirror_into_obs(self):
+        with obs.scoped() as reg:
+            ac = AdmissionController(max_in_flight=1, max_queue_depth=100)
+            ac.admit("hog")
+            with pytest.raises(RejectedError):
+                ac.admit("hog")
+            counters = reg.counters()
+            events = reg.events.tail(10, prefix="serve.")
+        assert counters["serve.admitted"] == 1
+        assert counters["serve.rejected"] == 1
+        assert any(e["name"] == "serve.reject" and e["level"] == "warn"
+                   and e["fields"]["tenant"] == "hog" for e in events)

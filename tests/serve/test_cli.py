@@ -1,0 +1,96 @@
+"""``python -m repro.serve`` smoke: the CI recipe, as a test.
+
+Boots the demo service on an ephemeral port, parses the bound address
+off the startup line, and scrapes the HTTP plane while the demo traffic
+runs — the same sequence the CI serve-smoke step performs with curl.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+import urllib.request
+
+import pytest
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+def _get(base: str, path: str):
+    with urllib.request.urlopen(base + path, timeout=10) as r:
+        return r.status, r.read().decode()
+
+
+@pytest.fixture(scope="module")
+def demo():
+    env = dict(os.environ, PYTHONPATH=SRC)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "--demo", "--port", "0",
+         "--for-seconds", "12", "--demo-requests", "64",
+         "--max-batch", "16", "--max-wait-ms", "1.0"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env)
+    try:
+        line = proc.stdout.readline()
+        assert line.startswith("repro.serve on http://"), line
+        base = line.split()[2]
+        yield proc, base.rstrip("/")
+    finally:
+        proc.terminate()
+        proc.wait(timeout=30)
+
+
+class TestDemoProcess:
+    def test_startup_line_names_the_surface(self, demo):
+        proc, base = demo
+        assert "http://127.0.0.1:" in base
+
+    def test_serve_stats_shows_live_coalescing(self, demo):
+        _, base = demo
+        # the demo loop needs a moment to push its first round through
+        deadline = time.time() + 10.0
+        stats = {}
+        while time.time() < deadline:
+            _, body = _get(base, "/serve/stats")
+            stats = json.loads(body)
+            if stats["coalesce"]["flushes"] > 0 and \
+                    stats["requests"]["completed"] > 0:
+                break
+            time.sleep(0.25)
+        assert stats["running"] is True
+        assert stats["coalesce"]["flushes"] > 0
+        assert stats["coalesce"]["ratio"] > 1.0    # it actually batched
+        assert stats["requests"]["completed"] > 0
+        assert stats["requests"]["by_routine"].keys() <= {"gemm", "trsm"}
+
+    def test_healthz_and_metrics_alongside(self, demo):
+        _, base = demo
+        status, body = _get(base, "/healthz")
+        assert status == 200
+        assert json.loads(body)["status"] == "ok"
+        status, metrics = _get(base, "/metrics")
+        assert status == 200
+        assert "repro_serve_submitted" in metrics
+
+    def test_events_filter_surfaces_serve_stream(self, demo):
+        _, base = demo
+        deadline = time.time() + 10.0
+        names = set()
+        while time.time() < deadline:
+            _, body = _get(base, "/events?prefix=serve.&n=200")
+            names = {e["name"] for e in json.loads(body)}
+            if names:
+                break
+            time.sleep(0.25)
+        assert names                            # only serve.* and present
+        assert all(n.startswith("serve.") for n in names)
+
+
+def test_for_seconds_exits_cleanly():
+    env = dict(os.environ, PYTHONPATH=SRC)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.serve", "--demo", "--port", "0",
+         "--for-seconds", "2", "--demo-requests", "16", "--quiet"],
+        capture_output=True, text=True, env=env, timeout=120)
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout == ""                    # --quiet means quiet

@@ -1,0 +1,101 @@
+"""Coalescer bucketing policy, driven with a fake clock."""
+
+import numpy as np
+import pytest
+
+from repro.serve import Coalescer, PendingRequest, Request
+
+
+def req(m=4, n=4, k=4, dtype="s", deadline_ms=None):
+    rng = np.random.default_rng(7)
+    a = rng.standard_normal((m, k)).astype(np.float32)
+    b = rng.standard_normal((k, n)).astype(np.float32)
+    return Request.gemm(a, b, dtype=dtype, deadline_ms=deadline_ms)
+
+
+def entry(request, now=0.0):
+    deadline = (None if request.deadline_ms is None
+                else now + request.deadline_ms / 1000.0)
+    return PendingRequest(request=request, future=None,
+                          t_submit=now, deadline_at=deadline)
+
+
+class TestBucketing:
+    def test_full_bucket_returned_immediately(self):
+        co = Coalescer(max_batch=3, max_wait_ms=1000.0)
+        assert co.add(entry(req()), now=0.0) is None
+        assert co.add(entry(req()), now=0.1) is None
+        bucket = co.add(entry(req()), now=0.2)
+        assert bucket is not None and len(bucket) == 3
+        assert co.pending == 0                 # released with the bucket
+
+    def test_incompatible_requests_bucket_separately(self):
+        co = Coalescer(max_batch=2, max_wait_ms=1000.0)
+        assert co.add(entry(req(dtype="s")), 0.0) is None
+        assert co.add(entry(req(dtype="d")), 0.0) is None
+        assert co.pending == 2                 # two open buckets of 1
+        full = co.add(entry(req(dtype="s")), 0.0)
+        assert full is not None
+        assert full.key.dtype.value == "s"
+        assert co.pending == 1                 # the "d" one still waits
+
+    def test_compatibility_is_the_full_descriptor(self):
+        # same shape, different alpha -> different descriptor -> no mix
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((4, 4)).astype(np.float32)
+        co = Coalescer(max_batch=2, max_wait_ms=1000.0)
+        co.add(entry(Request.gemm(a, a, alpha=1.0)), 0.0)
+        assert co.add(entry(Request.gemm(a, a, alpha=2.0)), 0.0) is None
+        assert co.pending == 2
+
+    def test_pop_due_honours_max_wait(self):
+        co = Coalescer(max_batch=64, max_wait_ms=2.0)
+        co.add(entry(req()), now=1.0)          # due at 1.002
+        assert co.pop_due(1.001) == []
+        due = co.pop_due(1.002)
+        assert len(due) == 1 and len(due[0]) == 1
+        assert co.pending == 0
+
+    def test_timer_anchored_to_bucket_open_not_last_add(self):
+        # a steady trickle must not postpone the flush forever
+        co = Coalescer(max_batch=64, max_wait_ms=10.0)
+        co.add(entry(req()), now=0.000)
+        co.add(entry(req()), now=0.009)        # arrives just before due
+        assert co.next_due() == pytest.approx(0.010)
+        assert len(co.pop_due(0.010)) == 1
+
+    def test_tight_deadline_accelerates_the_flush(self):
+        co = Coalescer(max_batch=64, max_wait_ms=100.0)
+        co.add(entry(req()), now=0.0)          # due at 0.1
+        co.add(entry(req(deadline_ms=5.0), now=0.001), now=0.001)
+        assert co.next_due() == pytest.approx(0.006)
+        assert len(co.pop_due(0.006)) == 1
+
+    def test_pop_all_drains_everything(self):
+        co = Coalescer(max_batch=64, max_wait_ms=1000.0)
+        co.add(entry(req(dtype="s")), 0.0)
+        co.add(entry(req(dtype="d")), 0.0)
+        buckets = co.pop_all()
+        assert sorted(b.key.dtype.value for b in buckets) == ["d", "s"]
+        assert co.pending == 0
+        assert co.next_due() is None
+        assert co.pop_all() == []
+
+    def test_next_due_is_the_earliest_bucket(self):
+        co = Coalescer(max_batch=64, max_wait_ms=10.0)
+        assert co.next_due() is None
+        co.add(entry(req(dtype="s")), now=5.0)
+        co.add(entry(req(dtype="d")), now=2.0)
+        assert co.next_due() == pytest.approx(2.010)
+
+    def test_degenerate_parameters_rejected(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            Coalescer(max_batch=0)
+        with pytest.raises(ValueError, match="max_wait_ms"):
+            Coalescer(max_wait_ms=-1.0)
+
+    def test_max_batch_one_never_parks(self):
+        co = Coalescer(max_batch=1, max_wait_ms=1000.0)
+        bucket = co.add(entry(req()), 0.0)
+        assert bucket is not None and len(bucket) == 1
+        assert co.pending == 0
