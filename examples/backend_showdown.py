@@ -1,5 +1,5 @@
 """Walking the executor-backend ladder: interpret -> compiled -> fused
--> parallel.
+-> megakernel -> parallel.
 
 Every backend executes the *same* plan and must produce the *same
 bytes* — what changes is how much work survives to run time.  The
@@ -8,10 +8,13 @@ the compiled replayer did all of that once at lower time; the fused
 replayer additionally runs the optimizing pass pipeline (dead-code
 elimination, FMLA-chain fusion into macro-ops, load/store coalescing
 into wide copies) and replays in L2-resident group blocks; the
-parallel wrapper shards the group axis across a thread pool around any
-of them.
+megakernel backend goes one further and trace-compiles the whole fused
+stream into generated straight-line NumPy source — compiled once,
+cached on the lowering, zero per-instruction dispatch in steady state;
+the parallel wrapper shards the group axis across threads (or
+shared-memory processes) around any of them.
 
-This example times all four on the paper's headline shape (sgemm
+This example times all five on the paper's headline shape (sgemm
 8x8x8, batch 16384), verifies bit-identical results, and prints the
 explain report's execution-backend section — where the pass pipeline's
 per-pass statistics are narrated.
@@ -31,7 +34,8 @@ BACKENDS = (
     ("interpret", {}),
     ("compiled", {}),
     ("fused", {}),
-    ("parallel", {"inner": "fused", "workers": 4}),
+    ("megakernel", {}),
+    ("parallel", {"inner": "megakernel", "workers": 4}),
 )
 
 
@@ -77,6 +81,8 @@ def main() -> None:
 
     ratio = results["compiled"] / results["fused"]
     print(f"\n  pass-pipeline payoff: fused is {ratio:.2f}x vs compiled")
+    mega = results["fused"] / results["megakernel"]
+    print(f"  trace-compiler payoff: megakernel is {mega:.2f}x vs fused")
 
     print()
     print("=" * 70)

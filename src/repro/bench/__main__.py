@@ -43,7 +43,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--full", action="store_true",
                         help="use the paper's full 1..33 size grid")
     parser.add_argument("--backend", choices=["interpret", "compiled",
-                                              "fused", "parallel", "both"],
+                                              "fused", "megakernel",
+                                              "parallel", "both"],
                         default="both",
                         help="executor backend(s): the 'backend'/"
                         "'backends' experiments compare them head to "
@@ -88,7 +89,8 @@ def main(argv: list[str] | None = None) -> int:
         elif args.experiment == "fig5":
             print(experiments.fig5_scheduling()["render"])
         elif args.experiment in ("backend", "backends"):
-            backends = (("interpret", "compiled", "fused", "parallel")
+            backends = (("interpret", "compiled", "fused", "megakernel",
+                         "parallel")
                         if args.backend == "both" else (args.backend,))
             dt = args.dtype or "s"
             result = experiments.backend_showdown(dtype=dt,

@@ -433,7 +433,8 @@ def ablation_tuned(sizes=tuple(range(1, 34)), dtype: str = "d",
 def backend_showdown(size: int = 8, dtype: str = "s",
                      batch: int = 16384, repeats: int = 5,
                      backends: "tuple[str, ...]" = ("interpret", "compiled",
-                                                    "fused", "parallel"),
+                                                    "fused", "megakernel",
+                                                    "parallel"),
                      machine=KUNPENG_920) -> dict:
     """Wall-clock plan-execute loop per executor backend.
 
@@ -506,12 +507,18 @@ def backend_showdown(size: int = 8, dtype: str = "s",
                          else None)
     if fused_vs_compiled is not None:
         lines.append(f"fused vs compiled: {fused_vs_compiled:.2f}x")
+    mega_vs_fused = (results["fused"] / results["megakernel"]
+                     if {"fused", "megakernel"} <= results.keys()
+                     else None)
+    if mega_vs_fused is not None:
+        lines.append(f"megakernel vs fused: {mega_vs_fused:.2f}x")
     lines.append(f"cycle model: {timing.gflops:.2f} GFLOPS "
                  f"({timing.percent_of_peak:.1f}% of peak, "
                  f"backend-independent)")
     return {"seconds": results, "repeats": repeats, "size": size,
             "batch": batch, "dtype": dt.value, "passes": passes,
             "fused_vs_compiled": fused_vs_compiled,
+            "mega_vs_fused": mega_vs_fused,
             "machine": machine.name, "machine_id": machine.machine_id,
             "routine": "gemm", "shape": [size, size, size],
             "modeled_gflops": timing.gflops,

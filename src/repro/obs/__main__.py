@@ -12,7 +12,7 @@ Usage::
         [--trace-out out.trace.json] [--drift]
     python -m repro.obs watch BENCH_backends.json [--threshold 0.10] \\
         [--wall-threshold 0.5] [--ratio-floor 0.90] \\
-        [--drift-threshold 0.5]
+        [--mega-floor 1.2] [--drift-threshold 0.5]
     python -m repro.obs serve [--port 9109] [--demo] \\
         [--trajectory BENCH_backends.json] [--for-seconds 30]
 
@@ -130,7 +130,7 @@ def _cmd_self_check(args) -> int:
         # the modeled-timeline events merge into a valid Chrome trace
         from ..errors import ProfileError
         prof = None
-        for stream in ("raw", "fused"):
+        for stream in ("raw", "fused", "megakernel"):
             try:
                 prof = profile_report(iatf.plan_gemm(gp), stream=stream)
             except ProfileError as e:
@@ -348,7 +348,8 @@ def _cmd_profile(args) -> int:
         with scoped() as reg:
             plan = (iatf.plan_gemm(problem) if args.routine == "gemm"
                     else iatf.plan_trsm(problem))
-            drift = (model_drift(problem, backends=("compiled", "fused"))
+            drift = (model_drift(problem, backends=("compiled", "fused",
+                                                    "megakernel"))
                      if args.drift else None)
             report = profile_report(plan, stream=args.stream, drift=drift)
             if args.trace_out:
@@ -379,6 +380,7 @@ def _cmd_watch(args) -> int:
     result = watch(args.paths, gflops_threshold=args.threshold,
                    wall_threshold=args.wall_threshold,
                    ratio_floor=args.ratio_floor,
+                   mega_floor=args.mega_floor,
                    drift_threshold=args.drift_threshold)
     print(result.render())
     return result.exit_code
@@ -435,9 +437,10 @@ def main(argv: "list[str] | None" = None) -> int:
     p_prof.add_argument("--batch", type=int, default=16384)
     p_prof.add_argument("--mode", default="LLNN",
                         help="TRSM side/uplo/trans/diag letters")
-    p_prof.add_argument("--stream", choices=("raw", "fused"), default="raw",
+    p_prof.add_argument("--stream", choices=("raw", "fused", "megakernel"),
+                        default="raw",
                         help="which compiled command stream to attribute "
-                        "(raw enables per-kernel breakdown)")
+                        "(raw and megakernel carry a per-kernel breakdown)")
     p_prof.add_argument("--json", dest="json_out", metavar="PATH",
                         help="also write the profile as JSON (the CI "
                         "artifact)")
@@ -487,6 +490,10 @@ def main(argv: "list[str] | None" = None) -> int:
     p_watch.add_argument("--ratio-floor", type=float, default=None,
                          help="require wall(compiled)/wall(fused) >= floor "
                          "in the latest run (e.g. 0.90)")
+    p_watch.add_argument("--mega-floor", type=float, default=None,
+                         help="require wall(fused)/wall(megakernel) >= "
+                         "floor in the latest run — the trace-compiled "
+                         "backend must keep its measured speedup")
     p_watch.add_argument("--drift-threshold", type=float, default=None,
                          help="flag series whose wall/model ratio grew "
                          "past 1+T vs baseline (advisory: feeds online "

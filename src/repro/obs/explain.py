@@ -260,7 +260,11 @@ def _backend_section(backend, compiled) -> "list[str]":
     inner = getattr(backend, "inner", None)
     if inner is not None:
         lines.append(f"sharding: group axis over {backend.workers} "
-                     f"workers, inner backend {inner.name!r}")
+                     f"{getattr(backend, 'mode', 'thread')} workers, "
+                     f"inner backend {inner.name!r}")
+    names = {backend.name, inner.name if inner is not None else ""}
+    if "megakernel" in names and compiled is not None:
+        lines.extend(_megakernel_section(compiled))
     if compiled is not None:
         s = compiled.stats
         lines.append(
@@ -283,6 +287,33 @@ def _backend_section(backend, compiled) -> "list[str]":
                 f"(longest {p['fuse_max_chain']}); wide copies: "
                 f"{p['coalesce_loads']} load / {p['coalesce_stores']} "
                 f"store ({p['coalesce_vectorized']} vectorized 16-B)")
+    return lines
+
+
+def _megakernel_section(compiled) -> "list[str]":
+    """Trace-compiler stats for a plan run under ``megakernel``.
+
+    Reports the cached program when one is already riding the lowered
+    plan; otherwise compiles it here (explain is diagnostic — warming
+    the cache is a feature, and the miss is reported honestly).
+    """
+    from ..runtime.megakernel import PROGRAM_KEY, ensure_program
+
+    hit = PROGRAM_KEY in compiled.attachments
+    prog = ensure_program(compiled)
+    s = prog.stats
+    lines = [
+        f"megakernel: {s['segments']} trace segments -> "
+        f"{s['loc']} generated lines, compiled in "
+        f"{s['compile_ms']:.2f} ms "
+        + ("(cache hit: program reused)" if hit
+           else "(cache miss: compiled now, cached on the plan)"),
+        f"  staging: {len(prog.staged)} buffers / {prog.stage_slots} "
+        f"stage slots; macro-op stack depth {prog.stack_need}",
+        f"  ops: {s['batched_macc']} batched MACC "
+        f"({s['scalar_macc']} scalar), {s['batched_runs']} batched "
+        f"runs, {s['prop_loads']} loads propagated away",
+    ]
     return lines
 
 

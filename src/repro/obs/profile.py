@@ -164,14 +164,16 @@ class PlanProfile:
     kind: str                     # "gemm" | "trsm"
     problem: object
     machine: object               # MachineConfig
-    stream: str                   # "raw" | "fused"
+    stream: str                   # "raw" | "fused" | "megakernel"
     groups: int
     timing: object                # PlanTiming
     classes: "dict[str, ClassProfile]"
     kernels: "dict[str, KernelProfile]"
-    """Per-kernel attribution via the lowering's ``call_ranges``.  The
-    pass pipeline merges across call boundaries, so this is populated
-    for the raw stream only (empty for ``stream == "fused"``)."""
+    """Per-kernel attribution.  For ``"raw"`` it comes from the
+    lowering's ``call_ranges``; for ``"megakernel"`` from the trace
+    segments (each segment belongs to exactly one kernel, so coverage
+    is total by construction).  The fused pass pipeline merges across
+    call boundaries, so this is empty for ``stream == "fused"``."""
 
     # -- totals ----------------------------------------------------------
 
@@ -263,8 +265,11 @@ def profile_plan(plan, *, stream: str = "raw", compiled=None,
     """Attribute one plan's modeled cycles/flops/bytes.
 
     ``stream`` selects what to walk: ``"raw"`` (what the ``compiled``
-    backend replays; enables per-kernel attribution) or ``"fused"``
-    (the pass-optimized macro-op stream the ``fused`` backend replays).
+    backend replays; enables per-kernel attribution), ``"fused"`` (the
+    pass-optimized macro-op stream the ``fused`` backend replays), or
+    ``"megakernel"`` (the per-segment optimized streams the trace
+    compiler turns into generated source — per-kernel attribution comes
+    back here, because every trace segment belongs to one kernel).
     ``compiled`` and ``timing`` may be supplied to reuse a cached
     lowering / an existing ``PlanTiming``; otherwise both are computed
     here.  The returned profile has passed :meth:`PlanProfile.check`.
@@ -273,16 +278,22 @@ def profile_plan(plan, *, stream: str = "raw", compiled=None,
     from ..runtime import lowering as lw
     from ..runtime.engine import Engine
 
-    if stream not in ("raw", "fused"):
+    if stream not in ("raw", "fused", "megakernel"):
         raise ProfileError(f"unknown stream {stream!r} "
-                           "(expected 'raw' or 'fused')")
+                           "(expected 'raw', 'fused', or 'megakernel')")
     with obs.span("obs.profile", kind=plan.kind, stream=stream):
         if compiled is None:
             compiled = lw.lower_plan(plan)
         if timing is None:
             timing = Engine(plan.machine).time_plan(plan)
-        commands = (compiled.fused_commands if stream == "fused"
-                    else compiled.commands)
+        segments = None
+        if stream == "megakernel":
+            segments = lw.partition_trace(compiled)
+            commands = [cmd for seg in segments for cmd in seg.commands]
+        elif stream == "fused":
+            commands = compiled.fused_commands
+        else:
+            commands = compiled.commands
         if not commands:
             raise ProfileError(f"plan has no {stream} commands to profile")
 
@@ -326,6 +337,22 @@ def profile_plan(plan, *, stream: str = "raw", compiled=None,
                 raise ProfileError(
                     f"call ranges cover {covered} of {len(commands)} "
                     "raw commands")
+        elif stream == "megakernel":
+            # segment streams concatenate to exactly `commands`, so
+            # coverage is total by construction — no residue check
+            pos = 0
+            for seg in segments:
+                kp = kernels.get(seg.kernel)
+                if kp is None:
+                    kp = kernels[seg.kernel] = KernelProfile(seg.kernel)
+                for i in range(pos, pos + len(seg.commands)):
+                    cls = metrics[i][0]
+                    kp.commands += 1
+                    kp.cycles += cycles[i]
+                    kp.flops += metrics[i][2] * groups
+                    kp.bytes_moved += metrics[i][3] * groups
+                    kp.classes[cls] = kp.classes.get(cls, 0) + cycles[i]
+                pos += len(seg.commands)
 
         profile = PlanProfile(
             kind=plan.kind, problem=plan.problem, machine=machine,
@@ -515,7 +542,8 @@ def profile_report(plan, *, stream: str = "raw", compiled=None,
 
 
 def model_drift(problem, machine=None, *,
-                backends: "tuple[str, ...]" = ("compiled", "fused"),
+                backends: "tuple[str, ...]" = ("compiled", "fused",
+                                               "megakernel"),
                 repeats: int = 3) -> "dict[str, dict]":
     """Cycle-model predictions vs wall-clock replays, per backend.
 

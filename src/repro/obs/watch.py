@@ -20,6 +20,10 @@ Three checks, composable per invocation:
   run only: ``wall(compiled) / wall(fused) >= floor``, i.e. the fused
   stream must stay within the floor of the compiled replayer (the CI
   guard that used to live as an inline assert in the workflow);
+* **megakernel ratio floor** (``--mega-floor``) — within the *latest*
+  run only: ``wall(fused) / wall(megakernel) >= floor``, i.e. the
+  trace-compiled backend must keep its measured speedup over the
+  per-instruction fused replay;
 * **model drift** (opt-in, ``--drift-threshold``) — per series, has the
   host's wall clock pulled away from the cycle model's prediction over
   time?  Drift verdicts are *advisory* (never the exit code): they feed
@@ -181,6 +185,7 @@ def check_trajectory(points: "list[dict]", result: "WatchResult | None" = None,
                      *, gflops_threshold: float = 0.10,
                      wall_threshold: "float | None" = None,
                      ratio_floor: "float | None" = None,
+                     mega_floor: "float | None" = None,
                      drift_threshold: "float | None" = None) -> WatchResult:
     """Run the regression checks over already-validated points."""
     result = result if result is not None else WatchResult()
@@ -218,6 +223,8 @@ def check_trajectory(points: "list[dict]", result: "WatchResult | None" = None,
 
     if ratio_floor is not None:
         _check_ratio_floor(series, ratio_floor, result)
+    if mega_floor is not None:
+        _check_mega_floor(series, mega_floor, result)
     if drift_threshold is not None:
         _check_drift(series, drift_threshold, result)
     # the verdict as structured events (no-ops unless instrumentation
@@ -302,9 +309,43 @@ def _check_ratio_floor(series: "dict[tuple, list[dict]]", floor: float,
                             "compiled and fused wall points")
 
 
+def _check_mega_floor(series: "dict[tuple, list[dict]]", floor: float,
+                      result: WatchResult) -> None:
+    """Latest-run fused-vs-megakernel wall ratio per problem shape: the
+    trace-compiled backend must keep its speedup over the fused
+    replay.  The floor is set from *measured* single-core numbers (see
+    ``BENCH_backends.json``), deliberately below the noise band."""
+    latest_by_backend: "dict[tuple, dict[str, dict]]" = {}
+    for key, pts in series.items():
+        shape_key = key[:2] + key[3:]       # identity minus the backend
+        latest_by_backend.setdefault(shape_key, {})[key[2]] = pts[-1]
+    checked = 0
+    for shape_key, per_backend in sorted(latest_by_backend.items()):
+        fused = per_backend.get("fused")
+        mega = per_backend.get("megakernel")
+        if (fused is None or mega is None
+                or fused.get("wall_seconds") is None
+                or mega.get("wall_seconds") is None
+                or not mega["wall_seconds"]):
+            continue
+        checked += 1
+        ratio = fused["wall_seconds"] / mega["wall_seconds"]
+        if ratio < floor:
+            result.regressions.append(
+                "{}/{} {} {} batch={}: megakernel lost its edge — "
+                "fused/megakernel wall ratio {:.2f} < floor {:.2f}".format(
+                    shape_key[0], shape_key[1], shape_key[2],
+                    "x".join(map(str, shape_key[3])), shape_key[4],
+                    ratio, floor))
+    if not checked:
+        result.notes.append("mega floor requested but no run has both "
+                            "fused and megakernel wall points")
+
+
 def watch(paths: "list[str]", *, gflops_threshold: float = 0.10,
           wall_threshold: "float | None" = None,
           ratio_floor: "float | None" = None,
+          mega_floor: "float | None" = None,
           drift_threshold: "float | None" = None) -> WatchResult:
     """Load trajectory files and run every requested check."""
     result = WatchResult()
@@ -316,5 +357,5 @@ def watch(paths: "list[str]", *, gflops_threshold: float = 0.10,
                                + ", ".join(paths))
     check_trajectory(points, result, gflops_threshold=gflops_threshold,
                      wall_threshold=wall_threshold, ratio_floor=ratio_floor,
-                     drift_threshold=drift_threshold)
+                     mega_floor=mega_floor, drift_threshold=drift_threshold)
     return result

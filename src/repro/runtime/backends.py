@@ -25,13 +25,25 @@ The engine separates *what* to run (the plan), *how it was compiled*
     dispatch-bound hot loop gets materially cheaper — with bit-exact
     results by pass construction.
 
+``megakernel``
+    The trace-compiled backend
+    (:class:`~repro.runtime.megakernel.MegakernelBackend`): the fused
+    stream is partitioned into straight-line segments and compiled
+    *once* into generated Python source of whole-group NumPy ops, so
+    the steady state executes zero per-instruction Python dispatch.
+    The program is cached on the lowered plan and rides the engine's
+    ``PlanCache``; results stay bit-identical to ``interpret``.
+
 ``parallel``
     A wrapper that shards the *group axis* across a
     ``ThreadPoolExecutor``, running an inner backend (``fused`` by
     default) on each contiguous shard.  Groups are fully independent
     and NumPy releases the GIL inside ufuncs, so sharding is bit-exact
     by construction and genuinely concurrent.  Configure via
-    ``IATF(backend="parallel", inner="fused", workers=N)``.
+    ``IATF(backend="parallel", inner="fused", workers=N)``; with
+    ``mode="process"`` the shards run in a fork-based process pool
+    over shared-memory buffer slices instead, sidestepping the GIL
+    entirely for inner backends that do not release it.
 
 Adding a backend means implementing the :class:`ExecutorBackend`
 protocol (``name``, ``needs_lowering``, ``run``) and registering it in
@@ -40,9 +52,11 @@ protocol (``name``, ``needs_lowering``, ``run``) and registering it in
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
+from multiprocessing import shared_memory
 from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 import numpy as np
@@ -59,13 +73,15 @@ from .lowering import (K_FADD, K_FDIV, K_FIMM, K_FMAI, K_FMLA, K_FMLS,
                        K_LOAD_PART, K_LOADPAIR, K_LOADW, K_MACC, K_STORE,
                        K_STORE2, K_STOREPAIR, K_STOREW, K_VMOV, K_VZERO,
                        CompiledPlan, lower_plan)
+from .megakernel import MegakernelBackend
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .plan import ExecutionPlan
 
 __all__ = ["ExecutorBackend", "InterpretBackend", "CompiledBackend",
-           "FusedBackend", "ParallelBackend", "BACKENDS", "DEFAULT_BACKEND",
-           "DEFAULT_INNER", "resolve_backend", "backend_name"]
+           "FusedBackend", "MegakernelBackend", "ParallelBackend",
+           "BACKENDS", "DEFAULT_BACKEND", "DEFAULT_INNER",
+           "resolve_backend", "backend_name"]
 
 DEFAULT_BACKEND = "compiled"
 
@@ -437,8 +453,11 @@ class ParallelBackend:
 
     name = "parallel"
 
+    MODES = ("thread", "process")
+
     def __init__(self, inner: "str | ExecutorBackend | None" = None,
-                 workers: "int | None" = None) -> None:
+                 workers: "int | None" = None,
+                 mode: "str | None" = None) -> None:
         self.inner = resolve_backend(DEFAULT_INNER if inner is None
                                      else inner)
         if self.inner.name == self.name:
@@ -446,6 +465,14 @@ class ParallelBackend:
         self.workers = _default_workers() if workers is None else int(workers)
         if self.workers < 1:
             raise PlanError("parallel backend needs workers >= 1")
+        self.mode = "thread" if mode is None else str(mode)
+        if self.mode not in self.MODES:
+            raise PlanError(f"parallel mode must be one of {self.MODES}, "
+                            f"got {mode!r}")
+        if (self.mode == "process"
+                and "fork" not in multiprocessing.get_all_start_methods()):
+            raise PlanError("parallel mode='process' needs the fork start "
+                            "method, which this platform does not offer")
         self._pool: "ThreadPoolExecutor | None" = None
         self._pool_lock = threading.Lock()
 
@@ -484,6 +511,9 @@ class ParallelBackend:
         obs.count("backend.parallel.shards", len(ranges))
         if len(ranges) == 1:
             self.inner.run(plan, mem, strides, groups, compiled)
+            return
+        if self.mode == "process":
+            self._run_process(plan, mem, strides, compiled, ranges)
             return
         # pool threads do not inherit the caller's trace context, so
         # capture it once and hand it to every shard explicitly — the
@@ -531,11 +561,96 @@ class ParallelBackend:
                       groups=count, inner=self.inner.name):
             self.inner.run(plan, smem, strides, count, compiled)
 
+    # -- process mode --------------------------------------------------
+
+    def _run_process(self, plan: "ExecutionPlan", mem: MemorySpace,
+                     strides: "dict[str, int]",
+                     compiled: "CompiledPlan | None",
+                     ranges: "list[tuple[int, int]]") -> None:
+        """Shards across fork()ed worker processes over shared memory.
+
+        Every bound buffer is copied once into a
+        :mod:`multiprocessing.shared_memory` block; forked children
+        inherit the mappings (and the plan, the lowering, even an
+        already-compiled megakernel program — fork never pickles), bind
+        zero-copy slice views over their disjoint group ranges, and
+        write results straight into the shared block, which the parent
+        copies back after every child exits.  The two extra full-buffer
+        passes buy a pool the GIL cannot serialize — worth it only for
+        inner work that holds the GIL, which is why ``mode="process"``
+        is opt-in rather than the wrapper default.
+        """
+        obs.count("backend.parallel.process.runs")
+        shms: "list[shared_memory.SharedMemory]" = []
+        shared: "dict[str, np.ndarray]" = {}
+        ctx = multiprocessing.get_context("fork")
+        try:
+            for name in strides:
+                arr = mem[name]
+                shm = shared_memory.SharedMemory(create=True,
+                                                 size=max(1, arr.nbytes))
+                view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+                np.copyto(view, arr)
+                shms.append(shm)
+                shared[name] = view
+            errq = ctx.SimpleQueue()
+            procs = []
+            for idx, (start, stop) in enumerate(ranges):
+                p = ctx.Process(target=self._process_shard,
+                                args=(idx, start, stop, plan, strides,
+                                      shared, compiled, errq),
+                                daemon=True)
+                p.start()
+                procs.append(p)
+            for p in procs:
+                p.join()
+            failures = []
+            while not errq.empty():
+                failures.append(errq.get())
+            for p, (start, stop) in zip(procs, ranges):
+                if p.exitcode != 0 and not failures:
+                    failures.append((f"groups [{start}, {stop})",
+                                     f"exit code {p.exitcode}"))
+            if failures:
+                detail = "; ".join(f"shard {who}: {why}"
+                                   for who, why in failures)
+                raise ExecutionError(
+                    f"parallel process shard failed: {detail}")
+            for name, view in shared.items():
+                np.copyto(mem[name], view)
+        finally:
+            for shm in shms:
+                shm.close()
+                try:
+                    shm.unlink()
+                except FileNotFoundError:  # pragma: no cover - double clean
+                    pass
+
+    def _process_shard(self, idx: int, start: int, stop: int,
+                       plan: "ExecutionPlan", strides: "dict[str, int]",
+                       shared: "dict[str, np.ndarray]",
+                       compiled: "CompiledPlan | None", errq) -> None:
+        """Body of one forked worker (child process only)."""
+        try:
+            smem = MemorySpace()
+            for name, stride_bytes in strides.items():
+                arr = shared[name]
+                se = stride_bytes // arr.dtype.itemsize
+                smem.bind(name, arr[start * se:stop * se])
+            count = stop - start
+            scompiled = (compiled.for_groups(count)
+                         if compiled is not None else None)
+            self.inner.run(plan, smem, strides, count, scompiled)
+        except BaseException as exc:
+            errq.put((str(idx), f"{type(exc).__name__}: {exc}"))
+            raise
+
 
 BACKENDS: "dict[str, type]" = {
     InterpretBackend.name: InterpretBackend,
     CompiledBackend.name: CompiledBackend,
     FusedBackend.name: FusedBackend,
+    MegakernelBackend.name: MegakernelBackend,
     ParallelBackend.name: ParallelBackend,
 }
 
@@ -570,14 +685,16 @@ def _conforms(backend: object) -> bool:
 
 def resolve_backend(backend: "str | ExecutorBackend | None" = None, *,
                     inner: "str | ExecutorBackend | None" = None,
-                    workers: "int | None" = None) -> ExecutorBackend:
+                    workers: "int | None" = None,
+                    mode: "str | None" = None) -> ExecutorBackend:
     """Turn a backend name (or ready instance) into an instance.
 
     Named backends are cached per configuration, so repeated
     resolutions share one instance; an explicit instance passes through
-    untouched (never cached, never reconfigured).  ``inner`` and
-    ``workers`` configure the ``parallel`` wrapper and are rejected for
-    anything else — a silently ignored option would read as applied.
+    untouched (never cached, never reconfigured).  ``inner``,
+    ``workers``, and ``mode`` configure the ``parallel`` wrapper and
+    are rejected for anything else — a silently ignored option would
+    read as applied.
     """
     if backend is None:
         backend = DEFAULT_BACKEND
@@ -590,24 +707,31 @@ def resolve_backend(backend: "str | ExecutorBackend | None" = None, *,
         if backend == ParallelBackend.name:
             if inner is not None and not isinstance(inner, str):
                 # instance-configured wrapper: build fresh, don't cache
-                return ParallelBackend(inner=inner, workers=workers)
+                return ParallelBackend(inner=inner, workers=workers,
+                                       mode=mode)
+            # cache on the FULL parameterization, with omitted options
+            # normalized to their defaults first — resolve(workers=None)
+            # and resolve(workers=<host default>) must share one
+            # instance (and one pool), not build two
             key = (backend, DEFAULT_INNER if inner is None else inner,
-                   workers)
+                   _default_workers() if workers is None else int(workers),
+                   "thread" if mode is None else mode)
             instance = _INSTANCES.get(key)
             if instance is None:
                 instance = _INSTANCES.setdefault(
-                    key, ParallelBackend(inner=inner, workers=workers))
+                    key, ParallelBackend(inner=inner, workers=workers,
+                                         mode=mode))
             return instance
-        if inner is not None or workers is not None:
+        if inner is not None or workers is not None or mode is not None:
             raise PlanError(
-                f"inner=/workers= configure the 'parallel' backend; "
-                f"{backend!r} takes neither")
+                f"inner=/workers=/mode= configure the 'parallel' backend; "
+                f"{backend!r} takes none of them")
         instance = _INSTANCES.get((backend,))
         if instance is None:
             instance = _INSTANCES.setdefault((backend,), cls())
         return instance
-    if inner is not None or workers is not None:
-        raise PlanError("inner=/workers= cannot reconfigure a ready "
+    if inner is not None or workers is not None or mode is not None:
+        raise PlanError("inner=/workers=/mode= cannot reconfigure a ready "
                         "backend instance")
     if not _conforms(backend):
         raise PlanError(f"object {backend!r} does not implement the "

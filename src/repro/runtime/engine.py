@@ -108,18 +108,20 @@ class Engine:
     :data:`repro.runtime.backends.BACKENDS` (``"interpret"``,
     ``"compiled"``, ``"fused"``, or ``"parallel"``), a ready
     :class:`ExecutorBackend` instance, or ``None`` for the default.
-    ``inner`` and ``workers`` configure the ``parallel`` wrapper (which
-    backend runs each group shard, and across how many threads); they
+    ``inner``, ``workers``, and ``mode`` configure the ``parallel``
+    wrapper (which backend runs each group shard, across how many
+    workers, and whether those are threads or forked processes); they
     are rejected for any other backend.  Timing is backend-independent.
     """
 
     def __init__(self, machine: MachineConfig,
                  backend: "str | ExecutorBackend | None" = None, *,
                  inner: "str | ExecutorBackend | None" = None,
-                 workers: "int | None" = None) -> None:
+                 workers: "int | None" = None,
+                 mode: "str | None" = None) -> None:
         self.machine = machine
         self.backend: ExecutorBackend = resolve_backend(
-            backend, inner=inner, workers=workers)
+            backend, inner=inner, workers=workers, mode=mode)
 
     # ------------------------------------------------------------------
     # functional execution

@@ -167,13 +167,14 @@ class IATF:
                  backend: "str | ExecutorBackend | None" = None,
                  inner: "str | ExecutorBackend | None" = None,
                  workers: "int | None" = None,
+                 mode: "str | None" = None,
                  optimize_kernels: bool = True,
                  plan_cache_size: int = 1024,
                  tuning_db=None) -> None:
         self.machine = machine
         self.registry = KernelRegistry(machine, optimize=optimize_kernels)
         self.engine = Engine(machine, backend=backend, inner=inner,
-                             workers=workers)
+                             workers=workers, mode=mode)
         self._plan_cache = PlanCache(plan_cache_size)
         self._alt_registry: "KernelRegistry | None" = None
         self._alt_lock = threading.Lock()

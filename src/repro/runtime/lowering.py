@@ -66,6 +66,7 @@ from .plan import ExecutionPlan, KernelCall
 
 __all__ = ["CompiledPlan", "CompiledCommand", "BufferLayout", "lower_plan",
            "optimize_commands", "FUSE_MIN_CHAIN",
+           "TraceSegment", "partition_trace",
            "K_LOAD", "K_LOAD_PART", "K_LOADPAIR", "K_LOAD1R", "K_LOAD2",
            "K_STORE", "K_STOREPAIR", "K_STORE2", "K_FMLA", "K_FMLS",
            "K_FMUL", "K_FMAI", "K_FMULI", "K_FADD", "K_FSUB", "K_FDIV",
@@ -205,6 +206,13 @@ class CompiledPlan:
     the ranges index the raw stream only (the profiler's per-kernel
     attribution is raw-stream territory)."""
     stats: dict = field(default_factory=dict)
+    attachments: dict = field(default_factory=dict, compare=False,
+                              repr=False)
+    """Side slot for derived per-plan artifacts (e.g. the megakernel's
+    compiled program).  Excluded from equality; shared — deliberately —
+    by the shallow :meth:`for_groups` copies the ``parallel`` backend
+    makes, so shards reuse the one compiled artifact.  Not pickled
+    (artifacts hold code objects); see ``__getstate__``."""
 
     @property
     def dtype(self) -> np.dtype:
@@ -220,6 +228,14 @@ class CompiledPlan:
     def mem_commands(self) -> "list[CompiledCommand]":
         return [c for c in map(lambda t: CompiledCommand(t[0], t), self.commands)
                 if c.is_mem]
+
+    def __getstate__(self) -> dict:
+        # attachments carry compiled code objects (unpicklable) and are
+        # re-derivable from the plan; drop them when crossing a process
+        # boundary (the parallel backend's process mode pickles plans)
+        state = self.__dict__.copy()
+        state["attachments"] = {}
+        return state
 
     def for_groups(self, groups: int) -> "CompiledPlan":
         """A shallow copy covering a different group count.
@@ -760,3 +776,58 @@ def _imm(value: float, ew: int):
     """Immediates are pre-cast to the element dtype at lower time, so
     replay rounds exactly like the interpreter's ``dtype.type(imm)``."""
     return (np.float32 if ew == 4 else np.float64)(value)
+
+
+@dataclass(frozen=True)
+class TraceSegment:
+    """One straight-line span of the trace, ready for codegen.
+
+    The megakernel compiler consumes the plan segment by segment: each
+    segment covers one or more *consecutive same-kernel* entries of
+    ``call_ranges``, so generated code keeps a kernel-level boundary the
+    profiler can attribute time to (the Table-1 kernel mapping survives
+    code generation).  ``commands`` is the span run through the full
+    pass pipeline in isolation — safe, because registers are call-local
+    (every call re-loads its pointers) and the pipeline already merges
+    across call boundaries inside a span.
+    """
+
+    kernel: str                   # kernel name shared by the merged calls
+    calls: int                    # how many raw call_ranges were merged
+    start: int                    # raw-stream command index (inclusive)
+    stop: int                     # raw-stream command index (exclusive)
+    commands: "list[tuple]"       # pass-optimized stream for this span
+    max_stack: int                # scratch stack depth codegen must allocate
+    passes: dict                  # per-segment optimize_commands statistics
+
+
+def partition_trace(compiled: CompiledPlan) -> "list[TraceSegment]":
+    """Split a compiled plan's raw stream into codegen segments.
+
+    Consecutive ``call_ranges`` entries naming the same kernel merge
+    into one segment (a GEMM plan of 2048 identical microkernel calls
+    becomes a single segment), then each merged span is optimized
+    independently.  Concatenating the segments' raw spans reproduces
+    ``compiled.commands`` exactly; a plan lowered with no call ranges
+    degenerates to one anonymous segment covering the whole stream.
+    """
+    strides = {name: layout.stride_bytes
+               for name, layout in compiled.buffers.items()}
+    spans: "list[tuple[str, int, int, int]]" = []   # kernel, calls, start, stop
+    for kernel, start, stop in compiled.call_ranges:
+        if spans and spans[-1][0] == kernel and spans[-1][3] == start:
+            prev = spans[-1]
+            spans[-1] = (kernel, prev[1] + 1, prev[2], stop)
+        else:
+            spans.append((kernel, 1, start, stop))
+    if not spans and compiled.commands:
+        spans.append(("<trace>", 1, 0, len(compiled.commands)))
+    segments = []
+    for kernel, calls, start, stop in spans:
+        cmds, passes = optimize_commands(compiled.commands[start:stop],
+                                         compiled.lanes, compiled.ew, strides)
+        segments.append(TraceSegment(kernel=kernel, calls=calls, start=start,
+                                     stop=stop, commands=cmds,
+                                     max_stack=passes["max_stack"],
+                                     passes=passes))
+    return segments

@@ -117,7 +117,8 @@ class Evaluator:
         return self._wall_run(problem, cand, cand.backend)
 
     def race_backends(self, problem, cand: Candidate,
-                      backends: "tuple[str, ...]" = ("compiled", "fused")
+                      backends: "tuple[str, ...]" = ("compiled", "fused",
+                                                     "megakernel")
                       ) -> "tuple[str, dict[str, float]]":
         """Wall-clock race of executor backends on one candidate.
 
@@ -136,7 +137,8 @@ class Evaluator:
         return winner, times
 
     def drift(self, problem, cand: "Candidate | None" = None,
-              backends: "tuple[str, ...]" = ("compiled", "fused")
+              backends: "tuple[str, ...]" = ("compiled", "fused",
+                                             "megakernel")
               ) -> "dict[str, dict]":
         """Cycle-model prediction vs wall-clock replay, per backend.
 

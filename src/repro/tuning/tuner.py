@@ -29,13 +29,16 @@ from .space import (Candidate, enumerate_gemm_space, enumerate_trsm_space,
 __all__ = ["TuneOutcome", "tune_problem", "sweep",
            "DEFAULT_TUNED_BACKEND", "DEFAULT_TOP_K"]
 
-DEFAULT_TUNED_BACKEND = "fused"
+DEFAULT_TUNED_BACKEND = "megakernel"
 """Backend recorded when the sweep did not measure wall clock: the
-pass-optimized replayer is bit-exact by construction and guarded
-not-slower by the perf suite, so recommending it is safe without host
+trace-compiled executor is bit-exact by construction (the equivalence
+matrix enforces identity with ``interpret``) and guarded against
+``fused`` by the perf smoke, so recommending it is safe without host
 timing — and a constant keeps the cycle-model sweep byte-reproducible.
 With ``wall_clock=True`` the tuner instead races the real backends on
-the winning candidate and records the host-time winner."""
+the winning candidate and records the host-time winner.  Records
+written by older DBs (``"fused"``/``"compiled"``) still resolve — the
+registry never dropped a name."""
 
 DEFAULT_TOP_K = 8
 """How many candidates the analytical-first sweep measures per shape:

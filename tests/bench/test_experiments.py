@@ -121,9 +121,10 @@ def test_backend_showdown_structure():
     from repro.bench.experiments import backend_showdown
     res = backend_showdown(size=4, batch=64, repeats=1)
     assert set(res["seconds"]) == {"interpret", "compiled", "fused",
-                                   "parallel"}
+                                   "megakernel", "parallel"}
     assert all(sec > 0 for sec in res["seconds"].values())
     assert res["fused_vs_compiled"] > 0
+    assert res["mega_vs_fused"] > 0
     assert res["passes"]["commands_after"] <= res["passes"][
         "commands_before"]
     assert "Backend showdown" in res["render"]

@@ -163,5 +163,5 @@ class TestReportObject:
         fw = IATF(KUNPENG_920, backend="parallel", workers=3)
         p = GemmProblem(4, 4, 4, "d", batch=64)
         lines = fw.explain_gemm(p).section("execution backend")
-        assert any("3 workers" in line and "fused" in line
+        assert any("3 thread workers" in line and "fused" in line
                    for line in lines)

@@ -50,7 +50,7 @@ class TestConservation:
     @pytest.mark.parametrize("dtype", DTYPES)
     @pytest.mark.parametrize("force_pack", [False, True],
                              ids=["nopack-eligible", "forced-pack"])
-    @pytest.mark.parametrize("stream", ["raw", "fused"])
+    @pytest.mark.parametrize("stream", ["raw", "fused", "megakernel"])
     def test_gemm_exact(self, registry, dtype, force_pack, stream):
         # n=2 qualifies for the no-pack fast path; force_pack covers the
         # packed alternative on the same shape
@@ -64,7 +64,7 @@ class TestConservation:
         prof.check()                      # and the built-in invariant
 
     @pytest.mark.parametrize("dtype", ["s", "z"])
-    @pytest.mark.parametrize("stream", ["raw", "fused"])
+    @pytest.mark.parametrize("stream", ["raw", "fused", "megakernel"])
     def test_trsm_exact(self, registry, dtype, stream):
         p = TrsmProblem(8, 8, dtype, batch=128)
         plan = build_trsm_plan(p, KUNPENG_920, registry)
@@ -89,6 +89,17 @@ class TestConservation:
         prof = obs.profile_plan(plan, stream="fused")
         assert prof.kernels == {}
         assert "MACC" in prof.classes     # macro-ops visible as a class
+
+    def test_megakernel_stream_recovers_kernel_split(self, registry):
+        # macro-op fusion blurs kernel boundaries, but the trace
+        # segments still know theirs: the megakernel stream must give
+        # back per-kernel attribution with total coverage
+        p = GemmProblem(9, 9, 9, "d", batch=256)   # multiple kernels
+        plan = build_gemm_plan(p, KUNPENG_920, registry)
+        prof = obs.profile_plan(plan, stream="megakernel")
+        assert len(prof.kernels) >= 2
+        assert sum(k.cycles for k in prof.kernels.values()) \
+            == prof.kernel_cycle_budget
 
     def test_unknown_stream_rejected(self, registry):
         p = GemmProblem(4, 4, 4, "d", batch=64)

@@ -72,6 +72,21 @@ class TestChecks:
         pts[0]["wall_seconds"] = 0.06      # 1.2 >= 0.9
         assert check_trajectory(pts, ratio_floor=0.90).exit_code == 0
 
+    def test_mega_floor(self):
+        pts = [point(10.0, 1.0, backend="fused", wall=0.05),
+               point(10.0, 1.0, backend="megakernel", wall=0.04)]
+        assert check_trajectory(pts).exit_code == 0
+        r = check_trajectory(pts, mega_floor=1.5)
+        assert r.exit_code == 1            # 0.05/0.04 = 1.25 < 1.5
+        assert "megakernel lost its edge" in r.regressions[0]
+        assert check_trajectory(pts, mega_floor=1.2).exit_code == 0
+
+    def test_mega_floor_notes_missing_backend(self):
+        pts = [point(10.0, 1.0, backend="fused", wall=0.05)]
+        r = check_trajectory(pts, mega_floor=1.2)
+        assert r.exit_code == 0
+        assert any("mega floor" in n for n in r.notes)
+
 
 class TestDrift:
     """Observed-vs-model drift: advisory verdicts, never exit-code

@@ -136,3 +136,36 @@ class TestNoPack:
         cb = CompactBatch.from_matrices(a, 2)
         packed = pack_gemm_a(cb, Trans.N, k, [m])
         assert np.array_equal(packed.data, cb.buffer)
+
+
+class TestFlattenFastPath:
+    """The preallocated direct-write panel flatten must stay
+    byte-identical to the naive contiguous-copy-then-concatenate
+    reference it replaced (the pack layout is a pure permutation, so
+    any divergence is a corruption, not a rounding question)."""
+
+    @staticmethod
+    def _reference(panels, groups):
+        flat = [np.ascontiguousarray(p).reshape(groups, -1)
+                for p in panels]
+        return np.concatenate(flat, axis=1).reshape(-1)
+
+    @pytest.mark.parametrize("dtype", ALL_DTYPES)
+    @pytest.mark.parametrize("trans", [Trans.N, Trans.T])
+    def test_matches_reference(self, rng, dtype, trans):
+        import repro.packing.gemm_pack as gp
+
+        lanes = {"s": 4, "d": 2, "c": 4, "z": 2}[dtype]
+        m, k, tiles = 12, 7, [4, 4, 4]
+        shape = (m, k) if trans is Trans.N else (k, m)
+        a = random_batch(rng, 3 * lanes, *shape, dtype)
+        cb = CompactBatch.from_matrices(a, lanes)
+        fast = pack_gemm_a(cb, trans, k, tiles)
+        saved = gp._flatten_panels
+        gp._flatten_panels = self._reference
+        try:
+            ref = pack_gemm_a(cb, trans, k, tiles)
+        finally:
+            gp._flatten_panels = saved
+        assert fast.data.tobytes() == ref.data.tobytes()
+        assert fast.data.dtype == ref.data.dtype

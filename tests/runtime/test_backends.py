@@ -19,8 +19,8 @@ from repro.machine.memory import MemorySpace
 from repro.runtime.backends import (BACKENDS, DEFAULT_BACKEND,
                                     DEFAULT_INNER, CompiledBackend,
                                     ExecutorBackend, FusedBackend,
-                                    InterpretBackend, ParallelBackend,
-                                    resolve_backend)
+                                    InterpretBackend, MegakernelBackend,
+                                    ParallelBackend, resolve_backend)
 from repro.runtime.engine import Engine
 from repro.runtime.iatf import IATF
 from repro.runtime.lowering import lower_plan
@@ -30,14 +30,17 @@ from tests.conftest import ALL_DTYPES, random_batch, random_triangular
 LANES = {"s": 4, "d": 2, "c": 4, "z": 2}
 
 # every registered backend, the parallel wrapper at worker counts that
-# divide the group count, exceed it, and split it unevenly
+# divide the group count, exceed it, and split it unevenly, and the
+# trace compiler both bare and sharded under the wrapper
 EQUIV_BACKENDS = (
     ("interpret", {}),
     ("compiled", {}),
     ("fused", {}),
+    ("megakernel", {}),
     ("parallel", {"workers": 1}),
     ("parallel", {"workers": 2}),
     ("parallel", {"workers": 5}),
+    ("parallel", {"inner": "megakernel", "workers": 3}),
 )
 
 
@@ -219,10 +222,11 @@ class TestBackendSelection:
 
     def test_registry_contents(self):
         assert set(BACKENDS) == {"interpret", "compiled", "fused",
-                                 "parallel"}
+                                 "megakernel", "parallel"}
         assert isinstance(resolve_backend("interpret"), InterpretBackend)
         assert isinstance(resolve_backend("compiled"), CompiledBackend)
         assert isinstance(resolve_backend("fused"), FusedBackend)
+        assert isinstance(resolve_backend("megakernel"), MegakernelBackend)
         assert isinstance(resolve_backend("parallel"), ParallelBackend)
 
     def test_unknown_name_error_lists_all_backends(self):
@@ -235,7 +239,8 @@ class TestBackendSelection:
             resolve_backend("jit")
         except PlanError as e:
             msg = str(e)
-        for name in ("interpret", "compiled", "fused", "parallel"):
+        for name in ("interpret", "compiled", "fused", "megakernel",
+                     "parallel"):
             assert name in msg, f"error message omits {name!r}: {msg}"
 
     def test_non_backend_object_rejected_before_first_use(self):
@@ -268,6 +273,23 @@ class TestBackendSelection:
         assert (resolve_backend("parallel", inner="compiled", workers=2)
                 is not p2)
 
+    def test_parallel_cache_key_normalizes_defaults(self):
+        """The wrapper cache keys on the FULL parameterization with
+        defaults normalized first: omitting an option and spelling out
+        its default must resolve to the same instance (two pools for
+        one configuration was the bug), while a different mode is a
+        different instance."""
+        from repro.runtime.backends import _default_workers
+        p = resolve_backend("parallel")
+        assert p is resolve_backend("parallel", inner=DEFAULT_INNER)
+        assert p is resolve_backend("parallel",
+                                    workers=_default_workers())
+        assert p is resolve_backend("parallel", mode="thread")
+        proc = resolve_backend("parallel", mode="process")
+        assert proc is not p
+        assert proc is resolve_backend("parallel", mode="process")
+        assert proc.mode == "process" and p.mode == "thread"
+
     def test_explicit_instance_passes_through_uncached(self):
         mine = CompiledBackend()
         assert resolve_backend(mine) is mine
@@ -278,14 +300,20 @@ class TestBackendSelection:
             resolve_backend("compiled", workers=2)
         with pytest.raises(PlanError, match="parallel"):
             resolve_backend("fused", inner="compiled")
+        with pytest.raises(PlanError, match="parallel"):
+            resolve_backend("megakernel", mode="process")
         with pytest.raises(PlanError, match="instance"):
             resolve_backend(CompiledBackend(), workers=2)
+        with pytest.raises(PlanError, match="instance"):
+            resolve_backend(CompiledBackend(), mode="thread")
 
     def test_parallel_configuration_errors(self):
         with pytest.raises(PlanError, match="wrap itself"):
             ParallelBackend(inner="parallel")
         with pytest.raises(PlanError, match="workers"):
             ParallelBackend(workers=0)
+        with pytest.raises(PlanError, match="mode"):
+            ParallelBackend(mode="fiber")
 
     def test_parallel_defaults_and_inner_instance(self):
         p = resolve_backend("parallel")
@@ -313,6 +341,7 @@ class TestBackendSelection:
         assert isinstance(InterpretBackend(), ExecutorBackend)
         assert isinstance(CompiledBackend(), ExecutorBackend)
         assert isinstance(FusedBackend(), ExecutorBackend)
+        assert isinstance(MegakernelBackend(), ExecutorBackend)
         assert isinstance(ParallelBackend(), ExecutorBackend)
 
     def test_custom_backend_instance_accepted(self, iatf, rng):

@@ -47,13 +47,17 @@ class TestDemoProcess:
 
     def test_serve_stats_shows_live_coalescing(self, demo):
         _, base = demo
-        # the demo loop needs a moment to push its first round through
+        # the demo loop needs a moment to push its first round through;
+        # the cumulative ratio climbs above 1 as soon as any flush
+        # batches, so wait for that evidence too — an early all-singles
+        # round must not end the poll
         deadline = time.time() + 10.0
         stats = {}
         while time.time() < deadline:
             _, body = _get(base, "/serve/stats")
             stats = json.loads(body)
             if stats["coalesce"]["flushes"] > 0 and \
+                    stats["coalesce"]["ratio"] > 1.0 and \
                     stats["requests"]["completed"] > 0:
                 break
             time.sleep(0.25)
