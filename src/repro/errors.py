@@ -55,6 +55,13 @@ class ProfileError(ReproError):
     profile was requested over an empty/unknown command stream."""
 
 
+class BudgetError(ReproError):
+    """A request latency budget was misused (stage stamped out of
+    order) or failed its conservation invariant (the stage sum must
+    reproduce the end-to-end wall, exactly like the profiler's
+    largest-remainder attribution must reproduce the modeled total)."""
+
+
 class RejectedError(ReproError):
     """The service frontend refused a request for capacity reasons.
 

@@ -57,6 +57,8 @@ Quick start::
 ``python -m repro.obs --self-check`` exercises the whole subsystem.
 """
 
+from .budget import STAGES as BUDGET_STAGES
+from .budget import Budget, BudgetLedger
 from .core import (Counter, Histogram, Registry, count, disable, enable,
                    enabled, gauge, get_registry, observe, scoped,
                    set_registry, tick, tock)
@@ -64,9 +66,12 @@ from .events import EventLog, FileSink, event
 from .explain import ExplainReport, explain
 from .export import (DeltaExporter, Exporter, JsonExporter,
                      PrometheusExporter, snapshot_delta)
+from .flight import FlightRecorder, get_flight, install_flight
+from .procagg import child_begin, child_capture, merge_child
 from .profile import (ClassProfile, KernelProfile, PlanProfile,
                       ProfileReport, model_drift, profile_plan,
                       profile_report)
+from .slo import SLOMonitor, SLOSpec, default_specs
 from .spans import (SpanRecord, attach, carrier, chrome_trace,
                     current_context, span, validate_chrome_trace,
                     write_chrome_trace)
@@ -81,6 +86,10 @@ __all__ = [
     "EventLog", "FileSink", "event",
     "Exporter", "PrometheusExporter", "JsonExporter", "DeltaExporter",
     "snapshot_delta",
+    "Budget", "BudgetLedger", "BUDGET_STAGES",
+    "child_begin", "child_capture", "merge_child",
+    "SLOSpec", "SLOMonitor", "default_specs",
+    "FlightRecorder", "get_flight", "install_flight",
     "ExplainReport", "explain",
     "ClassProfile", "KernelProfile", "PlanProfile", "ProfileReport",
     "profile_plan", "profile_report", "model_drift",

@@ -12,7 +12,9 @@ Usage::
         [--trace-out out.trace.json] [--drift]
     python -m repro.obs watch BENCH_backends.json [--threshold 0.10] \\
         [--wall-threshold 0.5] [--ratio-floor 0.90] \\
-        [--mega-floor 1.2] [--drift-threshold 0.5]
+        [--mega-floor 1.2] [--drift-threshold 0.5] [--slo slo.json]
+    python -m repro.obs flight [--url http://127.0.0.1:9110/flight] \\
+        [--last] [-o dump.json]
     python -m repro.obs serve [--port 9109] [--demo] \\
         [--trajectory BENCH_backends.json] [--for-seconds 30]
 
@@ -214,6 +216,59 @@ def _cmd_self_check(args) -> int:
         problems.append("watchdog flagged a healthy trajectory")
     if check_trajectory(list(regressed)).exit_code != 1:
         problems.append("watchdog missed an injected 20% regression")
+    # budget drill: a fully-stamped request budget conserves exactly —
+    # the stages telescope, so their sum IS the end-to-end wall
+    from .budget import STAGES, Budget
+    b = Budget()
+    for stage in STAGES:
+        b.stamp(stage)
+    if not b.closed:
+        problems.append("stamping every stage did not close the budget")
+    try:
+        b.check()
+    except Exception as e:   # noqa: BLE001 - any violation is the bug
+        problems.append(f"budget conservation violated: {e}")
+    # SLO drill: injected deadline-miss traffic must flip the verdict
+    # from ok to page across two synthetic snapshots
+    from .slo import SLOMonitor, SLOSpec
+    spec = SLOSpec(name="drill-miss", tenant="drill", kind="deadline_miss",
+                   objective=0.01, fast_window_s=5.0, slow_window_s=10.0)
+    mon = SLOMonitor(specs=[spec])
+    snap_of = lambda done, missed: {"counters": {
+        "serve.tenant.drill.completed": done,
+        "serve.tenant.drill.deadline_missed": missed}}
+    mon._samples.append((0.0, snap_of(0, 0)))
+    mon._samples.append((20.0, snap_of(100, 0)))
+    healthy_verdict = mon.evaluate(now=20.0)[0]["verdict"]
+    mon._samples.append((40.0, snap_of(200, 50)))
+    burning_verdict = mon.evaluate(now=40.0)[0]["verdict"]
+    if healthy_verdict != "ok":
+        problems.append(f"SLO verdict on healthy traffic was "
+                        f"{healthy_verdict!r}, not 'ok'")
+    if burning_verdict != "page":
+        problems.append(f"SLO verdict under 50% injected deadline misses "
+                        f"was {burning_verdict!r}, not 'page'")
+    # flight drill: the recorder's rings capture the demo workload's
+    # spans and events, and a reject storm produces exactly one dump
+    from .events import event as emit_event
+    from .flight import FlightRecorder
+    with scoped():
+        rec = FlightRecorder(storm_window_s=10.0,
+                             storm_threshold=5).attach()
+        _demo_workload()
+        emit_event("selfcheck.flight", level="info", drill=True)
+        dump = rec.dump("self_check")
+        if not dump["spans"]:
+            problems.append("flight recorder captured no spans")
+        if not dump["events"]:
+            problems.append("flight recorder captured no events")
+        for i in range(10):
+            rec.note_reject("drill", now=100.0 + 0.1 * i)
+        if rec.last_dump["trigger"] != "reject_storm":
+            problems.append("reject storm did not trigger a flight dump")
+        if rec.dumps != 2:
+            problems.append(f"storm cooldown failed: {rec.dumps} dumps "
+                            f"recorded, expected 2 (manual + one storm)")
     # serve drill: admission limits reject deterministically (typed, not
     # InvalidProblemError), coalesced results are bit-identical to
     # serial execution, and the serve.* counters move
@@ -280,6 +335,15 @@ def _cmd_self_check(args) -> int:
         if not any(e["name"] == "serve.reject"
                    for e in reg.events.tail(1000, prefix="serve.")):
             problems.append("rejection emitted no serve.reject event")
+        # every completed request left a closed, conserving budget
+        bstats = svc2.stats()["budget"]["by_tenant"]
+        if bstats["recorded"] < len(reqs):
+            problems.append(
+                f"budget ledger recorded {bstats['recorded']} of "
+                f"{len(reqs)} completed requests")
+        if bstats["violations"] != 0:
+            problems.append(f"{bstats['violations']} budget conservation "
+                            f"violations in the serve drill")
     if problems:
         print("obs self-check FAILED:")
         for p in problems:
@@ -287,7 +351,8 @@ def _cmd_self_check(args) -> int:
         return 1
     print("obs self-check OK: counters, spans, trace schema, exporters, "
           "trace propagation, explain reports, profiler conservation, "
-          "the watchdog, and the serve drill all healthy")
+          "the watchdog, latency budgets, SLO burn rates, the flight "
+          "recorder, and the serve drill all healthy")
     return 0
 
 
@@ -381,9 +446,41 @@ def _cmd_watch(args) -> int:
                    wall_threshold=args.wall_threshold,
                    ratio_floor=args.ratio_floor,
                    mega_floor=args.mega_floor,
-                   drift_threshold=args.drift_threshold)
+                   drift_threshold=args.drift_threshold,
+                   slo_path=args.slo_path)
     print(result.render())
     return result.exit_code
+
+
+def _cmd_flight(args) -> int:
+    """Fetch (or locally produce) one flight-recorder post-mortem."""
+    if args.url:
+        from urllib.request import urlopen
+        url = args.url + ("?last=1" if args.last else "")
+        try:
+            with urlopen(url, timeout=10.0) as resp:
+                dump = json.load(resp)
+        except Exception as e:   # noqa: BLE001 - any fetch failure = exit 1
+            print(f"error: could not fetch {url}: {e}")
+            return 1
+    else:
+        # no live service: run the demo workload with a recorder
+        # attached so the dump shows a real span/event sequence
+        from .flight import FlightRecorder
+        with scoped():
+            rec = FlightRecorder().attach()
+            _demo_workload()
+            dump = rec.dump("cli_demo")
+    body = json.dumps(dump, sort_keys=True, indent=2) + "\n"
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(body)
+        print(f"flight dump ({dump.get('trigger', '?')}, "
+              f"{len(dump.get('spans', []))} spans, "
+              f"{len(dump.get('events', []))} events) written to {args.out}")
+    else:
+        print(body, end="")
+    return 0
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -498,6 +595,25 @@ def main(argv: "list[str] | None" = None) -> int:
                          help="flag series whose wall/model ratio grew "
                          "past 1+T vs baseline (advisory: feeds online "
                          "re-tuning, never the exit code)")
+    p_watch.add_argument("--slo", dest="slo_path", metavar="PATH",
+                         default=None,
+                         help="fold a saved /slo dump's warn/page "
+                         "burn-rate verdicts into the report (advisory: "
+                         "never the exit code)")
+
+    p_flight = sub.add_parser("flight", help="flight-recorder post-"
+                              "mortem: dump the recent-history rings of "
+                              "a live service (--url) or of a local "
+                              "demo run")
+    p_flight.add_argument("--url", metavar="URL", default=None,
+                          help="scrape a running service's /flight "
+                          "endpoint (e.g. http://127.0.0.1:9110/flight)")
+    p_flight.add_argument("--last", action="store_true",
+                          help="with --url: fetch the most recent "
+                          "*triggered* dump instead of a fresh one")
+    p_flight.add_argument("-o", "--out", metavar="PATH", default=None,
+                          help="write the dump JSON here instead of "
+                          "stdout")
 
     args = parser.parse_args(argv)
     if args.command == "snapshot":
@@ -510,6 +626,8 @@ def main(argv: "list[str] | None" = None) -> int:
         return _cmd_profile(args)
     if args.command == "watch":
         return _cmd_watch(args)
+    if args.command == "flight":
+        return _cmd_flight(args)
     if args.command == "serve":
         from .serve import serve
         return serve(args.host, args.port, demo=args.demo,

@@ -118,6 +118,30 @@ class Histogram:
             if idx < len(self._bucket_counts):
                 self._bucket_counts[idx] += 1
 
+    def merge(self, shipped: dict) -> None:
+        """Fold a shipped histogram capture (the cross-process merge
+        payload built by :func:`repro.obs.procagg.child_capture`:
+        count/total/min/max, raw per-bucket counts, recent sample) into
+        this histogram.  Exact for count/total/min/max and buckets; the
+        percentile sample becomes a blend of both processes' recent
+        observations, which is all the bounded sample ever promised.
+        """
+        n = int(shipped.get("count", 0))
+        if n <= 0:
+            return
+        with self._lock:
+            self.count += n
+            self.total += float(shipped.get("total", 0.0))
+            lo, hi = shipped.get("min"), shipped.get("max")
+            if lo is not None and lo < self.min:
+                self.min = lo
+            if hi is not None and hi > self.max:
+                self.max = hi
+            for i, c in enumerate(shipped.get("bucket_counts", ())):
+                if i < len(self._bucket_counts):
+                    self._bucket_counts[i] += c
+            self._sample.extend(shipped.get("sample", ()))
+
     def buckets(self) -> "list[tuple[float, int]]":
         """Cumulative ``(le, count)`` pairs, le-sorted, excluding the
         implicit +Inf bucket (whose cumulative count is ``count``)."""
@@ -165,6 +189,7 @@ class Registry:
         self._counters: dict[str, Counter] = {}
         self._histograms: dict[str, Histogram] = {}
         self._events = None          # EventLog, created on first use
+        self._flight = None          # FlightRecorder, via attach()
         self.spans: list = []
         self.dropped_spans = 0
 
@@ -185,6 +210,13 @@ class Registry:
         return h
 
     def record_span(self, record) -> None:
+        # the flight recorder's ring is bounded while self.spans is
+        # capped: the ring keeps the most RECENT spans even after the
+        # registry stops accepting new ones (exactly the post-mortem's
+        # question), so it is fed before the cap check
+        flight = self._flight
+        if flight is not None:
+            flight.note_span(record)
         with self._lock:
             if len(self.spans) >= self.MAX_SPANS:
                 self.dropped_spans += 1

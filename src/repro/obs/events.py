@@ -107,6 +107,7 @@ class EventLog:
         self._ring: deque = deque(maxlen=ring)
         self._lock = threading.Lock()
         self._sink: "FileSink | None" = None
+        self._flight = None          # FlightRecorder, via attach()
         self.logged = 0
         self.dropped = 0
 
@@ -134,7 +135,26 @@ class EventLog:
             self.logged += 1
             if self._sink is not None:
                 self._sink.write(record)
+        flight = self._flight
+        if flight is not None:
+            flight.note_event(record)
         return record
+
+    def absorb(self, record: dict) -> None:
+        """Append an already-built event record verbatim (the
+        cross-process merge re-homing a forked worker's events) —
+        same ring/drop/sink accounting as :meth:`emit`, no
+        re-stamping."""
+        with self._lock:
+            if len(self._ring) == self._ring.maxlen:
+                self.dropped += 1
+            self._ring.append(record)
+            self.logged += 1
+            if self._sink is not None:
+                self._sink.write(record)
+        flight = self._flight
+        if flight is not None:
+            flight.note_event(record)
 
     def tail(self, n: int = 100, level: "str | None" = None,
              prefix: "str | None" = None) -> "list[dict]":

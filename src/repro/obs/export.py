@@ -157,7 +157,13 @@ def snapshot_delta(before: dict, after: dict,
     ``delta`` (levels legitimately fall) and no rate.  Histograms diff
     ``count`` and ``total``.  Names present only in ``after`` diff
     against zero; names only in ``before`` are dropped (reset).
+
+    A zero or negative ``seconds`` (two scrapes inside one clock tick,
+    or a stepped clock) suppresses rates entirely rather than dividing
+    through to infinity or negative traffic.
     """
+    if seconds is not None and seconds <= 0.0:
+        seconds = None
     gauges = set(after.get("gauge_names", ()))
     out: dict = {"seconds": seconds, "counters": {}, "gauges": {},
                  "histograms": {}}

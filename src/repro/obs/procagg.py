@@ -1,0 +1,172 @@
+"""Cross-process telemetry merge: re-home a forked worker's telemetry.
+
+``ParallelBackend(mode="process")`` forks shard workers; each child
+inherits the parent's registry, span context, *and* span-id counter at
+fork time, then records its ``backend.*``/``obs.*`` telemetry into a
+copy-on-write registry the parent never sees — so before this module,
+process mode silently dropped every child-side counter, histogram,
+span, and event.  The fix is a three-step protocol over the backend's
+existing error-queue channel:
+
+1. **child_begin** (in the forked child, before any work): swap in a
+   fresh :class:`~repro.obs.core.Registry` so the capture ships only
+   what the child itself recorded — the inherited pre-fork contents
+   would otherwise double-count into the parent on merge.
+2. **child_capture** (in the child, after the shard ran): freeze the
+   child registry into one flat, picklable payload — counter values,
+   raw histogram internals (count/total/min/max, per-bucket counts,
+   recent sample), finished spans as dicts, event records.
+3. **merge_child** (in the parent, after join): fold counters as
+   deltas (gauges as last-write levels), merge histograms exactly,
+   absorb events, and **re-home the spans**: every child span id gets
+   a ``p<pid>.`` prefix (the forked child inherited the parent's
+   ``itertools.count`` id source, so raw child ids collide with span
+   ids the parent minted after the fork), intra-payload parent links
+   are rewritten to match, and each shard-tree root is re-parented
+   under the carrier span that launched the fork (``shard_root=True``
+   in its args marks the seam for the trace validator).
+
+Timestamps need no adjustment: spans are stamped with
+``time.perf_counter``, which on Linux is CLOCK_MONOTONIC — one
+system-wide clock, so parent and child microseconds are directly
+comparable and the merged Chrome trace lines up across pid tracks.
+"""
+
+from __future__ import annotations
+
+import os
+
+from . import core
+from .spans import SpanRecord
+
+__all__ = ["child_begin", "child_capture", "merge_child"]
+
+
+def child_begin() -> "core.Registry":
+    """Install a fresh process-wide registry in a forked child.
+
+    Call before the shard does any work.  Everything the child records
+    afterwards is purely its own; the inherited copy-on-write registry
+    (with all the parent's pre-fork telemetry) is dropped.  Returns
+    the new registry.
+    """
+    reg = core.Registry()
+    core.set_registry(reg)
+    return reg
+
+
+def child_capture(shard: "int | None" = None,
+                  registry: "core.Registry | None" = None) -> dict:
+    """Freeze a child registry into one flat picklable payload.
+
+    Ships everything :func:`merge_child` needs: counter values with
+    their counter/gauge kinds, exact histogram internals, finished
+    spans as plain dicts, and the event ring.  Safe to call from the
+    ``finally`` of a failed shard — a crashed worker's telemetry is
+    exactly what the post-mortem wants.
+    """
+    reg = registry if registry is not None else core.get_registry()
+    with reg._lock:
+        counters = sorted(reg._counters.items())
+        histograms = sorted(reg._histograms.items())
+        spans = list(reg.spans)
+        dropped_spans = reg.dropped_spans
+        events = reg._events
+    hist_out = {}
+    for name, h in histograms:
+        with h._lock:
+            hist_out[name] = {
+                "count": h.count,
+                "total": h.total,
+                "min": h.min if h.count else None,
+                "max": h.max if h.count else None,
+                "bucket_counts": list(h._bucket_counts),
+                "sample": list(h._sample),
+            }
+    return {
+        "pid": os.getpid(),
+        "shard": shard,
+        "counters": {name: c.value for name, c in counters},
+        "gauge_names": [name for name, c in counters
+                        if c.kind == "gauge"],
+        "histograms": hist_out,
+        "spans": [{
+            "name": s.name, "start_us": s.start_us, "dur_us": s.dur_us,
+            "tid": s.tid, "depth": s.depth, "args": dict(s.args),
+            "trace_id": s.trace_id, "span_id": s.span_id,
+            "parent_id": s.parent_id,
+        } for s in spans],
+        "dropped_spans": dropped_spans,
+        "events": (events.tail(len(events)) if events is not None
+                   else []),
+    }
+
+
+def merge_child(payload: dict,
+                registry: "core.Registry | None" = None,
+                carrier: "tuple | None" = None) -> None:
+    """Fold one child payload into ``registry`` (the current one by
+    default).
+
+    ``carrier`` is the parent-side trace context captured just before
+    the fork (``obs.carrier()``): shard-tree roots are re-parented
+    under its span and every re-homed span joins its trace, so one
+    process-mode ``run_plan`` reads as one tree in the viewer.
+    Without a carrier, roots stay roots and child trace ids are
+    pid-prefixed so they cannot collide with traces the parent minted
+    after the fork.
+    """
+    reg = registry if registry is not None else core.get_registry()
+    pid = int(payload["pid"])
+    prefix = f"p{pid}."
+    gauges = set(payload.get("gauge_names", ()))
+    for name, value in payload.get("counters", {}).items():
+        if name in gauges:
+            reg.counter(name).set(value)
+        else:
+            reg.counter(name).inc(value)
+    for name, shipped in payload.get("histograms", {}).items():
+        reg.histogram(name).merge(shipped)
+    car_trace = carrier[0] if carrier is not None else None
+    car_span = carrier[1] if carrier is not None else None
+    shipped_ids = {s["span_id"] for s in payload.get("spans", ())
+                   if s["span_id"]}
+    for s in payload.get("spans", ()):
+        args = dict(s["args"])
+        parent = s["parent_id"]
+        if parent in shipped_ids:
+            parent = prefix + parent
+        else:
+            # a root of the shard's tree: its recorded parent (if any)
+            # was the context inherited through fork — re-parent it
+            # under the carrier span and mark the process seam
+            args["shard_root"] = True
+            parent = car_span
+        trace = s["trace_id"]
+        if car_trace is not None:
+            trace = car_trace
+        elif trace:
+            trace = prefix + trace
+        reg.record_span(SpanRecord(
+            name=s["name"], start_us=s["start_us"], dur_us=s["dur_us"],
+            tid=s["tid"], depth=s["depth"], args=args, trace_id=trace,
+            span_id=(prefix + s["span_id"]) if s["span_id"] else "",
+            parent_id=parent, pid=pid))
+    events = payload.get("events", ())
+    if events:
+        log = reg.events
+        for record in events:
+            rec = dict(record)
+            if rec.get("trace_id"):
+                if car_trace is not None:
+                    rec["trace_id"] = car_trace
+                else:
+                    rec["trace_id"] = prefix + rec["trace_id"]
+            if rec.get("span_id"):
+                rec["span_id"] = prefix + rec["span_id"]
+            log.absorb(rec)
+    dropped = int(payload.get("dropped_spans", 0))
+    if dropped:
+        with reg._lock:
+            reg.dropped_spans += dropped
+    reg.counter("obs.procagg.merged").inc()

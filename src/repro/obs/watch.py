@@ -28,7 +28,11 @@ Three checks, composable per invocation:
   host's wall clock pulled away from the cycle model's prediction over
   time?  Drift verdicts are *advisory* (never the exit code): they feed
   :meth:`repro.runtime.iatf.IATF.retune_from_watch`, which re-sweeps
-  the offending shapes and swaps fresh records into the TuningDB.
+  the offending shapes and swaps fresh records into the TuningDB;
+* **SLO fold-in** (opt-in, ``--slo PATH``) — a saved ``/slo`` dump's
+  warn/page burn-rate verdicts are rendered alongside the perf checks.
+  Advisory like drift: a burning SLO marks load or capacity, not a
+  code change the trajectory diff could bisect.
 
 Exit codes: 0 all series healthy, 1 regression detected, 2 schema
 problems (unreadable file, malformed points, or nothing checkable).
@@ -47,7 +51,7 @@ from dataclasses import dataclass, field
 from .events import event
 
 __all__ = ["SCHEMA_VERSION", "WatchResult", "load_trajectory",
-           "point_key", "check_trajectory", "watch"]
+           "load_slo_dump", "point_key", "check_trajectory", "watch"]
 
 SCHEMA_VERSION = 2
 """Uniform bench-point schema version.  v2 is the first uniform one
@@ -90,6 +94,13 @@ class WatchResult:
     Advisory: drift marks a *machine* that changed, not a code
     regression, so it never affects the exit code — the remedy is
     online re-tuning, not failing CI."""
+    slo_alerts: "list[dict]" = field(default_factory=list)
+    """Serving-SLO verdicts folded in from an ``/slo`` dump (opt-in,
+    ``--slo PATH``): every objective whose multi-window burn rate
+    reached ``warn`` or ``page``.  Advisory like drift — a burning SLO
+    marks *load* or *capacity*, not a code regression the trajectory
+    diff could bisect, so it colors the report but never the exit
+    code."""
 
     @property
     def ok(self) -> bool:
@@ -122,6 +133,14 @@ class WatchResult:
                     d["machine_id"], d["routine"], d["backend"], d["dtype"],
                     "x".join(map(str, d["shape"])), d["batch"],
                     d["ratio"], 100.0 * d["threshold"]))
+        for a in self.slo_alerts:
+            burns = tuple("n/a" if a.get(k) is None else f"{a[k]:.2f}"
+                          for k in ("fast_burn", "slow_burn"))
+            lines.append(
+                "  SLO {}: {} (tenant {}, {}): fast burn {} / slow burn "
+                "{} vs warn {} page {} — advisory".format(
+                    a["verdict"].upper(), a["name"], a["tenant"], a["kind"],
+                    burns[0], burns[1], a["warn_burn"], a["page_burn"]))
         if self.ok:
             lines.append("  all series healthy")
         return "\n".join(lines)
@@ -179,6 +198,38 @@ def load_trajectory(path: str, result: WatchResult) -> "list[dict]":
             continue
         points.append(p)
     return points
+
+
+def load_slo_dump(path: str, result: WatchResult) -> None:
+    """Fold one saved ``/slo`` dump (the JSON the CI smoke scrapes)
+    into ``result.slo_alerts``: every objective whose verdict is
+    ``warn`` or ``page`` becomes one advisory alert.  Unreadable or
+    malformed dumps are *notes*, not problems — the serving plane being
+    down must not turn the perf watchdog's exit code."""
+    try:
+        with open(path) as f:
+            dump = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        result.notes.append(f"slo dump {path}: unreadable ({e})")
+        return
+    slos = dump.get("slos") if isinstance(dump, dict) else None
+    if not isinstance(slos, list):
+        result.notes.append(f"slo dump {path}: no 'slos' list")
+        return
+    for v in slos:
+        if not isinstance(v, dict) or v.get("verdict") not in ("warn",
+                                                               "page"):
+            continue
+        fast, slow = v.get("fast") or {}, v.get("slow") or {}
+        alert = {
+            "name": v.get("name", "?"), "tenant": v.get("tenant", "?"),
+            "kind": v.get("kind", "?"), "verdict": v["verdict"],
+            "fast_burn": fast.get("burn"), "slow_burn": slow.get("burn"),
+            "warn_burn": v.get("warn_burn"), "page_burn": v.get("page_burn"),
+        }
+        result.slo_alerts.append(alert)
+        event("watch.slo_alert", level="warn",
+              **{("slo" if k == "name" else k): v for k, v in alert.items()})
 
 
 def check_trajectory(points: "list[dict]", result: "WatchResult | None" = None,
@@ -346,7 +397,8 @@ def watch(paths: "list[str]", *, gflops_threshold: float = 0.10,
           wall_threshold: "float | None" = None,
           ratio_floor: "float | None" = None,
           mega_floor: "float | None" = None,
-          drift_threshold: "float | None" = None) -> WatchResult:
+          drift_threshold: "float | None" = None,
+          slo_path: "str | None" = None) -> WatchResult:
     """Load trajectory files and run every requested check."""
     result = WatchResult()
     points: "list[dict]" = []
@@ -358,4 +410,6 @@ def watch(paths: "list[str]", *, gflops_threshold: float = 0.10,
     check_trajectory(points, result, gflops_threshold=gflops_threshold,
                      wall_threshold=wall_threshold, ratio_floor=ratio_floor,
                      mega_floor=mega_floor, drift_threshold=drift_threshold)
+    if slo_path is not None:
+        load_slo_dump(slo_path, result)
     return result

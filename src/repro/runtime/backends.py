@@ -579,8 +579,18 @@ class ParallelBackend:
         passes buy a pool the GIL cannot serialize — worth it only for
         inner work that holds the GIL, which is why ``mode="process"``
         is opt-in rather than the wrapper default.
+
+        When instrumentation is on, each child records into a fresh
+        registry and ships it back over the same queue as errors (see
+        :mod:`repro.obs.procagg`); the parent merges every shard's
+        counters, histograms, spans, and events after the join, so a
+        process-mode run is exactly as observable as a thread-mode one.
         """
         obs.count("backend.parallel.process.runs")
+        telemetry = obs.enabled()
+        # captured before the fork: the merge re-parents each shard's
+        # span tree under the span that is open right here
+        car = obs.carrier() if telemetry else None
         shms: "list[shared_memory.SharedMemory]" = []
         shared: "dict[str, np.ndarray]" = {}
         ctx = multiprocessing.get_context("fork")
@@ -602,15 +612,36 @@ class ParallelBackend:
                                 daemon=True)
                 p.start()
                 procs.append(p)
+            failures: "list[tuple[str, str]]" = []
+            payloads: "list[dict]" = []
+
+            def drain() -> None:
+                while not errq.empty():
+                    msg = errq.get()
+                    if msg[0] == "telemetry":
+                        payloads.append(msg[1])
+                    else:
+                        failures.append((msg[1], msg[2]))
+
+            # drain while joining: a child blocked writing a large
+            # telemetry payload into the queue's pipe cannot exit, and
+            # a parent blocked in join() would never read — the classic
+            # SimpleQueue deadlock
             for p in procs:
+                while p.is_alive():
+                    p.join(timeout=0.05)
+                    drain()
                 p.join()
-            failures = []
-            while not errq.empty():
-                failures.append(errq.get())
+            drain()
             for p, (start, stop) in zip(procs, ranges):
                 if p.exitcode != 0 and not failures:
                     failures.append((f"groups [{start}, {stop})",
                                      f"exit code {p.exitcode}"))
+            if telemetry and payloads:
+                from ..obs import procagg
+                for payload in sorted(
+                        payloads, key=lambda d: d.get("shard") or 0):
+                    procagg.merge_child(payload, carrier=car)
             if failures:
                 detail = "; ".join(f"shard {who}: {why}"
                                    for who, why in failures)
@@ -631,6 +662,12 @@ class ParallelBackend:
                        shared: "dict[str, np.ndarray]",
                        compiled: "CompiledPlan | None", errq) -> None:
         """Body of one forked worker (child process only)."""
+        telemetry = obs.enabled()
+        if telemetry:
+            # fresh registry: ship only what THIS child records (the
+            # inherited pre-fork contents would double-count on merge)
+            from ..obs import procagg
+            procagg.child_begin()
         try:
             smem = MemorySpace()
             for name, stride_bytes in strides.items():
@@ -640,10 +677,18 @@ class ParallelBackend:
             count = stop - start
             scompiled = (compiled.for_groups(count)
                          if compiled is not None else None)
-            self.inner.run(plan, smem, strides, count, scompiled)
+            with obs.span("backend.parallel.shard", shard=idx,
+                          start=start, groups=count,
+                          inner=self.inner.name):
+                self.inner.run(plan, smem, strides, count, scompiled)
         except BaseException as exc:
-            errq.put((str(idx), f"{type(exc).__name__}: {exc}"))
+            errq.put(("error", str(idx), f"{type(exc).__name__}: {exc}"))
             raise
+        finally:
+            # ships even for a failed shard — a crashed worker's
+            # telemetry is exactly what the post-mortem wants
+            if telemetry:
+                errq.put(("telemetry", procagg.child_capture(shard=idx)))
 
 
 BACKENDS: "dict[str, type]" = {

@@ -554,6 +554,31 @@ class IATF:
         """Plan-cache size/hit/miss/eviction totals (always tracked)."""
         return self._plan_cache.stats()
 
+    # -- planning split out from execution (the serve scheduler uses
+    # this to budget "plan" and "execute" as separate request stages) --
+
+    def prepare_gemm(self, problem: GemmProblem
+                     ) -> "tuple[ExecutionPlan, CompiledPlan | None, bool]":
+        """Plan + lower for ``problem`` without executing.
+
+        Returns ``(plan, compiled, cache_hit)``: everything
+        :meth:`gemm_compact` would resolve before touching operand
+        data, plus whether the plan came from the cache.  Execute with
+        ``engine.execute_gemm(plan, a, b, c, compiled=compiled)``.
+        """
+        hits0 = self._plan_cache.hits
+        plan, key = self._plan_gemm_keyed(problem, False, False)
+        compiled = self._compiled_for(key, plan)
+        return plan, compiled, self._plan_cache.hits > hits0
+
+    def prepare_trsm(self, problem: TrsmProblem
+                     ) -> "tuple[ExecutionPlan, CompiledPlan | None, bool]":
+        """TRSM twin of :meth:`prepare_gemm`."""
+        hits0 = self._plan_cache.hits
+        plan, key = self._plan_trsm_keyed(problem, False)
+        compiled = self._compiled_for(key, plan)
+        return plan, compiled, self._plan_cache.hits > hits0
+
     # -- execution (compact-layout API) -----------------------------------
 
     def gemm_compact(self, problem: GemmProblem, a: CompactBatch,

@@ -95,14 +95,24 @@ def main(argv: "list[str] | None" = None) -> int:
 
     if args.demo:
         obs.enable()
+    slos = None
+    if args.demo:
+        # objectives for the demo traffic generator's tenants, so /slo
+        # has verdicts to show out of the box
+        from ..obs.slo import default_specs
+        slos = [spec for tenant in ("alice", "bob", "carol")
+                for spec in default_specs(tenant)]
     service = BlasService(_machine(args.machine), backend=args.backend,
                           tuning_db=args.tuning_db,
                           max_batch=args.max_batch,
                           max_wait_ms=args.max_wait_ms,
                           max_in_flight=args.max_inflight,
-                          max_queue_depth=args.max_queue)
+                          max_queue_depth=args.max_queue,
+                          slos=slos)
     server = make_server(args.host, args.port)
     server.add_route("/serve/stats", service.stats_route)
+    server.add_route("/slo", service.slo_route)
+    server.add_route("/flight", service.flight_route)
 
     service.start()
     stop = threading.Event()

@@ -39,6 +39,7 @@ class PendingRequest:
     carrier: object = None          # obs.carrier() snapshot
     t_submit: float = 0.0           # monotonic seconds at submit
     deadline_at: "float | None" = None   # monotonic seconds, or None
+    budget: object = None           # obs.budget.Budget, stamped per stage
 
 
 @dataclass

@@ -143,19 +143,42 @@ class Scheduler:
         carrier = entries[0].carrier
         ctx = obs.attach(carrier) if carrier is not None else nullcontext()
         t0 = time.perf_counter()
+        # every entry's budget shares the flush's absolute timestamps
+        # for the batch stages — each request keeps its own admit /
+        # coalesce_wait marks, so per-request conservation still holds
+        for entry in entries:
+            if entry.budget is not None:
+                entry.budget.stamp("coalesce_wait", t0)
+        marks: dict = {}
         error: "Exception | None" = None
         try:
             with ctx, obs.span("serve.flush", routine=bucket.routine,
                                dtype=key.dtype.value, requests=n,
                                mode=key.mode):
-                outs = self._run_bucket(bucket)
+                outs = self._run_bucket(bucket, marks)
         except Exception as exc:   # noqa: BLE001 - scattered to futures
             error = exc
+            t_err = time.perf_counter()
             for entry in entries:
                 entry.future.set_exception(exc)
+                if entry.budget is not None:
+                    entry.budget.annotate(error=type(exc).__name__)
+                    entry.budget.abort(t_err)
         else:
             for entry, out in zip(entries, outs):
                 entry.future.set_result(out)
+            t_scatter = time.perf_counter()
+            plan_cache = marks.get("plan_cache")
+            for entry in entries:
+                budget = entry.budget
+                if budget is None:
+                    continue
+                budget.stamp("stack", marks.get("stack"))
+                budget.stamp("plan", marks.get("plan"))
+                budget.stamp("execute", marks.get("execute"))
+                budget.stamp("scatter", t_scatter)
+                if plan_cache is not None:
+                    budget.annotate(plan_cache=plan_cache)
         wall = time.perf_counter() - t0
         done_at = time.perf_counter()
         obs.count("serve.flush")
@@ -171,9 +194,12 @@ class Scheduler:
         if self._on_flush is not None:
             self._on_flush(bucket, wall, error)
 
-    def _run_bucket(self, bucket: Bucket) -> np.ndarray:
+    def _run_bucket(self, bucket: Bucket,
+                    marks: "dict | None" = None) -> np.ndarray:
         from ..api.compact_blas import compact_from_batch
 
+        if marks is None:
+            marks = {}
         iatf = self._iatf
         entries = bucket.entries
         machine, dt = iatf.machine, bucket.key.dtype
@@ -195,6 +221,10 @@ class Scheduler:
                 arr = np.concatenate([arr, pad])
             return arr
 
+        # planning is split from execution (prepare_* then the engine
+        # directly — exactly what {gemm,trsm}_compact do internally) so
+        # the budget can attribute "plan" (cache hit vs compile) and
+        # "execute" as separate stages
         if bucket.routine == "gemm":
             ca = compact_from_batch(stacked(lambda e: e.request.a),
                                     machine, dt)
@@ -202,9 +232,19 @@ class Scheduler:
                                     machine, dt)
             cc = compact_from_batch(stacked(lambda e: e.request.c),
                                     machine, dt)
-            iatf.gemm_compact(problem, ca, cb, cc)
+            marks["stack"] = time.perf_counter()
+            plan, compiled, hit = iatf.prepare_gemm(problem)
+            marks["plan"] = time.perf_counter()
+            marks["plan_cache"] = "hit" if hit else "compile"
+            iatf.engine.execute_gemm(plan, ca, cb, cc, compiled=compiled)
+            marks["execute"] = time.perf_counter()
             return cc.to_matrices()[:n]
         ca = compact_from_batch(stacked(lambda e: e.request.a), machine, dt)
         cb = compact_from_batch(stacked(lambda e: e.request.b), machine, dt)
-        iatf.trsm_compact(problem, ca, cb)
+        marks["stack"] = time.perf_counter()
+        plan, compiled, hit = iatf.prepare_trsm(problem)
+        marks["plan"] = time.perf_counter()
+        marks["plan_cache"] = "hit" if hit else "compile"
+        iatf.engine.execute_trsm(plan, ca, cb, compiled=compiled)
+        marks["execute"] = time.perf_counter()
         return cb.to_matrices()[:n]

@@ -30,6 +30,9 @@ from concurrent.futures import Future
 
 from .. import obs
 from ..errors import RejectedError
+from ..obs.budget import STAGES, Budget, BudgetLedger
+from ..obs.flight import FlightRecorder
+from ..obs.slo import SLOMonitor
 from ..machine.machines import KUNPENG_920, MachineConfig
 from ..runtime.backends import backend_name
 from ..runtime.iatf import IATF
@@ -48,7 +51,9 @@ class BlasService:
                  backend=None, tuning_db=None, iatf: "IATF | None" = None,
                  max_batch: int = 64, max_wait_ms: float = 2.0,
                  max_in_flight: int = 256,
-                 max_queue_depth: int = 4096) -> None:
+                 max_queue_depth: int = 4096,
+                 slos: "list | None" = None,
+                 flight: "FlightRecorder | None" = None) -> None:
         self.iatf = iatf if iatf is not None else IATF(
             machine, backend=backend, tuning_db=tuning_db)
         self.machine = self.iatf.machine
@@ -69,6 +74,19 @@ class BlasService:
         self._max_occupancy = 0
         self._wait_ms = obs.Histogram("serve.wait_ms")
         self._routines: "dict[str, int]" = {}
+        # request latency budgets, aggregated two ways: per tenant (the
+        # operator view) and per coalescing-key label (the input-aware
+        # view — where do *this shape's* milliseconds go?)
+        self._budget_by_tenant = BudgetLedger()
+        self._budget_by_key = BudgetLedger()
+        # per-tenant objectives evaluated from registry snapshots on
+        # every /slo scrape (obs must be enabled for the per-tenant
+        # telemetry the monitor reads)
+        self.slo = SLOMonitor(specs=slos)
+        # post-mortem rings: attached to the process registry at
+        # start() so spans/events mirror in; the service triggers
+        # dumps on poisoned buckets and reject storms
+        self.flight = flight if flight is not None else FlightRecorder()
 
     # -- lifecycle ------------------------------------------------------
 
@@ -76,6 +94,7 @@ class BlasService:
         with self._lock:
             if self._t_start is None:
                 self._t_start = time.perf_counter()
+        self.flight.attach()
         self.scheduler.start()
         obs.event("serve.start", machine=self.machine.name,
                   backend=backend_name(self.iatf.engine.backend),
@@ -114,34 +133,55 @@ class BlasService:
             raise TypeError(
                 f"submit takes a repro.serve.Request, got "
                 f"{type(request).__name__}")
+        budget = Budget()
         if not self.scheduler.running:
+            self._note_reject(request.tenant)
             raise RejectedError("service not running", request.tenant)
         with obs.span("serve.request", routine=request.routine,
                       dtype=request.problem.dtype.value,
                       tenant=request.tenant):
-            self.admission.admit(request.tenant)
+            try:
+                self.admission.admit(request.tenant)
+            except RejectedError:
+                self._note_reject(request.tenant)
+                raise
             now = time.perf_counter()
             entry = PendingRequest(
                 request=request, future=Future(), carrier=obs.carrier(),
                 t_submit=now,
                 deadline_at=(None if request.deadline_ms is None
-                             else now + request.deadline_ms / 1000.0))
+                             else now + request.deadline_ms / 1000.0),
+                budget=budget)
+            # "admit" (validation + admission) must be stamped *before*
+            # the entry becomes visible to the pump: a bucket the offer
+            # fills can flush on the pump thread before this one
+            # returns, and the pump's "coalesce_wait" stamp must find
+            # "admit" already in place
+            budget.stamp("admit")
             try:
                 self.scheduler.offer(entry)
-            except BaseException:
+            except BaseException as exc:
                 self.admission.release(request.tenant)
+                if isinstance(exc, RejectedError):
+                    self._note_reject(request.tenant)
                 raise
         with self._lock:
             self._submitted += 1
             self._routines[request.routine] = \
                 self._routines.get(request.routine, 0) + 1
         obs.count("serve.submitted")
+        obs.count(f"serve.tenant.{request.tenant}.submitted")
         return entry.future
+
+    def _note_reject(self, tenant: str) -> None:
+        obs.count(f"serve.tenant.{tenant}.rejected")
+        self.flight.note_reject(tenant)
 
     # -- scheduler callbacks --------------------------------------------
 
     def _on_done(self, entry: PendingRequest, missed: bool) -> None:
-        self.admission.release(entry.request.tenant)
+        tenant = entry.request.tenant
+        self.admission.release(tenant)
         wait_ms = (time.perf_counter() - entry.t_submit) * 1000.0
         failed = entry.future.exception() is not None
         with self._lock:
@@ -153,8 +193,17 @@ class BlasService:
                 self._deadline_missed += 1
             self._wait_ms.observe(wait_ms)
         obs.observe("serve.wait_ms", wait_ms)
+        obs.observe(f"serve.tenant.{tenant}.wait_ms", wait_ms)
+        obs.count(f"serve.tenant.{tenant}.completed")
         if missed:
             obs.count("serve.deadline.missed")
+            obs.count(f"serve.tenant.{tenant}.deadline_missed")
+        budget = entry.budget
+        if budget is not None and budget.closed:
+            self._budget_by_tenant.record(tenant, budget)
+            self._budget_by_key.record(entry.request.label, budget)
+            for stage, seconds in budget.stages().items():
+                obs.observe(f"serve.budget.{stage}.ms", seconds * 1e3)
 
     def _on_flush(self, bucket, wall: float, error) -> None:
         with self._lock:
@@ -163,10 +212,21 @@ class BlasService:
             self._max_occupancy = max(self._max_occupancy, len(bucket))
             if error is not None:
                 self._flush_errors += 1
+            flushes, errors = self._flushes, self._flush_errors
+        self.flight.note_pulse({
+            "t": time.time(), "flushes": flushes, "flush_errors": errors,
+            "requests": len(bucket), "wall_ms": wall * 1000.0,
+            "routine": bucket.routine, "error": repr(error) if error
+            else None,
+        })
         if error is not None:
             obs.event("serve.flush.error", level="error",
                       routine=bucket.routine, requests=len(bucket),
                       error=repr(error))
+            # a poisoned bucket failed every request in the batch:
+            # freeze the flight rings while the evidence is fresh
+            self.flight.trigger("flush_error", routine=bucket.routine,
+                                requests=len(bucket), error=repr(error))
 
     # -- operator view --------------------------------------------------
 
@@ -206,6 +266,12 @@ class BlasService:
         stats["backlog"] = self.scheduler.backlog
         stats["admission"] = self.admission.stats()
         stats["plan_cache"] = self.iatf.plan_cache_stats
+        stats["budget"] = {
+            "stages": list(STAGES),
+            "by_tenant": self._budget_by_tenant.summary(),
+            "by_key": self._budget_by_key.summary(),
+        }
+        stats["flight"] = self.flight.stats()
         return stats
 
     def stats_route(self, query) -> "tuple[str, str]":
@@ -213,3 +279,11 @@ class BlasService:
         :meth:`TelemetryServer.add_route` — a pure read."""
         return (json.dumps(self.stats(), sort_keys=True, indent=2) + "\n",
                 "application/json")
+
+    def slo_route(self, query) -> "tuple[str, str]":
+        """``/slo`` handler: sample + evaluate the service's SLOs."""
+        return self.slo.route(query)
+
+    def flight_route(self, query) -> "tuple[str, str]":
+        """``/flight`` handler: an on-demand flight-recorder dump."""
+        return self.flight.route(query)

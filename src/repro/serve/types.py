@@ -93,6 +93,17 @@ class Request:
         p = self.problem
         return p.c_shape if self.routine == "gemm" else p.b_shape
 
+    @property
+    def label(self) -> str:
+        """Short problem-signature string (the input-aware grouping key
+        for budget ledgers and SLO reports): routine, dtype, shape,
+        mode — everything that decides the coalescing bucket except the
+        scalars."""
+        p = self.problem
+        shape = (f"{p.m}x{p.n}x{p.k}" if self.routine == "gemm"
+                 else f"{p.m}x{p.n}")
+        return f"{self.routine}[{p.dtype.value}]{shape}:{p.mode}"
+
     # -- constructors ---------------------------------------------------
 
     @classmethod

@@ -1,0 +1,155 @@
+"""Latency budgets: telescoping conservation, ordering, the ledger.
+
+The load-bearing test is the hypothesis property: for *any* sequence of
+non-negative stage gaps — spanning twelve orders of magnitude, the
+worst case for float summation — the stage sum reproduces the
+end-to-end wall within the relative epsilon, because the marks
+telescope and every intermediate cancels exactly.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BudgetError
+from repro.obs.budget import EPSILON, STAGES, Budget, BudgetLedger
+
+
+def stamped(gaps, t0=100.0):
+    """A budget whose stage i took ``gaps[i]`` seconds."""
+    b = Budget(t0=t0)
+    t = t0
+    for stage, gap in zip(STAGES, gaps):
+        t += gap
+        b.stamp(stage, t)
+    return b
+
+
+class TestConservation:
+    @given(gaps=st.lists(
+        st.floats(min_value=0.0, max_value=1e3, allow_nan=False,
+                  allow_infinity=False),
+        min_size=len(STAGES), max_size=len(STAGES)),
+        t0=st.floats(min_value=0.0, max_value=1e6))
+    @settings(max_examples=200, deadline=None)
+    def test_stage_sum_equals_total_for_any_gaps(self, gaps, t0):
+        b = stamped(gaps, t0=t0)
+        assert b.closed
+        b.check()            # raises on violation
+        assert b.conservation_error() <= EPSILON * max(1.0, b.total)
+
+    @given(gaps=st.lists(
+        st.sampled_from([0.0, 1e-9, 3e-7, 1e-3, 0.5, 250.0]),
+        min_size=len(STAGES), max_size=len(STAGES)))
+    @settings(max_examples=100, deadline=None)
+    def test_mixed_magnitude_gaps_still_conserve(self, gaps):
+        b = stamped(gaps)
+        b.check()
+        # and each stage reads back its own gap (clock never backwards,
+        # so the gap is preserved exactly: same floats subtracted)
+        stages = b.stages()
+        assert math.isclose(sum(stages.values()), b.total,
+                            rel_tol=1e-9, abs_tol=1e-9)
+
+    def test_real_clock_budget_conserves(self):
+        b = Budget()
+        for stage in STAGES:
+            b.stamp(stage)
+        b.check()
+        assert b.total >= 0.0
+
+
+class TestOrderingAndLifecycle:
+    def test_out_of_order_stamp_raises(self):
+        b = Budget()
+        with pytest.raises(BudgetError, match="out of order"):
+            b.stamp("execute")
+
+    def test_repeat_stamp_raises(self):
+        b = Budget()
+        b.stamp("admit")
+        with pytest.raises(BudgetError, match="out of order"):
+            b.stamp("admit")
+
+    def test_unknown_stage_raises(self):
+        with pytest.raises(BudgetError, match="unknown budget stage"):
+            Budget().stamp("teleport")
+
+    def test_backwards_timestamp_is_clamped_never_negative(self):
+        b = Budget(t0=10.0)
+        b.stamp("admit", 11.0)
+        b.stamp("coalesce_wait", 5.0)        # earlier than the last mark
+        stages = b.stages()
+        assert stages["coalesce_wait"] == 0.0
+        assert all(v >= 0.0 for v in stages.values())
+
+    def test_check_on_open_budget_names_missing_stages(self):
+        b = Budget()
+        b.stamp("admit")
+        with pytest.raises(BudgetError, match="never stamped"):
+            b.check()
+
+    def test_abort_closes_with_zero_width_remainder(self):
+        b = Budget(t0=0.0)
+        b.stamp("admit", 1.0)
+        b.annotate(error="ValueError")
+        b.abort(2.0)
+        assert b.closed
+        b.check()
+        stages = b.stages()
+        assert stages["admit"] == 1.0
+        assert stages["coalesce_wait"] == 1.0    # up to the abort instant
+        assert stages["execute"] == 0.0
+        assert b.flags == {"error": "ValueError"}
+
+    def test_to_dict_reports_milliseconds_and_flags(self):
+        b = stamped([0.001] * len(STAGES), t0=0.0)
+        b.annotate(plan_cache="hit")
+        d = b.to_dict()
+        assert set(d) == {"stages_ms", "total_ms", "flags"}
+        assert d["flags"] == {"plan_cache": "hit"}
+        assert d["total_ms"] == pytest.approx(6.0)
+        assert d["stages_ms"]["plan"] == pytest.approx(1.0)
+
+
+class TestLedger:
+    def test_aggregates_per_group(self):
+        led = BudgetLedger()
+        led.record("alice", stamped([0.1] * len(STAGES), t0=0.0))
+        led.record("alice", stamped([0.3] * len(STAGES), t0=0.0))
+        led.record("bob", stamped([0.2] * len(STAGES), t0=0.0))
+        s = led.summary()
+        assert s["recorded"] == 3
+        assert s["violations"] == 0
+        alice = s["groups"]["alice"]
+        assert alice["count"] == 2
+        assert alice["mean_ms"] == pytest.approx(1.2e3)
+        assert alice["max_ms"] == pytest.approx(1.8e3)
+        # stage shares partition the group's wall
+        assert sum(alice["stage_share"].values()) == pytest.approx(1.0)
+
+    def test_open_budget_counts_as_violation_but_still_aggregates(self):
+        led = BudgetLedger()
+        b = Budget(t0=0.0)
+        b.stamp("admit", 1.0)
+        led.record("alice", b)
+        s = led.summary()
+        assert s["violations"] == 1
+        assert s["groups"]["alice"]["count"] == 1
+
+    def test_cardinality_folds_into_overflow_group(self):
+        led = BudgetLedger(max_groups=2)
+        for name in ("a", "b", "c", "d"):
+            led.record(name, stamped([0.0] * len(STAGES)))
+        s = led.summary()
+        assert set(s["groups"]) == {"a", "b", BudgetLedger.OVERFLOW}
+        assert s["groups"][BudgetLedger.OVERFLOW]["count"] == 2
+
+    def test_reset_clears_everything(self):
+        led = BudgetLedger()
+        led.record("a", stamped([0.0] * len(STAGES)))
+        led.reset()
+        s = led.summary()
+        assert s == {"recorded": 0, "violations": 0, "groups": {}}

@@ -280,3 +280,25 @@ class TestServeHTTP:
             for path in ("/metrics", "/snapshot.json", "/healthz"):
                 ep.get(path)
         assert reg.snapshot() == before
+
+
+class TestElapsedGuard:
+    """Zero/negative elapsed must disable rates, not divide by them."""
+
+    def test_zero_elapsed_yields_no_rates(self):
+        reg = _demo_registry()
+        before = reg.snapshot()
+        reg.counter("plan_cache.misses").inc(5)
+        delta = snapshot_delta(before, reg.snapshot(), seconds=0.0)
+        assert delta["seconds"] is None
+        assert delta["counters"]["plan_cache.misses"] == {"delta": 5}
+
+    def test_negative_elapsed_yields_no_rates(self):
+        # a clock step backwards between scrapes must not mint a
+        # negative rate (or an infinite one)
+        reg = _demo_registry()
+        before = reg.snapshot()
+        reg.counter("plan_cache.misses").inc(5)
+        delta = snapshot_delta(before, reg.snapshot(), seconds=-1.0)
+        assert delta["seconds"] is None
+        assert "rate" not in delta["counters"]["plan_cache.misses"]

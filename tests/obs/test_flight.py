@@ -1,0 +1,160 @@
+"""Flight recorder: rings mirror live telemetry, triggers freeze them.
+
+The end-to-end test injects a poisoned bucket into a running
+:class:`BlasService` and asserts the failure froze a post-mortem that
+replays the spans and events leading up to it — the recorder's whole
+reason to exist.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs.flight import FlightRecorder, get_flight, install_flight
+
+
+class TestRings:
+    def test_attach_mirrors_spans_and_events(self):
+        with obs.scoped():
+            rec = FlightRecorder().attach()
+            with obs.span("work.outer"):
+                with obs.span("work.inner"):
+                    pass
+            obs.event("work.done", items=3)
+            snap = rec.snapshot()
+        names = [s["name"] for s in snap["spans"]]
+        assert names == ["work.inner", "work.outer"]   # completion order
+        assert [e["name"] for e in snap["events"]] == ["work.done"]
+
+    def test_rings_keep_the_most_recent_past_capacity(self):
+        with obs.scoped():
+            rec = FlightRecorder(spans=4).attach()
+            for i in range(10):
+                with obs.span("s", i=i):
+                    pass
+            snap = rec.snapshot()
+        assert [s["args"]["i"] for s in snap["spans"]] == [6, 7, 8, 9]
+
+    def test_detach_stops_the_mirror(self):
+        with obs.scoped() as reg:
+            rec = FlightRecorder().attach()
+            FlightRecorder.detach()
+            with obs.span("quiet"):
+                pass
+            obs.event("quiet.event")
+        assert reg.snapshot()["spans"] == 1       # still recorded...
+        assert rec.snapshot()["spans"] == []      # ...but not mirrored
+        assert rec.snapshot()["events"] == []
+
+    def test_disabled_obs_feeds_nothing(self):
+        rec = FlightRecorder()
+        with obs.scoped():
+            rec.attach()
+        assert not obs.enabled()
+        with obs.span("never"):
+            pass
+        obs.event("never.event")
+        snap = rec.snapshot()
+        assert snap["spans"] == [] and snap["events"] == []
+
+
+class TestTriggers:
+    def test_reject_storm_triggers_one_dump_within_cooldown(self):
+        rec = FlightRecorder(storm_window_s=10.0, storm_threshold=5,
+                             cooldown_s=30.0)
+        dumps = [rec.note_reject("hog", now=100.0 + 0.1 * i)
+                 for i in range(20)]
+        produced = [d for d in dumps if d is not None]
+        assert len(produced) == 1
+        assert produced[0]["trigger"] == "reject_storm"
+        assert produced[0]["detail"]["tenant"] == "hog"
+        assert rec.dumps == 1
+        assert rec.suppressed > 0
+
+    def test_rejects_outside_the_window_do_not_storm(self):
+        rec = FlightRecorder(storm_window_s=1.0, storm_threshold=5)
+        for i in range(20):
+            assert rec.note_reject("slow", now=100.0 + 2.0 * i) is None
+        assert rec.dumps == 0
+
+    def test_cooldown_expires_and_a_second_incident_dumps(self):
+        rec = FlightRecorder(cooldown_s=30.0)
+        assert rec.trigger("flush_error", now=100.0) is not None
+        assert rec.trigger("flush_error", now=110.0) is None
+        assert rec.trigger("flush_error", now=140.0) is not None
+        assert rec.dumps == 2 and rec.suppressed == 1
+
+    def test_on_demand_dump_is_never_rate_limited(self):
+        rec = FlightRecorder()
+        assert rec.dump("on_demand")["trigger"] == "on_demand"
+        assert rec.dump("on_demand") is not None
+        assert rec.dumps == 2
+
+    def test_dump_dir_writes_one_json_file_per_dump(self, tmp_path):
+        rec = FlightRecorder(dump_dir=str(tmp_path))
+        rec.note_pulse({"flushes": 1})
+        dump = rec.dump("unit_test", why="testing")
+        with open(dump["path"]) as f:
+            loaded = json.load(f)
+        assert loaded["trigger"] == "unit_test"
+        assert loaded["detail"] == {"why": "testing"}
+        assert loaded["stats_pulses"] == [{"flushes": 1}]
+
+    def test_route_on_demand_vs_last_triggered(self):
+        rec = FlightRecorder()
+        rec.trigger("reject_storm", now=100.0)
+        body, ctype = rec.route({"last": "1"})
+        assert ctype == "application/json"
+        assert json.loads(body)["trigger"] == "reject_storm"
+        body, _ = rec.route({})
+        assert json.loads(body)["trigger"] == "on_demand"
+
+
+class TestInstallGlobal:
+    def test_install_flight_is_idempotent(self):
+        with obs.scoped():
+            first = install_flight()
+            again = install_flight()
+            assert first is again is get_flight()
+            mine = FlightRecorder()
+            assert install_flight(mine) is mine
+            assert get_flight() is mine
+
+
+class TestServiceIntegration:
+    def test_poisoned_bucket_freezes_a_post_mortem(self):
+        from repro.serve import BlasService, Request
+        rng = np.random.default_rng(13)
+        a = rng.standard_normal((4, 4)).astype(np.float32)
+        rec = FlightRecorder()
+        with obs.scoped():
+            with BlasService(max_batch=2, max_wait_ms=0.5,
+                             flight=rec) as svc:
+                ok = svc.submit(Request.gemm(a, a)).result(timeout=60.0)
+                bad = Request.gemm(a, a)
+                # sabotage the operands post-validation: the flush fails
+                object.__setattr__(bad, "a", np.ones(3, dtype=np.float32))
+                with pytest.raises(Exception):
+                    svc.submit(bad).result(timeout=60.0)
+        assert ok is not None
+        dump = rec.last_dump
+        assert dump is not None and dump["trigger"] == "flush_error"
+        assert dump["detail"]["requests"] == 1
+        # the post-mortem replays the history: the healthy request's
+        # spans and the failure's error event are both in the rings
+        assert any(s["name"] == "serve.request" for s in dump["spans"])
+        assert any(e["name"] == "serve.flush.error"
+                   for e in dump["events"])
+        assert any(p.get("error") for p in dump["stats_pulses"])
+        stats = svc.stats()["flight"]
+        assert stats["dumps"] == 1
+
+    def test_stats_counts_ring_depths(self):
+        rec = FlightRecorder()
+        rec.note_pulse({"flushes": 1})
+        rec.note_event({"name": "e"})
+        assert rec.stats() == {"spans": 0, "events": 1,
+                               "stats_pulses": 1, "dumps": 0,
+                               "suppressed": 0}

@@ -1,0 +1,171 @@
+"""Cross-process telemetry merge: forked shards report back.
+
+The regression these tests pin: ``ParallelBackend(mode="process")``
+forks its shard workers, so before :mod:`repro.obs.procagg` every
+child-side counter, span, and event vanished into a copy-on-write
+registry the parent never saw.  The oracle is thread mode — the same
+run sharded over threads records its telemetry directly — so process
+mode must now surface the same counters and the same shard-span
+structure in the parent registry.
+"""
+
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro import IATF, obs
+from repro.obs import core, procagg
+from repro.obs.spans import SpanRecord
+
+fork_only = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="process mode needs the fork start method")
+
+
+def run_parallel(mode, workers=2, groups=64):
+    """One parallel GEMM run; returns the scoped registry."""
+    rng = np.random.default_rng(7)
+    a = rng.standard_normal((groups, 4, 4))
+    b = rng.standard_normal((groups, 4, 4))
+    with obs.scoped() as reg:
+        iatf = IATF(backend="parallel", workers=workers, mode=mode)
+        iatf.gemm(a, b, np.zeros((groups, 4, 4)), beta=0.0)
+    return reg
+
+
+class TestPayloadRoundTrip:
+    def test_counters_histograms_spans_events_merge(self):
+        child = core.Registry()
+        child.counter("inner.calls").inc(5)
+        child.counter("inner.level").set(3)              # a gauge
+        child.histogram("inner.ms").observe(1.5)
+        child.histogram("inner.ms").observe(2.5)
+        child.record_span(SpanRecord(
+            name="child.root", start_us=10.0, dur_us=5.0, tid=1, depth=0,
+            args={}, trace_id="t1", span_id="s1", parent_id="s0"))
+        child.record_span(SpanRecord(
+            name="child.leaf", start_us=11.0, dur_us=1.0, tid=1, depth=1,
+            args={}, trace_id="t1", span_id="s2", parent_id="s1"))
+        child.events.emit("child.event", "info", {"k": 1},
+                          trace_id="t1", span_id="s2")
+        payload = procagg.child_capture(shard=0, registry=child)
+
+        parent = core.Registry()
+        parent.counter("inner.calls").inc(2)
+        procagg.merge_child(payload, registry=parent,
+                            carrier=("T", "S", 0))
+        assert parent.counter("inner.calls").value == 7   # delta-folded
+        assert parent.counter("inner.level").value == 3   # level, not sum
+        h = parent.histogram("inner.ms")
+        assert h.count == 2 and h.total == pytest.approx(4.0)
+
+        pid = payload["pid"]
+        spans = {s.span_id: s for s in parent.spans}
+        root = spans[f"p{pid}.s1"]
+        leaf = spans[f"p{pid}.s2"]
+        # the root re-parents under the carrier and marks the seam; the
+        # intra-payload child link is rewritten to match the new ids
+        assert root.parent_id == "S" and root.trace_id == "T"
+        assert root.args.get("shard_root") is True
+        assert leaf.parent_id == f"p{pid}.s1" and leaf.trace_id == "T"
+        assert root.pid == pid == leaf.pid
+        ev = parent.events.tail(10)[-1]
+        assert ev["name"] == "child.event"
+        assert ev["trace_id"] == "T" and ev["span_id"] == f"p{pid}.s2"
+
+    def test_merge_without_carrier_prefixes_traces(self):
+        child = core.Registry()
+        child.record_span(SpanRecord(
+            name="child.root", start_us=0.0, dur_us=1.0, tid=1, depth=0,
+            args={}, trace_id="t1", span_id="s1", parent_id=""))
+        payload = procagg.child_capture(registry=child)
+        parent = core.Registry()
+        procagg.merge_child(payload, registry=parent)
+        (span,) = [s for s in parent.spans if s.name == "child.root"]
+        pid = payload["pid"]
+        assert span.trace_id == f"p{pid}.t1"
+        assert span.parent_id is None
+
+    def test_child_begin_installs_fresh_registry(self):
+        with obs.scoped() as outer:
+            outer.counter("pre.fork").inc()
+            fresh = procagg.child_begin()
+            try:
+                assert core.get_registry() is fresh
+                assert fresh.snapshot()["counters"] == {}
+            finally:
+                core.set_registry(outer)
+
+
+@fork_only
+class TestProcessModeParity:
+    """Process mode must surface what thread mode surfaces."""
+
+    def test_inner_backend_counters_reach_the_parent(self):
+        thread_reg = run_parallel("thread")
+        process_reg = run_parallel("process")
+        t = thread_reg.snapshot()["counters"]
+        p = process_reg.snapshot()["counters"]
+        # every inner-backend counter the threads recorded must also be
+        # visible (with the same totals) after the process-mode merge
+        inner = {k: v for k, v in t.items()
+                 if k.startswith(("backend.", "engine."))}
+        assert inner, "thread-mode oracle recorded no inner counters"
+        for name, value in inner.items():
+            assert p.get(name) == value, \
+                f"process mode lost counter {name}"
+        assert p.get("obs.procagg.merged", 0) >= 2
+
+    def test_shard_spans_reach_the_parent_with_foreign_pids(self):
+        reg = run_parallel("process")
+        shards = [s for s in reg.spans
+                  if s.name == "backend.parallel.shard"]
+        assert len(shards) >= 2
+        own = os.getpid()
+        assert all(s.pid not in (0, own) for s in shards)
+        assert len({s.pid for s in shards}) >= 2
+        # every shard root is parented under the parent-side carrier
+        span_ids = {s.span_id for s in reg.spans}
+        for s in shards:
+            assert s.args.get("shard_root") is True
+            assert s.parent_id in span_ids
+
+    def test_merged_trace_is_one_valid_multi_pid_chrome_trace(self):
+        reg = run_parallel("process")
+        trace = obs.chrome_trace(reg)
+        obs.validate_chrome_trace(trace)
+        events = trace["traceEvents"]
+        pids = {e["pid"] for e in events if e["ph"] == "X"}
+        assert len(pids) >= 3          # the parent + two shard workers
+        assert len([e for e in events if e["ph"] == "f"]) >= 2
+
+
+@fork_only
+class TestServePumpPropagation:
+    """Trace context crosses submit -> pump thread -> forked shard."""
+
+    def test_request_spans_join_the_flush_trace_across_processes(self):
+        rng = np.random.default_rng(11)
+        a = rng.standard_normal((4, 4))
+        from repro.serve import BlasService, Request
+        with obs.scoped() as reg:
+            iatf = IATF(backend="parallel", workers=2, mode="process")
+            with BlasService(iatf=iatf, max_batch=4,
+                             max_wait_ms=0.5) as svc:
+                futs = [svc.submit(Request.gemm(a, a)) for _ in range(4)]
+                for f in futs:
+                    f.result(timeout=120.0)
+        requests = [s for s in reg.spans if s.name == "serve.request"]
+        flushes = [s for s in reg.spans if s.name == "serve.flush"]
+        shards = [s for s in reg.spans
+                  if s.name == "backend.parallel.shard"]
+        assert requests and flushes and shards
+        # the pump re-attached each request's carrier: every flush span
+        # parents into a submit-side request trace...
+        request_traces = {s.trace_id for s in requests}
+        assert all(f.trace_id in request_traces for f in flushes)
+        # ...and the forked shards' re-homed spans join the same traces
+        assert all(s.trace_id in request_traces for s in shards)
+        obs.validate_chrome_trace(obs.chrome_trace(reg))

@@ -291,3 +291,70 @@ class TestValidator:
         with open(path) as f:
             obs.validate_chrome_trace(json.load(f))
         assert len(reg.spans) > 0
+
+
+class TestMultiPidValidator:
+    """Merged multi-pid traces: flow binding and shard time bounds."""
+
+    ROOT = {"name": "shard", "ph": "X", "ts": 10.0, "dur": 10.0,
+            "pid": 7, "tid": 1, "args": {"shard_root": True}}
+
+    def test_accepts_flow_pair_and_bounded_shard_events(self):
+        good = {"traceEvents": [
+            {"name": "shard", "ph": "s", "ts": 5.0, "pid": 1, "tid": 1,
+             "id": "p7.s1", "cat": "flow"},
+            dict(self.ROOT),
+            {"name": "shard", "ph": "f", "ts": 10.0, "pid": 7, "tid": 1,
+             "id": "p7.s1", "cat": "flow", "bp": "e"},
+            {"name": "inner", "ph": "X", "ts": 12.0, "dur": 3.0,
+             "pid": 7, "tid": 1}]}
+        obs.validate_chrome_trace(good)      # must not raise
+
+    def test_rejects_flow_event_without_id(self):
+        bad = {"traceEvents": [
+            {"name": "shard", "ph": "s", "ts": 5.0, "pid": 1, "tid": 1}]}
+        with pytest.raises(ValueError, match="without an id"):
+            obs.validate_chrome_trace(bad)
+
+    def test_rejects_flow_finish_without_start(self):
+        bad = {"traceEvents": [
+            {"name": "shard", "ph": "f", "ts": 5.0, "pid": 7, "tid": 1,
+             "id": "nope"}]}
+        with pytest.raises(ValueError, match="no matching start"):
+            obs.validate_chrome_trace(bad)
+
+    def test_rejects_flow_running_backwards(self):
+        bad = {"traceEvents": [
+            {"name": "shard", "ph": "s", "ts": 9.0, "pid": 1, "tid": 1,
+             "id": "x"},
+            {"name": "shard", "ph": "f", "ts": 5.0, "pid": 7, "tid": 1,
+             "id": "x"}]}
+        with pytest.raises(ValueError, match="backwards"):
+            obs.validate_chrome_trace(bad)
+
+    def test_rejects_child_event_escaping_shard_bounds(self):
+        # pid 7 carries a shard root [10, 20]; an event at [25, 27] on
+        # the same pid claims time the shard never spanned — stitched
+        # from an incomparable clock
+        bad = {"traceEvents": [
+            dict(self.ROOT),
+            {"name": "stray", "ph": "X", "ts": 25.0, "dur": 2.0,
+             "pid": 7, "tid": 1}]}
+        with pytest.raises(ValueError, match="escapes its shard"):
+            obs.validate_chrome_trace(bad)
+
+    def test_pids_without_shard_roots_are_unconstrained(self):
+        good = {"traceEvents": [
+            {"name": "anywhere", "ph": "X", "ts": 999.0, "dur": 1.0,
+             "pid": 1, "tid": 1}]}
+        obs.validate_chrome_trace(good)      # no roots, no bounds
+
+    def test_per_pid_tid_namespaces_do_not_collide(self):
+        # the same tid on two pids is two tracks: B/E nesting must be
+        # checked per (pid, tid), so interleaving across pids is legal
+        good = {"traceEvents": [
+            {"name": "a", "ph": "B", "ts": 0.0, "pid": 1, "tid": 1},
+            {"name": "b", "ph": "B", "ts": 1.0, "pid": 2, "tid": 1},
+            {"name": "a", "ph": "E", "ts": 2.0, "pid": 1, "tid": 1},
+            {"name": "b", "ph": "E", "ts": 3.0, "pid": 2, "tid": 1}]}
+        obs.validate_chrome_trace(good)

@@ -161,7 +161,12 @@ class TestLifecycleAndStats:
         s = svc.stats()            # after stop: every callback has run
         assert set(s) == {"running", "uptime_seconds", "machine",
                           "backend", "requests", "coalesce", "wait_ms",
-                          "backlog", "admission", "plan_cache"}
+                          "backlog", "admission", "plan_cache", "budget",
+                          "flight"}
+        assert s["budget"]["by_tenant"]["recorded"] == 1
+        assert s["budget"]["by_tenant"]["violations"] == 0
+        assert "default" in s["budget"]["by_tenant"]["groups"]
+        assert s["budget"]["by_key"]["recorded"] == 1
         assert s["requests"]["by_routine"] == {"gemm": 1}
         assert s["wait_ms"]["count"] == 1
         assert 0.0 <= s["plan_cache"]["hit_rate"] <= 1.0
